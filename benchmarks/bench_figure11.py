@@ -1,0 +1,45 @@
+"""Figure 11: sensitivity to MAC size (32..256 bits), MT vs BMT.
+
+Paper shape: MT's average overhead grows near-exponentially with MAC size
+(3.9% at 32b -> 53.2% at 256b) while BMT stays nearly flat (1.4% -> 2.4%);
+L2 data occupancy falls 89.4% -> 36.3% for MT but only 99.5% -> 94.9% for
+BMT.
+"""
+
+from repro.evalx.figures import MAC_SIZES, figure11a, figure11b
+from repro.evalx.report import render_figure
+
+from conftest import save_artifact
+
+
+def test_figure11a_overhead(benchmark, runner, results_dir):
+    fig = benchmark.pedantic(figure11a, args=(runner,), rounds=1, iterations=1)
+    text = render_figure(fig)
+    save_artifact(results_dir, "figure11a.txt", text)
+    print("\n" + text)
+
+    mt = fig.series["aise+mt"]
+    bmt = fig.series["aise+bmt"]
+    # MT overhead grows steeply and monotonically with MAC size.
+    values = [mt[f"{bits}b"] for bits in MAC_SIZES]
+    assert all(a <= b for a, b in zip(values, values[1:]))
+    assert mt["256b"] > 3 * mt["32b"]
+    # BMT stays nearly flat (paper: +1pp across the whole range).
+    assert bmt["256b"] - bmt["32b"] < 0.05
+    assert bmt["256b"] < mt["256b"] / 5
+
+
+def test_figure11b_cache_pollution(benchmark, runner, results_dir):
+    fig = benchmark.pedantic(figure11b, args=(runner,), rounds=1, iterations=1)
+    text = render_figure(fig)
+    save_artifact(results_dir, "figure11b.txt", text)
+    print("\n" + text)
+
+    mt = fig.series["aise+mt"]
+    bmt = fig.series["aise+bmt"]
+    # Larger MACs squeeze data out of the L2 under MT...
+    values = [mt[f"{bits}b"] for bits in MAC_SIZES]
+    assert all(a >= b for a, b in zip(values, values[1:]))
+    assert mt["256b"] < 0.55  # paper: 36.3%
+    # ...but hardly at all under BMT (paper: 94.9% at 256b).
+    assert bmt["256b"] > 0.85

@@ -1,0 +1,32 @@
+"""Figure 8: AISE / AISE+MT / AISE+BMT — integrity verification dominates.
+
+Paper shape: integrity verification (Merkle maintenance) is the dominant
+overhead — 12.1% average for AISE+MT, cut to 1.8% by BMT, with the
+memory-intensive trio (art, mcf, swim) above 60%/below 15% respectively
+in the paper's run.
+"""
+
+from repro.evalx.figures import figure8
+from repro.evalx.report import render_figure
+from repro.workloads.spec2k import MEMORY_BOUND
+
+from conftest import save_artifact
+
+
+def test_figure8(benchmark, runner, results_dir):
+    fig = benchmark.pedantic(figure8, args=(runner,), rounds=1, iterations=1)
+    text = render_figure(fig)
+    save_artifact(results_dir, "figure8.txt", text)
+    print("\n" + text)
+
+    aise = fig.series["aise"]
+    mt = fig.series["aise+mt"]
+    bmt = fig.series["aise+bmt"]
+    # Integrity is the dominant term (paper section 7.2).
+    assert mt["avg"] > 3 * aise["avg"]
+    # BMT removes almost all of it.
+    assert (bmt["avg"] - aise["avg"]) < (mt["avg"] - aise["avg"]) / 5
+    # Memory-bound benchmarks stay under control with BMT (paper: <15%).
+    for bench in MEMORY_BOUND:
+        assert bmt[bench] < 0.20, bench
+        assert mt[bench] > bmt[bench], bench

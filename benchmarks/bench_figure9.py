@@ -1,0 +1,26 @@
+"""Figure 9: L2 cache pollution — fraction of L2 capacity holding data.
+
+Paper shape: under a standard Merkle tree data holds only ~68% of the L2
+on average (down to ~50% for art/swim); under BMT ~98%.
+"""
+
+from repro.evalx.figures import figure9
+from repro.evalx.report import render_figure
+
+from conftest import save_artifact
+
+
+def test_figure9(benchmark, runner, results_dir):
+    fig = benchmark.pedantic(figure9, args=(runner,), rounds=1, iterations=1)
+    text = render_figure(fig)
+    save_artifact(results_dir, "figure9.txt", text)
+    print("\n" + text)
+
+    base = fig.series["no-integrity"]
+    mt = fig.series["aise+mt"]
+    bmt = fig.series["aise+bmt"]
+    assert base["avg"] > 0.99  # no metadata at all
+    assert mt["avg"] < 0.85  # visible pollution (paper: 68%)
+    assert bmt["avg"] > 0.96  # BMT nodes are negligible (paper: 98%)
+    # The memory-bound benchmarks are hit hardest.
+    assert min(mt[b] for b in runner.benchmarks) < 0.70

@@ -1,0 +1,17 @@
+"""Table 1: qualitative comparison of counter-mode encryption approaches."""
+
+from repro.evalx.report import render_table
+from repro.evalx.tables import table1
+
+from conftest import save_artifact
+
+
+def test_table1(benchmark, results_dir):
+    table = benchmark(table1)
+    text = render_table(table)
+    save_artifact(results_dir, "table1.txt", text)
+    print("\n" + text)
+
+    rows = {row["Encryption Approach"]: row for row in table.rows}
+    assert rows["AISE"]["Other Issues"] == "None"
+    assert rows["Counter (Virt Addr)"]["IPC Support"] == "No shared-memory IPC"

@@ -1,0 +1,23 @@
+"""Table 2: in-memory storage overheads — must match the paper exactly."""
+
+import pytest
+
+from repro.evalx.report import render_table
+from repro.evalx.tables import PAPER_TABLE2, table2
+
+from conftest import save_artifact
+
+
+def test_table2(benchmark, results_dir):
+    table = benchmark(table2)
+    text = render_table(table)
+    save_artifact(results_dir, "table2.txt", text)
+    print("\n" + text)
+
+    for row in table.rows:
+        bits = int(row["MAC size"].rstrip("b"))
+        paper = PAPER_TABLE2[(bits, row["Scheme"])]
+        assert row["MT %"] == pytest.approx(paper[0], abs=0.01)
+        assert row["Page Root %"] == pytest.approx(paper[1], abs=0.01)
+        assert row["Counters %"] == pytest.approx(paper[2], abs=0.01)
+        assert row["Total %"] == pytest.approx(paper[3], abs=0.01)

@@ -1,0 +1,39 @@
+"""Shared fixtures for the benchmark harness.
+
+One session-scoped :class:`~repro.evalx.runner.Runner` memoizes the
+(21 benchmark x configuration) sweep so every figure bench draws from a
+single simulation pass. Each bench also writes its regenerated rows to
+``benchmarks/results/`` — the artifacts EXPERIMENTS.md is built from.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.evalx.runner import Runner
+
+# Trace length per benchmark. 60k keeps the full sweep to a few minutes
+# while staying in the calibrated regime; raise via REPRO_BENCH_EVENTS for
+# a higher-fidelity run (EXPERIMENTS.md used 120k).
+EVENTS = int(os.environ.get("REPRO_BENCH_EVENTS", "60000"))
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def runner() -> Runner:
+    return Runner(events=EVENTS)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_artifact(results_dir: str, name: str, text: str) -> None:
+    path = os.path.join(results_dir, name)
+    with open(path, "w") as f:
+        f.write(text + "\n")

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""The attack/defense matrix across integrity schemes.
+
+Runs the paper's attack model (section 3) — spoofing, splicing, replay,
+and counter tampering by a physical adversary — against four machine
+configurations, and prints which scheme catches what. The punchline is
+the replay row: per-block MACs alone miss it; both Merkle organizations
+(standard and bonsai) catch it, but the bonsai tree is ~64x smaller.
+
+Run:  python examples/attack_detection.py
+"""
+
+from repro.attacks import run_all
+from repro.core import MachineConfig, SecureMemorySystem
+
+CONFIGS = [
+    ("none (unprotected)", "none", "none"),
+    ("MAC-only", "aise", "mac_only"),
+    ("standard Merkle", "aise", "merkle"),
+    ("Bonsai Merkle", "aise", "bonsai"),
+]
+
+SCENARIOS = ("spoofing", "splicing", "replay", "counter-tamper")
+
+
+def main() -> None:
+    print("=== Physical-attack detection matrix ===\n")
+    header = f"{'scheme':20}" + "".join(f"{s:>16}" for s in SCENARIOS)
+    print(header)
+    print("-" * len(header))
+
+    for label, encryption, integrity in CONFIGS:
+        machine = SecureMemorySystem(
+            MachineConfig(physical_bytes=16 * 4096, encryption=encryption,
+                          integrity=integrity)
+        )
+        machine.boot()
+        outcomes = {r.scenario: r.detected for r in run_all(machine)}
+        cells = "".join(
+            f"{('DETECTED' if outcomes[s] else 'missed') if s in outcomes else '-':>16}"
+            for s in SCENARIOS
+        )
+        print(f"{label:20}{cells}")
+
+    print("\nNotes:")
+    print("* MAC-only misses replay: the stale (value, MAC) pair is self-")
+    print("  consistent. Freshness needs an on-chip root (section 5).")
+    print("* The Bonsai tree achieves the standard tree's full matrix while")
+    print("  covering only counters — 1/64th of the data (section 5.2).")
+
+    # Show the tree-size difference concretely.
+    mt = SecureMemorySystem(MachineConfig(physical_bytes=1 << 20, encryption="aise",
+                                          integrity="merkle"))
+    bmt = SecureMemorySystem(MachineConfig(physical_bytes=1 << 20, encryption="aise",
+                                           integrity="bonsai"))
+    print(f"\ntree node storage for a 1MB memory: "
+          f"standard={mt.layout.tree_bytes}B, bonsai={bmt.layout.tree_bytes}B "
+          f"({mt.layout.tree_bytes / max(1, bmt.layout.tree_bytes):.0f}x smaller)")
+
+
+if __name__ == "__main__":
+    main()

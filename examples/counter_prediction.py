@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Counter prediction: hiding decryption latency without a counter fetch.
+
+Table 1 of the paper rates the global-counter scheme's latency hiding
+"Caching: Poor, Prediction: Difficult" while AISE gets "Good". This
+example makes that row concrete with the functional machine: a predictor
+holding only LPIDs (8 bytes/page instead of a 64-byte counter block)
+speculatively decrypts blocks by trying a few candidate minor counters
+and letting the per-block MAC arbitrate — possible precisely because
+AISE's minors are small and slowly-moving. A 64-bit global stamp offers
+no such candidate set.
+
+Run:  python examples/counter_prediction.py
+"""
+
+from repro.core import CounterPredictor, SecureMemorySystem, aise_bmt_config
+
+PAGE = 4096
+
+
+def main() -> None:
+    machine = SecureMemorySystem(aise_bmt_config(physical_bytes=64 * PAGE))
+    machine.boot()
+    predictor = CounterPredictor(machine, max_candidates=8)
+
+    # A workload phase: write some pages a few times each.
+    print("=== warm phase: writes establish counters, predictor observes ===")
+    for page in range(16):
+        for rewrite in range(3):
+            machine.write_block(page * PAGE, bytes([page, rewrite] * 32))
+    for page in range(16):
+        predictor.read_block(page * PAGE)  # architectural reads teach it
+
+    # Pressure evicts all on-chip counter blocks (context switch, big
+    # working set, ...). Subsequent reads face counter-cache misses.
+    machine.encryption._cache.clear()
+    machine.tree._trusted.clear()
+
+    print("=== cold counter cache: speculative reads ===")
+    for page in range(16):
+        plain, predicted = predictor.read_block(page * PAGE)
+        assert plain[:2] == bytes([page, 2])
+        marker = "predicted (no counter fetch!)" if predicted else "architectural"
+        if page < 4 or not predicted:
+            print(f"  page {page:2}: {marker}")
+    stats = predictor.stats
+    print(f"\nprediction hit rate: {stats.hit_rate:.0%} "
+          f"({stats.hits}/{stats.attempts} attempts, "
+          f"{stats.candidate_trials} candidate MAC checks, "
+          f"{stats.fallbacks} fallbacks)")
+
+    # A page whose counters ran far ahead defeats the candidate window —
+    # correctness is preserved by the architectural fallback.
+    print("\n=== a page written 50x while the predictor wasn't looking ===")
+    for i in range(50):
+        machine.write_block(0, bytes([i]) * 64)
+    machine.encryption._cache.clear()
+    plain, predicted = predictor.read_block(0)
+    print(f"  value correct: {plain == bytes([49]) * 64}, "
+          f"predicted: {predicted} (fallback fetched + verified the counter)")
+
+    print("\nWhy this cannot work for the global-counter baseline: the")
+    print("stamp on a block is a 64-bit global write serial number — no")
+    print("small candidate set can contain it, so every counter-cache miss")
+    print("must wait for the fetch (Table 1: 'Prediction: Difficult').")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Attacking a hibernated machine — why the GPC and root live in NVRAM.
+
+Section 4.3 requires the Global Page Counter to be non-volatile so seeds
+stay unique "even across system reboots, hibernation, or power
+optimizations". The integrity side has a mirror requirement: on resume,
+the root MAC must come from sealed on-chip storage — a processor that
+recomputed its root over the (disk-resident, attacker-accessible)
+memory image would bless whatever the attacker left there.
+
+This example hibernates a machine, lets an attacker rewrite history on
+the sleeping image, and shows the resumed machine refusing the rollback.
+
+Run:  python examples/hibernation_attack.py
+"""
+
+from repro.core import IntegrityError, SecureMemorySystem, aise_bmt_config
+
+PAGE = 4096
+CONFIG = aise_bmt_config(physical_bytes=16 * PAGE)
+
+
+def main() -> None:
+    print("=== Hibernation attack demo ===\n")
+    machine = SecureMemorySystem(CONFIG)
+    machine.boot()
+
+    machine.write_block(0, b"license: expired" + bytes(48))
+    print("state v1 written :", b"license: expired")
+    _, stale_image = machine.hibernate()  # attacker snapshots the disk image
+
+    machine.write_block(0, b"license: revoked" + bytes(48))
+    print("state v2 written :", b"license: revoked")
+    nonvolatile, current_image = machine.hibernate()
+    print("machine hibernated (GPC + sealed root in NVRAM; image on disk)\n")
+
+    # --- attack 1: roll the entire memory image back to v1 ----------------
+    print("attack: restore the complete v1 memory image (data + counters")
+    print("        + MACs + tree nodes — all internally consistent!)")
+    resumed = SecureMemorySystem.resume(nonvolatile, stale_image, CONFIG)
+    try:
+        resumed.read_block(0)
+        raise SystemExit("BUG: rollback accepted")
+    except IntegrityError as err:
+        print(f"resume detects it : {err}")
+        print("  -> the sealed root is v2's; v1's tree cannot match it\n")
+
+    # --- attack 2: bit-flip one block of the sleeping image ----------------
+    print("attack: flip bits in one block of the sleeping image")
+    tampered = dict(current_image)
+    tampered[0] = bytes(b ^ 0xFF for b in tampered[0])
+    resumed = SecureMemorySystem.resume(nonvolatile, tampered, CONFIG)
+    try:
+        resumed.read_block(0)
+        raise SystemExit("BUG: tamper accepted")
+    except IntegrityError as err:
+        print(f"resume detects it : {err}\n")
+
+    # --- honest resume ------------------------------------------------------
+    resumed = SecureMemorySystem.resume(nonvolatile, current_image, CONFIG)
+    print("honest resume     :", resumed.read_block(0)[:16])
+    resumed.write_block(4096, b"post-resume data" + bytes(48))
+    print("new page after resume gets LPID", resumed.encryption._load(1).lpid,
+          "(GPC continued, never reused)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""MAC-size trade-off study: storage (Table 2) against performance (Fig 11).
+
+Security consortia recommend ever-longer MACs (the paper cites NIST
+moving to SHA-256/384/512). This example sweeps 32..256-bit MACs and
+shows the two costs side by side for the standard Merkle organization
+and the Bonsai one: storage comes from the exact analytic model (which
+reproduces the paper's Table 2 to the digit), performance from the
+timing model on a memory-bound workload.
+
+Run:  python examples/mac_size_tradeoff.py [events]
+"""
+
+import sys
+
+from repro.core import MachineConfig, aise_bmt_config, baseline_config
+from repro.core.storage import storage_breakdown
+from repro.sim import TimingSimulator
+from repro.workloads import spec_trace
+
+MAC_SIZES = (32, 64, 128, 256)
+
+
+def main() -> None:
+    events = int(sys.argv[1]) if len(sys.argv) > 1 else 30_000
+    trace = spec_trace("art", events)
+    base = TimingSimulator(baseline_config()).run(trace)
+
+    print("=== MAC size trade-off (art workload, 1GB memory model) ===\n")
+    print(f"{'MAC':>5} | {'organization':14} | {'memory overhead':>15} | "
+          f"{'exec overhead':>13} | {'L2 for data':>11}")
+    print("-" * 74)
+
+    for bits in MAC_SIZES:
+        for label, enc, integ in (("global64+MT", "global64", "merkle"),
+                                  ("AISE+BMT", "aise", "bonsai")):
+            storage = storage_breakdown(enc, integ, bits)
+            config = MachineConfig(encryption=enc, integrity=integ, mac_bits=bits)
+            result = TimingSimulator(config).run(trace)
+            print(f"{bits:>4}b | {label:14} | {storage.overhead_fraction:>14.2%} | "
+                  f"{result.overhead_vs(base):>12.1%} | {result.l2_data_fraction:>10.1%}")
+        print("-" * 74)
+
+    print("\nThe asymmetry is the point of the Bonsai organization:")
+    print("* a standard tree's nodes grow with MAC size AND live in the L2,")
+    print("  so both costs explode (paper: 3.9% -> 53.2% exec overhead);")
+    print("* the bonsai tree covers only counters, and per-block MACs are")
+    print("  never cached, so stronger MACs cost storage but almost no")
+    print("  performance (paper: 1.4% -> 2.4%).")
+
+
+if __name__ == "__main__":
+    main()

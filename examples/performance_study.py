@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""A miniature of the paper's performance evaluation (Figures 6-8).
+
+Simulates a handful of SPEC2K-like workloads against five protection
+configurations on the trace-driven timing model and prints normalized
+execution-time overheads, L2 miss rates, and bus utilization — the
+quantities the paper's Figures 6, 8, and 10 plot.
+
+For the full 21-benchmark regeneration of every figure, run:
+    python -m repro.evalx.report --events 120000
+or the benchmark harness:
+    pytest benchmarks/ --benchmark-only
+
+Run:  python examples/performance_study.py [events]
+"""
+
+import sys
+
+from repro.core import MachineConfig, aise_bmt_config, baseline_config, global64_mt_config
+from repro.sim import TimingSimulator
+from repro.workloads import spec_trace
+
+BENCHES = ("art", "mcf", "swim", "gcc", "gzip")
+CONFIGS = [
+    ("aise", MachineConfig(encryption="aise", integrity="none")),
+    ("global64", MachineConfig(encryption="global64", integrity="none")),
+    ("aise+mt", MachineConfig(encryption="aise", integrity="merkle")),
+    ("aise+bmt", aise_bmt_config()),
+    ("g64+mt", global64_mt_config()),
+]
+
+
+def main() -> None:
+    events = int(sys.argv[1]) if len(sys.argv) > 1 else 40_000
+    print(f"=== Performance study ({events} L2 accesses per benchmark) ===\n")
+    print(f"{'bench':8} {'base miss':>9} {'base bus':>9}", end="")
+    for label, _ in CONFIGS:
+        print(f"{label:>10}", end="")
+    print()
+
+    averages = {label: 0.0 for label, _ in CONFIGS}
+    for bench in BENCHES:
+        trace = spec_trace(bench, events)
+        base = TimingSimulator(baseline_config()).run(trace)
+        print(f"{bench:8} {base.l2_miss_rate:9.1%} {base.bus_utilization:9.1%}", end="")
+        for label, config in CONFIGS:
+            result = TimingSimulator(config).run(trace)
+            overhead = result.overhead_vs(base)
+            averages[label] += overhead / len(BENCHES)
+            print(f"{overhead:10.1%}", end="")
+        print()
+
+    print(f"\n{'average':8} {'':9} {'':9}", end="")
+    for label, _ in CONFIGS:
+        print(f"{averages[label]:10.1%}", end="")
+    print("\n\nReading the table like the paper does:")
+    print("* encryption alone is nearly free with AISE; the global-counter")
+    print("  scheme pays for its poor counter-cache reach (Figure 7);")
+    print("* the standard Merkle tree is the dominant cost, especially on")
+    print("  memory-bound workloads (Figure 8);")
+    print("* AISE+BMT ends within a few percent of unprotected execution")
+    print("  while global64+MT — the prior scheme with equivalent system")
+    print("  support — pays an order of magnitude more (Figure 6).")
+
+
+if __name__ == "__main__":
+    main()

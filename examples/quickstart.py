@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Quickstart: a secure processor protecting memory with AISE + BMT.
+
+Builds the paper's proposed machine (AISE counter-mode encryption plus a
+Bonsai Merkle Tree), moves data through it, shows that DRAM only ever
+sees ciphertext, and demonstrates tamper detection — including a replay
+attack that per-block MACs alone would miss.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import IntegrityError, SecureMemorySystem, aise_bmt_config, breakdown_for_config
+
+
+def main() -> None:
+    # A 1MB protected memory keeps the demo instant; the scheme is
+    # identical at 1GB.
+    config = aise_bmt_config(physical_bytes=1 << 20)
+    machine = SecureMemorySystem(config)
+    machine.boot()
+
+    print("=== AISE + Bonsai Merkle Tree quickstart ===")
+    print(f"data region      : {machine.layout.data_bytes >> 10} KB")
+    print(f"counter region   : {machine.layout.counter_bytes >> 10} KB "
+          f"(one 64B block per 4KB page: 64-bit LPID + 64 x 7-bit counters)")
+    print(f"bonsai tree      : {machine.layout.tree_bytes} B of nodes "
+          f"(vs a data-covering tree at ~1/3 of memory)")
+    print(f"per-block MACs   : {machine.layout.mac_bytes_region >> 10} KB")
+
+    # --- ordinary protected accesses -----------------------------------
+    secret = b"attack at dawn! " * 4  # one 64-byte cache block
+    machine.write_block(0x1000, secret)
+    assert machine.read_block(0x1000) == secret
+
+    in_dram = machine.memory.raw_read(0x1000)
+    print(f"\nplaintext        : {secret[:24]!r}...")
+    print(f"what DRAM holds  : {in_dram[:24].hex()}...")
+    assert in_dram != secret, "DRAM must never see plaintext"
+
+    # Counter-mode hides equal plaintexts: write the same bytes elsewhere.
+    machine.write_block(0x1040, secret)
+    assert machine.memory.raw_read(0x1040) != in_dram
+    print("equal plaintexts encrypt differently (seed uniqueness) ✔")
+
+    # --- spoofing: flip bits in DRAM ------------------------------------
+    machine.memory.corrupt(0x1000)
+    try:
+        machine.read_block(0x1000)
+        raise SystemExit("BUG: tamper not detected")
+    except IntegrityError as err:
+        print(f"spoofing detected: {err}")
+
+    # --- replay: roll back data AND its MAC together --------------------
+    machine = SecureMemorySystem(config)
+    machine.boot()
+    machine.write_block(0x2000, b"balance: $1000  " * 4)
+    stale_cipher = machine.memory.raw_read(0x2000)
+    mac_block = machine.integrity.store.mac_block_address(0x2000)
+    stale_macs = machine.memory.raw_read(mac_block)
+    machine.write_block(0x2000, b"balance: $0     " * 4)  # spent it
+    machine.memory.raw_write(0x2000, stale_cipher)  # attacker restores both
+    machine.memory.raw_write(mac_block, stale_macs)
+    try:
+        machine.read_block(0x2000)
+        raise SystemExit("BUG: replay not detected")
+    except IntegrityError as err:
+        print(f"replay detected  : {err}")
+        print("  (the bonsai tree guarantees the fresh counter, so the old")
+        print("   MAC can no longer match — paper section 5.2)")
+
+    # --- storage cost ----------------------------------------------------
+    breakdown = breakdown_for_config(aise_bmt_config())
+    print(f"\nstorage overhead at 1GB/128-bit MACs: "
+          f"{breakdown.overhead_fraction:.1%} of total memory "
+          f"(paper Table 2: 21.55%)")
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""An OS running on the secure processor: VM, swap, fork, and IPC.
+
+This is the scenario the paper's title is about — *OS-friendliness*.
+A kernel with 16 physical frames runs several processes on an AISE+BMT
+machine and exercises exactly the features that break under
+address-based seed schemes:
+
+1. page swapping under memory pressure (no re-encryption with AISE;
+   counted re-encryptions with the physical-address baseline),
+2. fork with copy-on-write,
+3. shared-memory IPC between processes mapping different virtual
+   addresses,
+4. file-backed mmap (MAP_PRIVATE shared libraries with COW over one
+   resident copy), and
+5. tamper detection on the swap disk via the page-root directory.
+
+Run:  python examples/secure_os_workflow.py
+"""
+
+from repro.core import IntegrityError, MachineConfig, SecureMemorySystem, aise_bmt_config
+from repro.osmodel import Kernel
+
+PAGE = 4096
+
+
+def build_kernel(encryption: str = "aise", integrity: str = "bonsai") -> Kernel:
+    machine = SecureMemorySystem(
+        MachineConfig(physical_bytes=16 * PAGE, swap_bytes=64 * PAGE,
+                      encryption=encryption, integrity=integrity)
+    )
+    return Kernel(machine, swap_slots=64)
+
+
+def demo_swap_costs() -> None:
+    print("--- 1. page swap: AISE vs physical-address seeds ---")
+    for encryption in ("aise", "phys_addr"):
+        kernel = build_kernel(encryption=encryption)
+        app = kernel.create_process("app")
+        kernel.mmap(app.pid, 0x10000, 1)
+        kernel.write(app.pid, 0x10000, b"survives the disk")
+        # Memory pressure: a hog touches more pages than there are frames.
+        hog = kernel.create_process("hog")
+        kernel.mmap(hog.pid, 0x900000, 20)
+        for i in range(20):
+            kernel.write(hog.pid, 0x900000 + i * PAGE, b"\xee")
+        assert not app.page_table.lookup(0x10000).present, "page should be on disk"
+        assert kernel.read(app.pid, 0x10000, 17) == b"survives the disk"
+        print(f"  {encryption:10}: swap-ins={kernel.stats.swap_ins:3} "
+              f"swap-outs={kernel.stats.swap_outs:3} "
+              f"blocks re-encrypted for swap={kernel.stats.swap_reencrypted_blocks}")
+    print("  -> AISE moves ciphertext + counter blocks verbatim (section 4.4)\n")
+
+
+def demo_fork_cow(kernel: Kernel) -> None:
+    print("--- 2. fork with copy-on-write ---")
+    parent = kernel.create_process("shell")
+    kernel.mmap(parent.pid, 0x40000, 1)
+    kernel.write(parent.pid, 0x40000, b"export PATH=/bin")
+    child = kernel.fork(parent.pid)
+    print(f"  child {child.pid} reads parent page: "
+          f"{kernel.read(child.pid, 0x40000, 16)!r}")
+    kernel.write(child.pid, 0x40000, b"export PATH=/opt")
+    print(f"  after child write: parent={kernel.read(parent.pid, 0x40000, 16)!r} "
+          f"child={kernel.read(child.pid, 0x40000, 16)!r}")
+    print(f"  COW breaks: {kernel.stats.cow_breaks} "
+          f"(page copied only when written — works because AISE seeds are "
+          f"address-free)\n")
+
+
+def demo_shared_memory(kernel: Kernel) -> None:
+    print("--- 3. shared-memory IPC (mmap) ---")
+    kernel.shm_create("ring-buffer", 1)
+    producer = kernel.create_process("producer")
+    consumer = kernel.create_process("consumer")
+    # Deliberately different virtual addresses — fatal for vaddr seeds.
+    kernel.mmap(producer.pid, 0x80000, 1, shared_name="ring-buffer")
+    kernel.mmap(consumer.pid, 0x70000, 1, shared_name="ring-buffer")
+    kernel.write(producer.pid, 0x80000, b"msg#1: hello from producer")
+    received = kernel.read(consumer.pid, 0x70000, 26)
+    print(f"  consumer (different vaddr, different pid) reads: {received!r}")
+    assert received == b"msg#1: hello from producer"
+    print("  -> one physical page, one LPID, one set of seeds: sharing "
+          "just works (section 4.5)\n")
+
+
+def demo_file_mmap(kernel: Kernel) -> None:
+    print("--- 4. file-backed mmap: shared libraries ---")
+    kernel.files.create("libcrypto.so", b"\x7fELF crypto routines" + bytes(4075))
+    app1 = kernel.create_process("app1")
+    app2 = kernel.create_process("app2")
+    # MAP_PRIVATE: one resident (encrypted, integrity-covered) copy.
+    kernel.mmap_file(app1.pid, 0x700000, "libcrypto.so", shared=False)
+    kernel.mmap_file(app2.pid, 0x700000, "libcrypto.so", shared=False)
+    f1 = app1.page_table.lookup(0x700000).frame
+    f2 = app2.page_table.lookup(0x700000).frame
+    print(f"  both processes map frame {f1} ({'shared' if f1 == f2 else 'BUG'}): "
+          f"one copy, many mappers")
+    kernel.write(app1.pid, 0x700000, b"\xccHOOK")  # app1 patches its view
+    print(f"  app1 after private write: {kernel.read(app1.pid, 0x700000, 5)!r}")
+    print(f"  app2 still sees          : {kernel.read(app2.pid, 0x700000, 5)!r}")
+    print(f"  file on disk untouched   : "
+          f"{kernel.files.raw_content('libcrypto.so')[:5]!r}")
+    print("  -> address-free seeds make the single in-memory copy readable")
+    print("     by every mapper; COW keeps private patches private\n")
+
+
+def demo_swap_tamper(kernel: Kernel) -> None:
+    print("--- 5. tampering with the swap disk ---")
+    victim = kernel.create_process("victim")
+    kernel.mmap(victim.pid, 0x50000, 1)
+    kernel.write(victim.pid, 0x50000, b"ssn=123-45-6789")
+    hog = kernel.create_process("hog2")
+    kernel.mmap(hog.pid, 0xA00000, 20)
+    for i in range(20):
+        kernel.write(hog.pid, 0xA00000 + i * PAGE, b"\xdd")
+    pte = victim.page_table.lookup(0x50000)
+    assert not pte.present
+    kernel.swap.corrupt_slot(pte.swap_slot, byte_offset=300)
+    try:
+        kernel.read(victim.pid, 0x50000, 15)
+        raise SystemExit("BUG: swap tamper missed")
+    except IntegrityError as err:
+        print(f"  detected on swap-in: {err}")
+    print("  -> the page-root directory extends the single on-chip root "
+          "to the disk (section 5.1)\n")
+
+
+def main() -> None:
+    print("=== Secure OS workflow on AISE + BMT ===\n")
+    demo_swap_costs()
+    kernel = build_kernel()
+    demo_fork_cow(kernel)
+    demo_shared_memory(kernel)
+    demo_file_mmap(kernel)
+    demo_swap_tamper(kernel)
+    stats = kernel.stats
+    print(f"final kernel stats: faults={stats.page_faults} "
+          f"zero-fills={stats.demand_zero_fills} swap-ins={stats.swap_ins} "
+          f"swap-outs={stats.swap_outs} cow-breaks={stats.cow_breaks} "
+          f"forks={stats.forks}")
+    print(f"TLB hit rate: {kernel.tlb.hit_rate:.1%}")
+
+
+if __name__ == "__main__":
+    main()

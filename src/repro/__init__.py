@@ -1,0 +1,58 @@
+"""repro: AISE + Bonsai Merkle Trees — an OS- and performance-friendly
+secure-processor memory protection library.
+
+Reproduction of Rogers, Chhabra, Solihin & Prvulovic, "Using Address
+Independent Seed Encryption and Bonsai Merkle Trees to Make Secure
+Processors OS- and Performance-Friendly" (MICRO 2007).
+
+Three entry points:
+
+* ``repro.core.SecureMemorySystem`` — a functional secure processor:
+  real counter-mode encryption (AISE and the baseline seed schemes),
+  real Merkle / Bonsai-Merkle integrity trees, tamper detection.
+* ``repro.osmodel.Kernel`` — a virtual-memory OS model (paging, swap
+  with page-root protection, fork/COW, shared-memory IPC) driving it.
+* ``repro.sim.TimingSimulator`` + ``repro.evalx`` — the trace-driven
+  performance model and the harness regenerating every table and figure
+  of the paper's evaluation.
+"""
+
+from . import attacks, core, crypto, evalx, integrity, mem, osmodel, sim, workloads
+from .core import (
+    AccessContext,
+    IntegrityError,
+    MachineConfig,
+    SecureMemorySystem,
+    aise_bmt_config,
+    baseline_config,
+    global64_mt_config,
+)
+from .osmodel import Kernel
+from .sim import SimResult, TimingSimulator, Trace, simulate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SecureMemorySystem",
+    "MachineConfig",
+    "AccessContext",
+    "IntegrityError",
+    "aise_bmt_config",
+    "baseline_config",
+    "global64_mt_config",
+    "Kernel",
+    "TimingSimulator",
+    "simulate",
+    "SimResult",
+    "Trace",
+    "core",
+    "crypto",
+    "mem",
+    "osmodel",
+    "integrity",
+    "sim",
+    "workloads",
+    "attacks",
+    "evalx",
+    "__version__",
+]

@@ -1,0 +1,125 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``report``   — regenerate the paper's tables and figures (text).
+* ``simulate`` — run one benchmark trace against one configuration.
+* ``attacks``  — print the attack-detection matrix for a configuration.
+* ``storage``  — print the analytic storage breakdown (Table 2 model).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_report(args) -> int:
+    from .evalx.report import main as report_main
+
+    forwarded = ["--events", str(args.events)]
+    if args.figures:
+        forwarded += ["--figures", *args.figures]
+    if args.out:
+        forwarded += ["--out", args.out]
+    if args.data_dir:
+        forwarded += ["--data-dir", args.data_dir]
+    return report_main(forwarded)
+
+
+def _cmd_simulate(args) -> int:
+    from .core.config import MachineConfig, baseline_config
+    from .sim.simulator import TimingSimulator
+    from .workloads.spec2k import SPEC2K_BENCHMARKS, spec_trace
+
+    if args.benchmark not in SPEC2K_BENCHMARKS:
+        print(f"unknown benchmark {args.benchmark!r}; choose from {', '.join(SPEC2K_BENCHMARKS)}")
+        return 2
+    trace = spec_trace(args.benchmark, args.events)
+    config = MachineConfig(encryption=args.encryption, integrity=args.integrity,
+                           mac_bits=args.mac_bits)
+    result = TimingSimulator(config).run(trace)
+    base = TimingSimulator(baseline_config()).run(trace)
+    print(f"benchmark        : {args.benchmark} ({args.events} L2 accesses)")
+    print(f"configuration    : {args.encryption}+{args.integrity}, {args.mac_bits}-bit MACs")
+    print(f"cycles           : {result.cycles:,.0f} (base {base.cycles:,.0f})")
+    print(f"overhead         : {result.overhead_vs(base):.1%}")
+    print(f"IPC              : {result.ipc:.2f}")
+    print(f"L2 miss rate     : {result.l2_miss_rate:.1%} (base {base.l2_miss_rate:.1%})")
+    print(f"L2 data fraction : {result.l2_data_fraction:.1%}")
+    print(f"bus utilization  : {result.bus_utilization:.1%} (base {base.bus_utilization:.1%})")
+    if result.counter_accesses:
+        print(f"counter miss rate: {result.counter_miss_rate:.1%}")
+        print(f"exposed AES      : {result.exposed_decrypt_cycles:,.0f} cycles")
+    return 0
+
+
+def _cmd_attacks(args) -> int:
+    from .attacks import run_all
+    from .core.config import MachineConfig
+    from .core.machine import SecureMemorySystem
+
+    machine = SecureMemorySystem(
+        MachineConfig(physical_bytes=16 * 4096, encryption=args.encryption,
+                      integrity=args.integrity)
+    )
+    machine.boot()
+    print(f"configuration: {args.encryption}+{args.integrity}")
+    for result in run_all(machine):
+        verdict = "DETECTED" if result.detected else "MISSED"
+        print(f"  {result.scenario:15} {verdict:9} {result.detail}")
+    return 0
+
+
+def _cmd_storage(args) -> int:
+    from .core.storage import storage_breakdown
+
+    b = storage_breakdown(args.encryption, args.integrity, args.mac_bits,
+                          data_bytes=args.data_mb << 20)
+    print(f"configuration   : {args.encryption}+{args.integrity}, "
+          f"{args.mac_bits}-bit MACs, {args.data_mb}MB data")
+    print(f"counters        : {b.counter_bytes / (1 << 20):10.2f} MB  ({b.counter_fraction:6.2%})")
+    print(f"MACs/tree nodes : {b.merkle_bytes / (1 << 20):10.2f} MB  ({b.merkle_fraction:6.2%})")
+    print(f"page root dir   : {b.page_root_bytes / (1 << 20):10.2f} MB  ({b.page_root_fraction:6.2%})")
+    print(f"total overhead  : {b.overhead_fraction:.2%} of total memory")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro``; returns a process exit code."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("report", help="regenerate the paper's tables and figures")
+    p.add_argument("--events", type=int, default=120_000)
+    p.add_argument("--figures", nargs="*", default=None)
+    p.add_argument("--out", default=None)
+    p.add_argument("--data-dir", default=None)
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("simulate", help="simulate one benchmark/configuration")
+    p.add_argument("--benchmark", default="art")
+    p.add_argument("--encryption", default="aise")
+    p.add_argument("--integrity", default="bonsai")
+    p.add_argument("--mac-bits", type=int, default=128)
+    p.add_argument("--events", type=int, default=60_000)
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("attacks", help="run the attack-detection matrix")
+    p.add_argument("--encryption", default="aise")
+    p.add_argument("--integrity", default="bonsai")
+    p.set_defaults(func=_cmd_attacks)
+
+    p = sub.add_parser("storage", help="analytic storage breakdown (Table 2 model)")
+    p.add_argument("--encryption", default="aise")
+    p.add_argument("--integrity", default="bonsai")
+    p.add_argument("--mac-bits", type=int, default=128)
+    p.add_argument("--data-mb", type=int, default=1024)
+    p.set_defaults(func=_cmd_storage)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

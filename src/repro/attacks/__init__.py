@@ -1,0 +1,22 @@
+"""Physical attack simulation: spoofing, splicing, replay, swap tampering."""
+
+from .scenarios import (
+    ScenarioResult,
+    counter_tamper_attack,
+    replay_attack,
+    run_all,
+    splicing_attack,
+    spoofing_attack,
+)
+from .tamper import AttackRecord, MemoryTamperer
+
+__all__ = [
+    "MemoryTamperer",
+    "AttackRecord",
+    "ScenarioResult",
+    "spoofing_attack",
+    "splicing_attack",
+    "replay_attack",
+    "counter_tamper_attack",
+    "run_all",
+]

@@ -1,0 +1,120 @@
+"""Physical-attack primitives against the functional secure memory.
+
+The paper's attack model (section 3): everything off-chip — DRAM contents,
+the memory bus, and the swap disk — can be observed and modified by a
+man-in-the-middle. These helpers perform the three canonical active
+attacks on any region of physical memory:
+
+* **spoofing** — overwrite a block with attacker-chosen bytes;
+* **splicing** — swap the contents of two blocks (both individually
+  valid ciphertexts, relocated);
+* **replay** — capture a block (and optionally its co-located metadata)
+  and restore the stale version later.
+
+Each returns an :class:`AttackRecord` so scenarios can assert what was
+touched and verify that the processor detects the manipulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.machine import SecureMemorySystem
+from ..mem.layout import block_address
+
+
+@dataclass
+class AttackRecord:
+    """What an attack touched: kind, addresses, and prior contents."""
+
+    kind: str
+    addresses: list = field(default_factory=list)
+    snapshots: dict = field(default_factory=dict)  # address -> old bytes
+
+
+class MemoryTamperer:
+    """An adversary with read/write access to all off-chip memory."""
+
+    def __init__(self, machine: SecureMemorySystem):
+        self.machine = machine
+        self.memory = machine.memory
+        self.log: list[AttackRecord] = []
+
+    # -- observation -----------------------------------------------------------
+
+    def observe(self, address: int) -> bytes:
+        """Passive attack: read raw bus/DRAM contents (always possible)."""
+        return self.memory.raw_read(block_address(address))
+
+    def ciphertext_leaks_plaintext(self, address: int, plaintext: bytes) -> bool:
+        """Does the stored block visibly equal the plaintext? (It must not,
+        for any encrypting configuration.)"""
+        return self.observe(address) == plaintext
+
+    # -- active attacks ----------------------------------------------------------
+
+    def spoof(self, address: int, payload: bytes | None = None) -> AttackRecord:
+        aligned = block_address(address)
+        old = self.memory.corrupt(aligned, payload)
+        record = AttackRecord(kind="spoof", addresses=[aligned], snapshots={aligned: old})
+        self.log.append(record)
+        return record
+
+    def splice(self, address_a: int, address_b: int) -> AttackRecord:
+        a, b = block_address(address_a), block_address(address_b)
+        block_a = self.memory.raw_read(a)
+        block_b = self.memory.raw_read(b)
+        self.memory.raw_write(a, block_b)
+        self.memory.raw_write(b, block_a)
+        record = AttackRecord(kind="splice", addresses=[a, b], snapshots={a: block_a, b: block_b})
+        self.log.append(record)
+        return record
+
+    def snapshot(self, *addresses: int) -> AttackRecord:
+        """Capture blocks for a later replay."""
+        record = AttackRecord(kind="snapshot")
+        for address in addresses:
+            aligned = block_address(address)
+            record.addresses.append(aligned)
+            record.snapshots[aligned] = self.memory.raw_read(aligned)
+        self.log.append(record)
+        return record
+
+    def replay(self, snapshot: AttackRecord) -> AttackRecord:
+        """Restore previously captured blocks (rollback attack)."""
+        for address, old in snapshot.snapshots.items():
+            self.memory.raw_write(address, old)
+        record = AttackRecord(
+            kind="replay", addresses=list(snapshot.addresses), snapshots=dict(snapshot.snapshots)
+        )
+        self.log.append(record)
+        return record
+
+    # -- metadata-targeted helpers --------------------------------------------------
+
+    def data_mac_block(self, address: int) -> int:
+        """Address of the MAC block guarding a data block (BMT/MAC schemes)."""
+        store = getattr(self.machine.integrity, "store", None)
+        if store is None:
+            raise ValueError("this configuration keeps no per-block MACs")
+        return store.mac_block_address(address)
+
+    def counter_block(self, address: int) -> int:
+        cb = self.machine.encryption.counter_block_address(address)
+        if cb is None:
+            raise ValueError("this configuration keeps no counters")
+        return cb
+
+    def snapshot_with_metadata(self, address: int) -> AttackRecord:
+        """Capture a data block together with every co-stored credential an
+        attacker could roll back with it (MAC block, counter block)."""
+        targets = [block_address(address)]
+        try:
+            targets.append(self.data_mac_block(address))
+        except ValueError:
+            pass
+        try:
+            targets.append(self.counter_block(address))
+        except ValueError:
+            pass
+        return self.snapshot(*targets)

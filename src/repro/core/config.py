@@ -1,0 +1,144 @@
+"""Machine configuration mirroring the paper's simulated system (section 6).
+
+    2GHz 3-issue out-of-order core; split 32KB 2-way L1s (2-cycle);
+    unified 1MB 8-way L2 (10-cycle); 32KB 16-way counter cache at the L2
+    level; 64B blocks, LRU; 1GB main memory at 200 cycles; 128-bit AES,
+    16-stage pipeline, 80-cycle latency; HMAC SHA-1, 80-cycle; 64-bit
+    LPID + 7-bit per-block counters; 128-bit MACs by default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .errors import ConfigurationError
+
+# Encryption scheme identifiers.
+ENC_NONE = "none"
+ENC_AISE = "aise"
+ENC_GLOBAL32 = "global32"
+ENC_GLOBAL64 = "global64"
+ENC_PHYS = "phys_addr"
+ENC_VIRT = "virt_addr"
+ENC_DIRECT = "direct"
+ENC_SPLIT = "split_ctr"  # split-counter baseline [Yan et al. ISCA'06]
+ENCRYPTION_SCHEMES = (
+    ENC_NONE, ENC_AISE, ENC_GLOBAL32, ENC_GLOBAL64, ENC_PHYS, ENC_VIRT, ENC_DIRECT, ENC_SPLIT
+)
+
+# Integrity scheme identifiers.
+INT_NONE = "none"
+INT_MAC = "mac_only"
+INT_MT = "merkle"
+INT_BMT = "bonsai"
+INT_LOGHASH = "loghash"
+INTEGRITY_SCHEMES = (INT_NONE, INT_MAC, INT_MT, INT_BMT, INT_LOGHASH)
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Size/associativity/latency of one on-chip cache."""
+
+    size_bytes: int
+    assoc: int
+    hit_latency: int  # round-trip, processor cycles
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Full configuration of the simulated secure processor."""
+
+    # Core.
+    frequency_ghz: float = 2.0
+    issue_width: int = 3
+
+    # Hierarchy (paper defaults).
+    l1d: CacheConfig = field(default_factory=lambda: CacheConfig(32 * 1024, 2, 2))
+    l1i: CacheConfig = field(default_factory=lambda: CacheConfig(32 * 1024, 2, 2))
+    l2: CacheConfig = field(default_factory=lambda: CacheConfig(1024 * 1024, 8, 10))
+    counter_cache: CacheConfig = field(default_factory=lambda: CacheConfig(32 * 1024, 16, 10))
+    block_size: int = 64
+    memory_latency: int = 200
+    bus_cycles_per_block: int = 28
+
+    # Memory sizes.
+    physical_bytes: int = 1 << 30
+    swap_bytes: int | None = None  # defaults to physical_bytes
+
+    # Crypto engines.
+    aes_latency: int = 80
+    aes_stages: int = 16
+    mac_latency: int = 80
+
+    # Protection configuration.
+    encryption: str = ENC_AISE
+    integrity: str = INT_BMT
+    mac_bits: int = 128
+    lpid_bits: int = 64
+    minor_counter_bits: int = 7
+    global_counter_bits: int = 64  # for the global-counter baselines
+
+    # Integrity caching policy: standard MT caches every node incl. leaf
+    # data MACs; BMT caches tree nodes but not per-block data MACs
+    # (paper section 5.2). Overridable for ablation studies.
+    cache_data_macs: bool | None = None
+
+    # Optional dedicated on-chip cache for Merkle nodes. The paper's
+    # design shares the L2 (None, default); a dedicated cache trades the
+    # pollution of Figure 9 for a smaller reach — an ablation target.
+    node_cache: CacheConfig | None = None
+
+    # Verification timing (paper section 6): non-precise (default) lets
+    # instructions retire before verification completes — integrity costs
+    # bandwidth and cache space only. Precise verification puts the MAC
+    # check (and any node fetches) on the critical path of every miss.
+    precise_verification: bool = False
+
+    def __post_init__(self):
+        if self.encryption not in ENCRYPTION_SCHEMES:
+            raise ConfigurationError(f"unknown encryption scheme {self.encryption!r}")
+        if self.integrity not in INTEGRITY_SCHEMES:
+            raise ConfigurationError(f"unknown integrity scheme {self.integrity!r}")
+        if self.mac_bits % 8 or self.mac_bits <= 0:
+            raise ConfigurationError(f"mac_bits must be a positive multiple of 8, got {self.mac_bits}")
+        if self.block_size % (self.mac_bits // 8):
+            raise ConfigurationError(
+                f"a {self.block_size}B block must hold a whole number of {self.mac_bits}-bit MACs"
+            )
+        if self.swap_bytes is None:
+            object.__setattr__(self, "swap_bytes", self.physical_bytes)
+
+    @property
+    def mac_bytes(self) -> int:
+        return self.mac_bits // 8
+
+    @property
+    def merkle_arity(self) -> int:
+        """Child MACs per 64B tree node: 4 for 128-bit MACs, 2 for 256-bit."""
+        return self.block_size // self.mac_bytes
+
+    @property
+    def caches_data_macs(self) -> bool:
+        if self.cache_data_macs is not None:
+            return self.cache_data_macs
+        return self.integrity == INT_MT
+
+    def with_protection(self, encryption: str, integrity: str, **overrides) -> "MachineConfig":
+        """Derive a config differing only in protection scheme (and overrides)."""
+        return replace(self, encryption=encryption, integrity=integrity, **overrides)
+
+
+# Named configurations used throughout the evaluation.
+def baseline_config(**overrides) -> MachineConfig:
+    """Unprotected machine (no encryption, no integrity)."""
+    return MachineConfig(encryption=ENC_NONE, integrity=INT_NONE, **overrides)
+
+
+def aise_bmt_config(**overrides) -> MachineConfig:
+    """The paper's proposal: AISE encryption + Bonsai Merkle Tree."""
+    return MachineConfig(encryption=ENC_AISE, integrity=INT_BMT, **overrides)
+
+
+def global64_mt_config(**overrides) -> MachineConfig:
+    """The comparison point of Figure 6: 64-bit global counter + standard MT."""
+    return MachineConfig(encryption=ENC_GLOBAL64, integrity=INT_MT, **overrides)

@@ -1,0 +1,530 @@
+"""Functional memory encryption engines.
+
+Each engine turns plaintext cache blocks into the ciphertext that lives in
+(attackable) DRAM and back, managing whatever counter storage its seed
+scheme requires. Counter storage itself resides in a dedicated region of
+physical memory — where the integrity scheme can (or, for the baselines
+that don't protect it, cannot) see it — and is cached on-chip through a
+small write-through functional counter cache.
+
+Engines report, per block, a *counter tag*: the value the Bonsai scheme
+binds into per-block MACs (LPID||minor for AISE, the stamped counter for
+the global scheme, the per-block counter for address-based schemes).
+
+Overflow behaviour follows the paper:
+
+* AISE — a minor-counter wrap assigns a fresh LPID from the GPC and
+  re-encrypts only that page (section 4.3).
+* Global counter — a wrap forces a whole-memory re-encryption under a new
+  key (section 4.1); the engine performs it and counts it.
+* Address-based — per-block counters wide enough not to wrap in practice.
+"""
+
+from __future__ import annotations
+
+from ..crypto.aes import AES
+from ..crypto.ctr_mode import CounterModeCipher
+from ..mem.dram import BlockMemory
+from ..mem.layout import (
+    BLOCK_SIZE,
+    BLOCKS_PER_PAGE,
+    CHUNK_SIZE,
+    CHUNKS_PER_BLOCK,
+    PAGE_SIZE,
+    block_in_page,
+)
+from .counters import (
+    GlobalPageCounter,
+    MINOR_MAX,
+    MonotonicGlobalCounter,
+    PageCounterBlock,
+)
+from .seeds import (
+    AiseSeedScheme,
+    GlobalCounterSeedScheme,
+    PhysicalAddressSeedScheme,
+    SeedInput,
+    SeedScheme,
+    VirtualAddressSeedScheme,
+)
+
+
+class AccessContext:
+    """Per-access OS-supplied context (virtual address, process id).
+
+    Only the address-based baseline schemes need it; AISE deliberately
+    does not (that independence is the contribution).
+    """
+
+    __slots__ = ("vaddr", "pid")
+
+    def __init__(self, vaddr: int = 0, pid: int = 0):
+        self.vaddr = vaddr
+        self.pid = pid
+
+
+NULL_CONTEXT = AccessContext()
+
+
+class EncryptionEngine:
+    """Interface shared by all engines."""
+
+    name = "abstract"
+    uses_counters = False
+
+    # Wired by the machine: called to verify/update counter-region blocks
+    # through the integrity scheme, and to rewrite data blocks during
+    # page/memory re-encryption.
+    metadata_verify = staticmethod(lambda addr, raw: None)
+    metadata_update = staticmethod(lambda addr, raw: None)
+    rewrite_block = staticmethod(lambda addr, cipher, tag: None)
+
+    def counter_tag(self, paddr: int, ctx: AccessContext = NULL_CONTEXT) -> int:
+        """Current counter value bound into this block's MAC (0 if none)."""
+        return 0
+
+    def counter_block_address(self, paddr: int) -> int | None:
+        """Counter-region block a fetch of ``paddr`` depends on, if any."""
+        return None
+
+    def decrypt(self, paddr: int, cipher: bytes, ctx: AccessContext = NULL_CONTEXT) -> bytes:
+        raise NotImplementedError
+
+    def encrypt_for_write(
+        self, paddr: int, plain: bytes, ctx: AccessContext = NULL_CONTEXT
+    ) -> tuple[bytes, int]:
+        """Advance counters and encrypt. Returns (ciphertext, counter_tag)."""
+        raise NotImplementedError
+
+
+class NullEncryption(EncryptionEngine):
+    """Unprotected baseline: plaintext in memory."""
+
+    name = "none"
+
+    def decrypt(self, paddr, cipher, ctx=NULL_CONTEXT):
+        return cipher
+
+    def encrypt_for_write(self, paddr, plain, ctx=NULL_CONTEXT):
+        return plain, 0
+
+
+class DirectEncryption(EncryptionEngine):
+    """Direct (ECB-style) AES over each 16-byte chunk.
+
+    The early-secure-processor baseline (section 2): decryption latency
+    sits on the critical path, and equal plaintexts produce equal
+    ciphertexts. No counters.
+    """
+
+    name = "direct"
+
+    def __init__(self, key: bytes):
+        self._aes = AES(key)
+
+    def decrypt(self, paddr, cipher, ctx=NULL_CONTEXT):
+        out = b""
+        for chunk in range(CHUNKS_PER_BLOCK):
+            out += self._aes.decrypt_block(cipher[chunk * CHUNK_SIZE : (chunk + 1) * CHUNK_SIZE])
+        return out
+
+    def encrypt_for_write(self, paddr, plain, ctx=NULL_CONTEXT):
+        out = b""
+        for chunk in range(CHUNKS_PER_BLOCK):
+            out += self._aes.encrypt_block(plain[chunk * CHUNK_SIZE : (chunk + 1) * CHUNK_SIZE])
+        return out, 0
+
+
+class AiseEncryption(EncryptionEngine):
+    """AISE: LPID-seeded counter mode with per-page counter blocks."""
+
+    name = "aise"
+    uses_counters = True
+
+    def __init__(
+        self,
+        key: bytes,
+        memory: BlockMemory,
+        counter_base: int,
+        data_bytes: int,
+        gpc: GlobalPageCounter,
+        fast_crypto: bool = True,
+        seed_audit=None,
+    ):
+        self._cipher = CounterModeCipher(key, fast=fast_crypto)
+        self.memory = memory
+        self.counter_base = counter_base
+        self.data_bytes = data_bytes
+        self.gpc = gpc
+        self.scheme: SeedScheme = AiseSeedScheme()
+        self.seed_audit = seed_audit
+        self._cache: dict[int, PageCounterBlock] = {}  # page index -> parsed block
+        self.page_reencryptions = 0
+        self.pages_initialized = 0
+        self.pads_generated = 0
+
+    # -- counter-block plumbing ------------------------------------------------
+
+    def counter_block_address(self, paddr: int) -> int:
+        return self.counter_base + (paddr // PAGE_SIZE) * BLOCK_SIZE
+
+    def _load(self, page_idx: int) -> PageCounterBlock:
+        cached = self._cache.get(page_idx)
+        if cached is not None:
+            return cached
+        address = self.counter_base + page_idx * BLOCK_SIZE
+        raw = self.memory.read_block(address)
+        self.metadata_verify(address, raw)
+        block = PageCounterBlock.from_bytes(raw)
+        self._cache[page_idx] = block
+        return block
+
+    def _store(self, page_idx: int, block: PageCounterBlock) -> None:
+        address = self.counter_base + page_idx * BLOCK_SIZE
+        raw = block.to_bytes()
+        self.memory.write_block(address, raw)
+        self.metadata_update(address, raw)
+        self._cache[page_idx] = block
+
+    def drop_cached_counters(self, page_idx: int) -> None:
+        """Evict the on-chip copy (page swapped out / attack experiments)."""
+        self._cache.pop(page_idx, None)
+
+    def ensure_lpid(self, page_idx: int) -> PageCounterBlock:
+        """Assign an LPID on first touch of a page (first allocation).
+
+        Assignment is a page (re)initialization: every block of the page
+        is re-encrypted under the fresh LPID so that integrity metadata
+        computed for the pre-allocation content stays consistent.
+        """
+        block = self._load(page_idx)
+        if block.lpid == 0:
+            self._reencrypt_page(page_idx)
+            self.pages_initialized += 1
+            self.page_reencryptions -= 1  # allocation, not an overflow event
+            block = self._load(page_idx)
+        return block
+
+    def install_counter_block(self, page_idx: int, raw: bytes) -> None:
+        """Place a swapped-in counter block at its frame's slot (section 4.4)."""
+        block = PageCounterBlock.from_bytes(raw)
+        self._store(page_idx, block)
+
+    def export_counter_block(self, page_idx: int) -> bytes:
+        return self._load(page_idx).to_bytes()
+
+    # -- seeds -------------------------------------------------------------------
+
+    @staticmethod
+    def _tag(lpid: int, minor: int) -> int:
+        return (lpid << 7) | minor
+
+    def _seed_input(self, paddr: int, block: PageCounterBlock) -> SeedInput:
+        minor = block.minors[block_in_page(paddr)]
+        return SeedInput(paddr=paddr, lpid=block.lpid, counter=minor)
+
+    def counter_tag(self, paddr: int, ctx: AccessContext = NULL_CONTEXT) -> int:
+        block = self._load(paddr // PAGE_SIZE)
+        return self._tag(block.lpid, block.minors[block_in_page(paddr)])
+
+    # -- data path ----------------------------------------------------------------
+
+    def decrypt(self, paddr, cipher, ctx=NULL_CONTEXT):
+        block = self._load(paddr // PAGE_SIZE)
+        seeds = self.scheme.seeds_for_block(self._seed_input(paddr, block))
+        self.pads_generated += CHUNKS_PER_BLOCK
+        return self._cipher.decrypt(cipher, seeds)
+
+    def encrypt_for_write(self, paddr, plain, ctx=NULL_CONTEXT):
+        page_idx = paddr // PAGE_SIZE
+        bip = block_in_page(paddr)
+        counters = self.ensure_lpid(page_idx)
+        if counters.minors[bip] >= MINOR_MAX:
+            self._reencrypt_page(page_idx, skip_block=bip)
+            counters = self._load(page_idx)
+        counters.minors[bip] += 1
+        self._store(page_idx, counters)
+        ctx_input = self._seed_input(paddr, counters)
+        seeds = (
+            self.seed_audit.record_encryption(ctx_input)
+            if self.seed_audit is not None
+            else self.scheme.seeds_for_block(ctx_input)
+        )
+        self.pads_generated += CHUNKS_PER_BLOCK
+        return self._cipher.encrypt(plain, seeds), self._tag(counters.lpid, counters.minors[bip])
+
+    def _reencrypt_page(self, page_idx: int, skip_block: int | None = None) -> None:
+        """Minor-counter overflow: fresh LPID, re-encrypt only this page."""
+        old = self._load(page_idx)
+        fresh = PageCounterBlock.fresh(self.gpc.next_lpid())
+        page_base = page_idx * PAGE_SIZE
+        for bip in range(BLOCKS_PER_PAGE):
+            if bip == skip_block:
+                continue  # about to be overwritten by the caller anyway
+            paddr = page_base + bip * BLOCK_SIZE
+            old_cipher = self.memory.read_block(paddr)
+            old_seeds = self.scheme.seeds_for_block(
+                SeedInput(paddr=paddr, lpid=old.lpid, counter=old.minors[bip])
+            )
+            plain = self._cipher.decrypt(old_cipher, old_seeds)
+            new_seeds = self.scheme.seeds_for_block(
+                SeedInput(paddr=paddr, lpid=fresh.lpid, counter=0)
+            )
+            new_cipher = self._cipher.encrypt(plain, new_seeds)
+            self.pads_generated += 2 * CHUNKS_PER_BLOCK
+            self.rewrite_block(paddr, new_cipher, self._tag(fresh.lpid, 0))
+        self._store(page_idx, fresh)
+        self.page_reencryptions += 1
+
+
+class SplitCounterEncryption(AiseEncryption):
+    """Split-counter baseline: AISE's storage layout, address-based seeds.
+
+    The 64-bit field that AISE uses for the LPID holds a per-page *major
+    counter* instead, and the physical block address joins the seed. The
+    consequences tested against AISE: identical storage (1.6%) and
+    latency-hiding, but pages must be re-encrypted when they change
+    frames (the kernel treats this scheme like ``phys_addr`` on swap).
+    """
+
+    name = "split_ctr"
+
+    def __init__(self, key, memory, counter_base, data_bytes, fast_crypto=True, seed_audit=None):
+        # A GPC is unnecessary; pass a private one to satisfy the parent.
+        super().__init__(
+            key, memory, counter_base, data_bytes,
+            gpc=GlobalPageCounter(), fast_crypto=fast_crypto, seed_audit=seed_audit,
+        )
+        from .seeds import SplitCounterSeedScheme
+
+        self.scheme = SplitCounterSeedScheme()
+
+    def _seed_input(self, paddr: int, block: PageCounterBlock) -> SeedInput:
+        minor = block.minors[block_in_page(paddr)]
+        # lpid field carries the major counter (same 64-byte layout).
+        return SeedInput(paddr=paddr, lpid=block.lpid, counter=minor)
+
+    def ensure_lpid(self, page_idx: int) -> PageCounterBlock:
+        # Major counters legitimately start at 0 — no allocation-time
+        # page initialization is needed (and no LPID exists to assign).
+        return self._load(page_idx)
+
+    def _reencrypt_page(self, page_idx: int, skip_block: int | None = None) -> None:
+        """Minor overflow: bump the page's major counter and re-encrypt."""
+        old = self._load(page_idx)
+        fresh = PageCounterBlock(lpid=old.lpid + 1, minors=[0] * BLOCKS_PER_PAGE)
+        page_base = page_idx * PAGE_SIZE
+        for bip in range(BLOCKS_PER_PAGE):
+            if bip == skip_block:
+                continue
+            paddr = page_base + bip * BLOCK_SIZE
+            old_cipher = self.memory.read_block(paddr)
+            plain = self._cipher.decrypt(
+                old_cipher,
+                self.scheme.seeds_for_block(
+                    SeedInput(paddr=paddr, lpid=old.lpid, counter=old.minors[bip])
+                ),
+            )
+            new_cipher = self._cipher.encrypt(
+                plain,
+                self.scheme.seeds_for_block(SeedInput(paddr=paddr, lpid=fresh.lpid, counter=0)),
+            )
+            self.pads_generated += 2 * CHUNKS_PER_BLOCK
+            self.rewrite_block(paddr, new_cipher, self._tag(fresh.lpid, 0))
+        self._store(page_idx, fresh)
+        self.page_reencryptions += 1
+
+
+class GlobalCounterEncryption(EncryptionEngine):
+    """Global-counter baseline: every writeback stamps the next value.
+
+    The stamp is stored alongside the block (``bits/8`` bytes per 64B
+    block) so it can be found at decryption time — the storage overhead
+    Table 1 criticizes. Counter wrap triggers whole-memory re-encryption
+    under a fresh key.
+    """
+
+    name = "global"
+    uses_counters = True
+
+    def __init__(
+        self,
+        key: bytes,
+        memory: BlockMemory,
+        counter_base: int,
+        data_bytes: int,
+        bits: int = 64,
+        fast_crypto: bool = True,
+    ):
+        self._key = bytes(key)
+        self._fast = fast_crypto
+        self._cipher = CounterModeCipher(self._key, fast=fast_crypto)
+        self.memory = memory
+        self.counter_base = counter_base
+        self.data_bytes = data_bytes
+        self.bits = bits
+        self.stamp_bytes = bits // 8
+        self.global_counter = MonotonicGlobalCounter(bits)
+        self.scheme = GlobalCounterSeedScheme(bits)
+        self.memory_reencryptions = 0
+        self.pads_generated = 0
+        self._written: set[int] = set()  # block indices holding live ciphertext
+
+    def counter_block_address(self, paddr: int) -> int:
+        index = paddr // BLOCK_SIZE
+        return self.counter_base + (index * self.stamp_bytes // BLOCK_SIZE) * BLOCK_SIZE
+
+    def _stamp_location(self, paddr: int) -> tuple[int, int]:
+        index = paddr // BLOCK_SIZE
+        offset = index * self.stamp_bytes
+        return self.counter_base + (offset // BLOCK_SIZE) * BLOCK_SIZE, offset % BLOCK_SIZE
+
+    def _read_stamp(self, paddr: int) -> int:
+        block_addr, offset = self._stamp_location(paddr)
+        raw = self.memory.read_block(block_addr)
+        self.metadata_verify(block_addr, raw)
+        return int.from_bytes(raw[offset : offset + self.stamp_bytes], "big")
+
+    def _write_stamp(self, paddr: int, value: int) -> None:
+        block_addr, offset = self._stamp_location(paddr)
+        raw = bytearray(self.memory.read_block(block_addr))
+        raw[offset : offset + self.stamp_bytes] = value.to_bytes(self.stamp_bytes, "big")
+        self.memory.write_block(block_addr, bytes(raw))
+        self.metadata_update(block_addr, bytes(raw))
+
+    def counter_tag(self, paddr: int, ctx: AccessContext = NULL_CONTEXT) -> int:
+        return self._read_stamp(paddr)
+
+    def decrypt(self, paddr, cipher, ctx=NULL_CONTEXT):
+        stamp = self._read_stamp(paddr)
+        seeds = self.scheme.seeds_for_block(SeedInput(paddr=paddr, counter=stamp))
+        self.pads_generated += CHUNKS_PER_BLOCK
+        return self._cipher.decrypt(cipher, seeds)
+
+    def encrypt_for_write(self, paddr, plain, ctx=NULL_CONTEXT):
+        before = self.global_counter.wraps
+        stamp = self.global_counter.next_value()
+        if self.global_counter.wraps != before:
+            self._reencrypt_everything()
+            stamp = self.global_counter.next_value()
+        self._write_stamp(paddr, stamp)
+        self._written.add(paddr)
+        seeds = self.scheme.seeds_for_block(SeedInput(paddr=paddr, counter=stamp))
+        self.pads_generated += CHUNKS_PER_BLOCK
+        return self._cipher.encrypt(plain, seeds), stamp
+
+    def _reencrypt_everything(self) -> None:
+        """Counter wrap: new key, decrypt + re-encrypt all live blocks."""
+        old_cipher_engine = self._cipher
+        # Derive a new key; real hardware would generate a random one.
+        import hashlib
+
+        self._key = hashlib.blake2s(self._key, digest_size=32).digest()[: len(self._key)]
+        self._cipher = CounterModeCipher(self._key, fast=self._fast)
+        for paddr in sorted(self._written):
+            stamp = self._read_stamp(paddr)
+            raw = self.memory.read_block(paddr)
+            seeds = self.scheme.seeds_for_block(SeedInput(paddr=paddr, counter=stamp))
+            plain = old_cipher_engine.decrypt(raw, seeds)
+            new_stamp = self.global_counter.next_value()
+            self._write_stamp(paddr, new_stamp)
+            new_seeds = self.scheme.seeds_for_block(SeedInput(paddr=paddr, counter=new_stamp))
+            new_cipher = self._cipher.encrypt(plain, new_seeds)
+            self.pads_generated += 2 * CHUNKS_PER_BLOCK
+            self.rewrite_block(paddr, new_cipher, new_stamp)
+        self.memory_reencryptions += 1
+
+
+class AddressSeedEncryption(EncryptionEngine):
+    """Address-based baselines: physical- or virtual-address seeds.
+
+    Per-block counters (32-bit) live packed in the counter region. The
+    virtual variant needs the access context (vaddr, pid) on *every*
+    access — the storage-in-L2 problem Table 1 notes — and the physical
+    variant requires page re-encryption on swap, implemented in
+    ``repro.osmodel.kernel`` for the comparison tests.
+    """
+
+    uses_counters = True
+    COUNTER_BITS = 32
+
+    def __init__(
+        self,
+        key: bytes,
+        memory: BlockMemory,
+        counter_base: int,
+        data_bytes: int,
+        virtual: bool = False,
+        include_pid: bool = True,
+        fast_crypto: bool = True,
+        seed_audit=None,
+    ):
+        self._cipher = CounterModeCipher(key, fast=fast_crypto)
+        self.memory = memory
+        self.counter_base = counter_base
+        self.data_bytes = data_bytes
+        self.virtual = virtual
+        self.name = "virt_addr" if virtual else "phys_addr"
+        self.scheme: SeedScheme = (
+            VirtualAddressSeedScheme(self.COUNTER_BITS, include_pid=include_pid)
+            if virtual
+            else PhysicalAddressSeedScheme(self.COUNTER_BITS)
+        )
+        self.seed_audit = seed_audit
+        self.pads_generated = 0
+
+    def counter_block_address(self, paddr: int) -> int:
+        index = paddr // BLOCK_SIZE
+        offset = index * (self.COUNTER_BITS // 8)
+        return self.counter_base + (offset // BLOCK_SIZE) * BLOCK_SIZE
+
+    def _counter_location(self, paddr: int) -> tuple[int, int]:
+        index = paddr // BLOCK_SIZE
+        offset = index * (self.COUNTER_BITS // 8)
+        return self.counter_base + (offset // BLOCK_SIZE) * BLOCK_SIZE, offset % BLOCK_SIZE
+
+    def _read_counter(self, paddr: int) -> int:
+        block_addr, offset = self._counter_location(paddr)
+        raw = self.memory.read_block(block_addr)
+        self.metadata_verify(block_addr, raw)
+        return int.from_bytes(raw[offset : offset + 4], "big")
+
+    def _write_counter(self, paddr: int, value: int) -> None:
+        block_addr, offset = self._counter_location(paddr)
+        raw = bytearray(self.memory.read_block(block_addr))
+        raw[offset : offset + 4] = value.to_bytes(4, "big")
+        self.memory.write_block(block_addr, bytes(raw))
+        self.metadata_update(block_addr, bytes(raw))
+
+    def counter_tag(self, paddr: int, ctx: AccessContext = NULL_CONTEXT) -> int:
+        return self._read_counter(paddr)
+
+    def _seed_input(self, paddr: int, counter: int, ctx: AccessContext) -> SeedInput:
+        return SeedInput(paddr=paddr, vaddr=ctx.vaddr, pid=ctx.pid, counter=counter)
+
+    def decrypt(self, paddr, cipher, ctx=NULL_CONTEXT):
+        counter = self._read_counter(paddr)
+        seeds = self.scheme.seeds_for_block(self._seed_input(paddr, counter, ctx))
+        self.pads_generated += CHUNKS_PER_BLOCK
+        return self._cipher.decrypt(cipher, seeds)
+
+    def encrypt_for_write(self, paddr, plain, ctx=NULL_CONTEXT):
+        counter = self._read_counter(paddr) + 1
+        self._write_counter(paddr, counter)
+        seed_input = self._seed_input(paddr, counter, ctx)
+        seeds = (
+            self.seed_audit.record_encryption(seed_input)
+            if self.seed_audit is not None
+            else self.scheme.seeds_for_block(seed_input)
+        )
+        self.pads_generated += CHUNKS_PER_BLOCK
+        return self._cipher.encrypt(plain, seeds), counter
+
+    # Used by the kernel to re-encrypt a page when it moves frames
+    # (the physical-address scheme's swap obligation).
+    def reencrypt_block_for_move(
+        self, old_paddr: int, new_paddr: int, ctx: AccessContext = NULL_CONTEXT
+    ) -> tuple[bytes, int]:
+        old_cipher = self.memory.read_block(old_paddr)
+        plain = self.decrypt(old_paddr, old_cipher, ctx)
+        return self.encrypt_for_write(new_paddr, plain, ctx)

@@ -1,0 +1,42 @@
+"""Exception hierarchy for the secure-memory library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class IntegrityError(ReproError):
+    """Raised when memory integrity verification fails.
+
+    Carries enough context to tell *what kind* of tamper was detected
+    (data MAC mismatch, Merkle-node mismatch, root mismatch, counter
+    tamper, swap-page tamper).
+    """
+
+    def __init__(self, message: str, address: int | None = None, kind: str = "mac"):
+        super().__init__(message)
+        self.address = address
+        self.kind = kind
+
+
+class CounterOverflowError(ReproError):
+    """A counter wrapped and no re-encryption policy was available."""
+
+
+class SeedReuseError(ReproError):
+    """A seed scheme was asked to produce a pad it has produced before.
+
+    Only raised by the seed-audit instrumentation used in tests; real
+    hardware cannot detect this, which is exactly the vulnerability the
+    paper's AISE design removes by construction.
+    """
+
+
+class ConfigurationError(ReproError):
+    """Invalid or inconsistent machine configuration."""
+
+
+class PageFaultError(ReproError):
+    """An access touched an unmapped virtual page (functional OS model)."""

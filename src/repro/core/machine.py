@@ -1,0 +1,504 @@
+"""The functional secure processor: encryption + integrity over real bytes.
+
+:class:`SecureMemorySystem` wires together a physical memory (attackable
+:class:`~repro.mem.dram.BlockMemory`), an encryption engine, an integrity
+engine, the page-root directory, and the on-chip secrets (keys, GPC, root
+register). Its block read/write path is the paper's hardware datapath:
+
+    read:  fetch ciphertext -> obtain verified counter -> check MAC /
+           Merkle chain -> generate pad from seed -> XOR -> plaintext
+    write: advance counter (handling overflow) -> pad -> XOR ->
+           store ciphertext -> update MAC / Merkle chain
+
+It also provides the page-granular primitives the OS model needs for
+swapping (export/install page images, page roots, subtree invalidation)
+— crucially *without* decrypting anything for AISE-encrypted pages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..crypto.mac import make_mac
+from ..integrity.bonsai import BonsaiMerkleIntegrity, StandardMerkleIntegrity
+from ..integrity.geometry import TreeGeometry
+from ..integrity.loghash import LogHashIntegrity
+from ..integrity.macs import MacOnlyIntegrity, MacStore
+from ..integrity.merkle import MerkleTree
+from ..integrity.pageroot import PageRootDirectory
+from ..mem.dram import BlockMemory
+from ..mem.layout import BLOCK_SIZE, BLOCKS_PER_PAGE, PAGE_SIZE, block_address
+from .config import (
+    ENC_AISE,
+    ENC_DIRECT,
+    ENC_GLOBAL32,
+    ENC_GLOBAL64,
+    ENC_NONE,
+    ENC_PHYS,
+    ENC_SPLIT,
+    ENC_VIRT,
+    INT_BMT,
+    INT_LOGHASH,
+    INT_MAC,
+    INT_MT,
+    INT_NONE,
+    MachineConfig,
+)
+from .counters import GlobalPageCounter
+from .encryption import (
+    AccessContext,
+    AddressSeedEncryption,
+    AiseEncryption,
+    EncryptionEngine,
+    GlobalCounterEncryption,
+    NULL_CONTEXT,
+    NullEncryption,
+)
+from .errors import ConfigurationError
+
+
+def _round_blocks(size: int) -> int:
+    return (size + BLOCK_SIZE - 1) // BLOCK_SIZE * BLOCK_SIZE
+
+
+@dataclass(frozen=True)
+class PhysicalLayout:
+    """Where each metadata region lives in the functional physical memory.
+
+    Regions are laid out contiguously::
+
+        [ data | counters | page-root directory | tree nodes | data MACs ]
+
+    so a Merkle tree can cover a contiguous prefix of the metadata.
+    """
+
+    data_bytes: int
+    counter_base: int
+    counter_bytes: int
+    prd_base: int
+    prd_bytes: int
+    tree_base: int
+    tree_bytes: int
+    mac_base: int
+    mac_bytes_region: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.mac_base + self.mac_bytes_region
+
+    def region_of(self, address: int) -> str:
+        if address < self.data_bytes:
+            return "data"
+        if address < self.prd_base:
+            return "counter"
+        if address < self.tree_base:
+            return "page_root"
+        if address < self.mac_base:
+            return "tree"
+        if address < self.total_bytes:
+            return "mac"
+        return "outside"
+
+
+def plan_layout(config: MachineConfig) -> tuple[PhysicalLayout, TreeGeometry | None]:
+    """Compute the physical memory map for a configuration."""
+    data = config.physical_bytes
+    if data % PAGE_SIZE:
+        raise ConfigurationError("data region must be a whole number of pages")
+
+    if config.encryption in (ENC_AISE, ENC_SPLIT):
+        counter_bytes = data // PAGE_SIZE * BLOCK_SIZE
+    elif config.encryption == ENC_GLOBAL64:
+        counter_bytes = _round_blocks(data // BLOCK_SIZE * 8)
+    elif config.encryption == ENC_GLOBAL32:
+        counter_bytes = _round_blocks(data // BLOCK_SIZE * 4)
+    elif config.encryption in (ENC_PHYS, ENC_VIRT):
+        counter_bytes = _round_blocks(data // BLOCK_SIZE * 4)
+    else:
+        counter_bytes = 0
+
+    uses_tree = config.integrity in (INT_MT, INT_BMT)
+    swap_pages = (config.swap_bytes or data) // PAGE_SIZE
+    prd_bytes = _round_blocks(swap_pages * config.mac_bytes) if uses_tree else 0
+
+    counter_base = data
+    prd_base = counter_base + counter_bytes
+    tree_base = prd_base + prd_bytes
+
+    geometry = None
+    if config.integrity == INT_MT:
+        covered = data + counter_bytes + prd_bytes
+        geometry = TreeGeometry(0, covered, tree_base, config.mac_bytes)
+    elif config.integrity == INT_BMT:
+        if counter_bytes == 0:
+            raise ConfigurationError(
+                "a Bonsai Merkle Tree needs counter storage to cover: "
+                "use a counter-mode encryption scheme with it"
+            )
+        covered = counter_bytes + prd_bytes
+        geometry = TreeGeometry(counter_base, covered, tree_base, config.mac_bytes)
+    tree_bytes_total = geometry.node_bytes if geometry else 0
+
+    mac_base = tree_base + tree_bytes_total
+    if config.integrity in (INT_BMT, INT_MAC):
+        mac_region = _round_blocks(data // BLOCK_SIZE * config.mac_bytes)
+    else:
+        mac_region = 0
+
+    layout = PhysicalLayout(
+        data_bytes=data,
+        counter_base=counter_base,
+        counter_bytes=counter_bytes,
+        prd_base=prd_base,
+        prd_bytes=prd_bytes,
+        tree_base=tree_base,
+        tree_bytes=tree_bytes_total,
+        mac_base=mac_base,
+        mac_bytes_region=mac_region,
+    )
+    return layout, geometry
+
+
+# Swapped-page image format: 8-byte origin-frame header, 4096B of raw
+# (still encrypted) page content, 64B counter block.
+IMAGE_HEADER = 8
+IMAGE_BYTES = IMAGE_HEADER + PAGE_SIZE + BLOCK_SIZE
+IMAGE_BLOCKS = _round_blocks(IMAGE_BYTES) // BLOCK_SIZE
+
+
+class SecureMemorySystem:
+    """A functional secure processor plus its protected physical memory."""
+
+    def __init__(
+        self,
+        config: MachineConfig | None = None,
+        master_key: bytes = b"\x00" * 32,
+        fast_crypto: bool = True,
+        seed_audit=None,
+    ):
+        self.config = config or MachineConfig()
+        self.layout, geometry = plan_layout(self.config)
+        self.memory = BlockMemory(self.layout.total_bytes, name="physical")
+        self._fast_crypto = fast_crypto
+
+        # Independent keys for encryption and authentication, derived from
+        # the master key exactly like the hardware's key ladder would.
+        import hashlib
+
+        self.encryption_key = hashlib.blake2s(master_key, person=b"enc-key0").digest()
+        self.mac_key = hashlib.blake2s(master_key, person=b"mac-key0").digest()
+
+        self.gpc = GlobalPageCounter()
+        mac_fn = make_mac(self.mac_key, self.config.mac_bits, fast=fast_crypto)
+        self._mac_fn = mac_fn
+
+        # Integrity engine.
+        self.tree: MerkleTree | None = None
+        integrity = self.config.integrity
+        if integrity == INT_MT:
+            self.tree = MerkleTree(self.memory, geometry, mac_fn)
+            self.integrity = StandardMerkleIntegrity(self.memory, self.tree)
+        elif integrity == INT_BMT:
+            self.tree = MerkleTree(self.memory, geometry, mac_fn)
+            store = MacStore(
+                self.memory, self.layout.mac_base, 0, self.layout.data_bytes, self.config.mac_bytes
+            )
+            self.integrity = BonsaiMerkleIntegrity(self.memory, store, self.tree, mac_fn)
+        elif integrity == INT_MAC:
+            store = MacStore(
+                self.memory, self.layout.mac_base, 0, self.layout.data_bytes, self.config.mac_bytes
+            )
+            self.integrity = MacOnlyIntegrity(self.memory, store, mac_fn)
+        elif integrity == INT_LOGHASH:
+            self.integrity = LogHashIntegrity(self.memory, mac_fn)
+        elif integrity == INT_NONE:
+            self.integrity = _NullIntegrity()
+        else:
+            raise ConfigurationError(f"unsupported integrity scheme {integrity!r}")
+
+        # Encryption engine.
+        enc = self.config.encryption
+        common = dict(
+            memory=self.memory,
+            counter_base=self.layout.counter_base,
+            data_bytes=self.layout.data_bytes,
+        )
+        if enc == ENC_AISE:
+            self.encryption: EncryptionEngine = AiseEncryption(
+                self.encryption_key, gpc=self.gpc, fast_crypto=fast_crypto,
+                seed_audit=seed_audit, **common
+            )
+        elif enc == ENC_SPLIT:
+            from .encryption import SplitCounterEncryption
+
+            self.encryption = SplitCounterEncryption(
+                self.encryption_key, fast_crypto=fast_crypto, seed_audit=seed_audit, **common
+            )
+        elif enc in (ENC_GLOBAL32, ENC_GLOBAL64):
+            bits = 32 if enc == ENC_GLOBAL32 else 64
+            self.encryption = GlobalCounterEncryption(
+                self.encryption_key, bits=bits, fast_crypto=fast_crypto, **common
+            )
+        elif enc in (ENC_PHYS, ENC_VIRT):
+            self.encryption = AddressSeedEncryption(
+                self.encryption_key,
+                virtual=(enc == ENC_VIRT),
+                fast_crypto=fast_crypto,
+                seed_audit=seed_audit,
+                **common,
+            )
+        elif enc == ENC_DIRECT:
+            from .encryption import DirectEncryption
+
+            self.encryption = DirectEncryption(self.encryption_key)
+        elif enc == ENC_NONE:
+            self.encryption = NullEncryption()
+        else:
+            raise ConfigurationError(f"unsupported encryption scheme {enc!r}")
+
+        # Wire the engine's metadata path through the integrity scheme.
+        self.encryption.metadata_verify = self.integrity.verify_metadata
+        self.encryption.metadata_update = self.integrity.update_metadata
+        self.encryption.rewrite_block = self._rewrite_block
+
+        # Page-root directory (swap protection), verified through the tree.
+        swap_pages = (self.config.swap_bytes or self.layout.data_bytes) // PAGE_SIZE
+        self.page_roots = PageRootDirectory(
+            self.memory,
+            self.layout.prd_base,
+            swap_pages,
+            self.config.mac_bytes,
+            metadata_read=self._verified_metadata_read,
+            metadata_write=self._verified_metadata_write,
+        ) if self.layout.prd_bytes else None
+
+        self.reads = 0
+        self.writes = 0
+        self._booted = False
+
+    # -- boot --------------------------------------------------------------------
+
+    def boot(self) -> None:
+        """Build integrity structures over current memory (secure boot).
+
+        Models the paper's steady-state assumption (section 3): the
+        processor computes the Merkle tree — and, for MAC-carrying
+        schemes, every per-block MAC — over the loaded memory image.
+        """
+        if self.tree is not None:
+            self.tree.build()
+        if self.config.integrity in (INT_BMT, INT_MAC):
+            uses_counters = self.encryption.uses_counters
+            for paddr in range(0, self.layout.data_bytes, BLOCK_SIZE):
+                cipher = self.memory.read_block(paddr)
+                tag = self.encryption.counter_tag(paddr) if uses_counters else 0
+                self.integrity.update_data(paddr, cipher, tag)
+        self._booted = True
+
+    def reboot(self) -> None:
+        """Power-cycle: volatile on-chip state is lost; the GPC (non-volatile,
+        section 4.3) and the securely persisted root MAC survive."""
+        if isinstance(self.encryption, AiseEncryption):
+            self.encryption._cache.clear()
+        if self.tree is not None:
+            self.tree._trusted.clear()
+
+    # -- hibernation ------------------------------------------------------------------
+
+    def hibernate(self) -> tuple[dict, dict]:
+        """Power down completely. Returns ``(nonvolatile, memory_image)``.
+
+        ``nonvolatile`` models the chip's NVRAM (section 4.3): the GPC
+        and the sealed root MAC — small, trusted, tamper-free.
+        ``memory_image`` is the DRAM contents written to disk — fully
+        attacker-accessible while the machine sleeps. Resuming restores
+        the root from NVRAM rather than recomputing it, so any tampering
+        of the sleeping image is caught on first use.
+        """
+        nonvolatile = {
+            "gpc": self.gpc.save_state(),
+            "root": self.tree.root.value if self.tree is not None else None,
+            "config": (self.config.encryption, self.config.integrity, self.config.mac_bits,
+                       self.config.physical_bytes, self.config.swap_bytes),
+        }
+        memory_image = dict(self.memory._blocks)
+        return nonvolatile, memory_image
+
+    @classmethod
+    def resume(
+        cls,
+        nonvolatile: dict,
+        memory_image: dict,
+        config: MachineConfig,
+        master_key: bytes = b"\x00" * 32,
+        fast_crypto: bool = True,
+    ) -> "SecureMemorySystem":
+        """Wake a hibernated machine from its NVRAM state + memory image."""
+        fingerprint = (config.encryption, config.integrity, config.mac_bits,
+                       config.physical_bytes, config.swap_bytes)
+        if fingerprint != nonvolatile["config"]:
+            raise ConfigurationError("resume configuration does not match hibernated machine")
+        machine = cls(config, master_key=master_key, fast_crypto=fast_crypto)
+        machine.memory._blocks = dict(memory_image)
+        machine.gpc.restore_state(nonvolatile["gpc"])
+        if machine.tree is not None:
+            machine.tree.root.store(nonvolatile["root"])
+        machine._booted = True
+        return machine
+
+    # -- metadata plumbing ----------------------------------------------------------
+
+    def _verified_metadata_read(self, address: int) -> bytes:
+        raw = self.memory.read_block(address)
+        self.integrity.verify_metadata(address, raw)
+        return raw
+
+    def _verified_metadata_write(self, address: int, raw: bytes) -> None:
+        self.memory.write_block(address, raw)
+        self.integrity.update_metadata(address, raw)
+
+    def _rewrite_block(self, address: int, cipher: bytes, tag: int) -> None:
+        """Engine hook used during page / whole-memory re-encryption."""
+        self.memory.write_block(address, cipher)
+        self.integrity.update_data(address, cipher, tag)
+
+    # -- the block datapath -----------------------------------------------------------
+
+    def read_block(self, paddr: int, ctx: AccessContext = NULL_CONTEXT) -> bytes:
+        """Fetch, verify, and decrypt one 64B block of protected data."""
+        if not self._booted:
+            raise ConfigurationError("call boot() before accessing protected memory")
+        if paddr % BLOCK_SIZE or not 0 <= paddr < self.layout.data_bytes:
+            raise ValueError(f"invalid data block address {paddr:#x}")
+        self.reads += 1
+        cipher = self.memory.read_block(paddr)
+        tag = self.encryption.counter_tag(paddr, ctx)
+        self.integrity.verify_data(paddr, cipher, tag)
+        return self.encryption.decrypt(paddr, cipher, ctx)
+
+    def write_block(self, paddr: int, plain: bytes, ctx: AccessContext = NULL_CONTEXT) -> None:
+        """Encrypt, store, and re-anchor one 64B block of protected data."""
+        if not self._booted:
+            raise ConfigurationError("call boot() before accessing protected memory")
+        if paddr % BLOCK_SIZE or not 0 <= paddr < self.layout.data_bytes:
+            raise ValueError(f"invalid data block address {paddr:#x}")
+        self.writes += 1
+        cipher, tag = self.encryption.encrypt_for_write(paddr, plain, ctx)
+        self.memory.write_block(paddr, cipher)
+        self.integrity.update_data(paddr, cipher, tag)
+
+    # Byte-granular convenience (read-modify-write across blocks).
+
+    def read_bytes(self, paddr: int, length: int, ctx: AccessContext = NULL_CONTEXT) -> bytes:
+        """Byte-granular read spanning blocks (convenience wrapper)."""
+        out = bytearray()
+        cursor = paddr
+        end = paddr + length
+        while cursor < end:
+            base = block_address(cursor)
+            block = self.read_block(base, ctx)
+            lo = cursor - base
+            hi = min(BLOCK_SIZE, end - base)
+            out.extend(block[lo:hi])
+            cursor = base + hi
+        return bytes(out)
+
+    def write_bytes(self, paddr: int, data: bytes, ctx: AccessContext = NULL_CONTEXT) -> None:
+        """Byte-granular write; partial blocks read-modify-write."""
+        cursor = paddr
+        offset = 0
+        end = paddr + len(data)
+        while cursor < end:
+            base = block_address(cursor)
+            lo = cursor - base
+            hi = min(BLOCK_SIZE, end - base)
+            if lo == 0 and hi == BLOCK_SIZE:
+                block = data[offset : offset + BLOCK_SIZE]
+            else:
+                block = bytearray(self.read_block(base, ctx))
+                block[lo:hi] = data[offset : offset + (hi - lo)]
+                block = bytes(block)
+            self.write_block(base, block, ctx)
+            offset += hi - lo
+            cursor = base + hi
+
+    # -- page-granular primitives for the OS model ----------------------------------
+
+    def export_page_image(self, frame_index: int) -> bytes:
+        """Serialize a frame for swap-out: raw ciphertext + counter block.
+
+        No decryption happens — for AISE this is the paper's point
+        (section 4.4): the page and its counter block move to disk as-is.
+        """
+        page_base = frame_index * PAGE_SIZE
+        body = bytearray(page_base.to_bytes(IMAGE_HEADER, "big"))
+        for block in range(BLOCKS_PER_PAGE):
+            body.extend(self.memory.read_block(page_base + block * BLOCK_SIZE))
+        body.extend(self._export_counter_block(frame_index))
+        body.extend(bytes(IMAGE_BLOCKS * BLOCK_SIZE - len(body)))  # pad to blocks
+        return bytes(body)
+
+    def _export_counter_block(self, frame_index: int) -> bytes:
+        if isinstance(self.encryption, AiseEncryption):
+            return self.encryption.export_counter_block(frame_index)
+        if self.encryption.uses_counters:
+            # Flat-counter schemes: copy the raw counter bytes for the page.
+            out = bytearray()
+            for block in range(BLOCKS_PER_PAGE):
+                paddr = frame_index * PAGE_SIZE + block * BLOCK_SIZE
+                addr = self.encryption.counter_block_address(paddr)
+                raw = self.memory.read_block(addr)
+                out = bytearray(raw)  # page's counters share at most one block here
+            return bytes(out[:BLOCK_SIZE].ljust(BLOCK_SIZE, b"\x00"))
+        return bytes(BLOCK_SIZE)
+
+    def page_root_of_image(self, image: bytes) -> bytes:
+        """The page-root MAC stored in the page root directory."""
+        return self._mac_fn.compute(image + b"page-root")
+
+    def install_page_image(self, frame_index: int, image: bytes) -> None:
+        """Swap-in: place raw ciphertext + counters at a (possibly new) frame
+        and re-anchor integrity metadata. Still no decryption for AISE."""
+        page_base = frame_index * PAGE_SIZE
+        offset = IMAGE_HEADER
+        counter_raw = image[IMAGE_HEADER + PAGE_SIZE : IMAGE_HEADER + PAGE_SIZE + BLOCK_SIZE]
+        if isinstance(self.encryption, AiseEncryption):
+            self.encryption.install_counter_block(frame_index, counter_raw)
+        for block in range(BLOCKS_PER_PAGE):
+            paddr = page_base + block * BLOCK_SIZE
+            cipher = image[offset : offset + BLOCK_SIZE]
+            offset += BLOCK_SIZE
+            self.memory.write_block(paddr, cipher)
+            tag = self.encryption.counter_tag(paddr) if self.encryption.uses_counters else 0
+            self.integrity.update_data(paddr, cipher, tag)
+
+    def invalidate_page(self, frame_index: int) -> None:
+        """Drop on-chip state for a frame being vacated (section 5.1 step 3)."""
+        page_base = frame_index * PAGE_SIZE
+        if self.tree is not None and self.tree.geometry.covers(page_base):
+            self.tree.invalidate_covered_range(page_base, PAGE_SIZE)
+        if isinstance(self.encryption, AiseEncryption):
+            self.encryption.drop_cached_counters(frame_index)
+
+    @property
+    def data_pages(self) -> int:
+        return self.layout.data_bytes // PAGE_SIZE
+
+
+class _NullIntegrity:
+    """No integrity protection (encryption-only or unprotected machines)."""
+
+    kind = "none"
+    detects_replay = False
+
+    def verify_data(self, address, cipher, counter=0):
+        return None
+
+    def update_data(self, address, cipher, counter=0):
+        return None
+
+    def verify_metadata(self, address, raw):
+        return None
+
+    def update_metadata(self, address, raw):
+        return None

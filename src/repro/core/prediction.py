@@ -1,0 +1,124 @@
+"""Counter prediction: the latency-hiding alternative to counter caching.
+
+Prior work ([Shi et al. ISCA'05], paper section 4.1) hides decryption
+latency by *predicting* a missed block's counter instead of waiting for
+the counter fetch: speculative pads are generated for a few candidate
+counter values, and the per-block MAC tells which (if any) candidate was
+right. Table 1 notes the asymmetry this module makes concrete:
+
+* AISE / per-block minor counters are **predictable** — a page's minors
+  cluster near the page's recent write intensity, so a handful of
+  candidates around the last observed value usually contains the truth;
+* 64-bit **global** counter stamps are effectively unpredictable — the
+  stamp is a global write serial number, so no small candidate set can
+  cover it.
+
+Correctness is never at risk: a candidate is accepted only if the
+block's (counter-bound) MAC verifies, and a wrong guess falls back to
+the architectural path — the verified counter fetch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..mem.layout import PAGE_SIZE, block_address, block_in_page
+from .config import INT_BMT
+from .counters import MINOR_MAX
+from .encryption import AiseEncryption
+from .errors import ConfigurationError
+from .machine import SecureMemorySystem
+from .seeds import SeedInput
+
+
+@dataclass
+class PredictionStats:
+    """Speculation outcomes: attempts, hits, candidate trials, fallbacks."""
+
+    attempts: int = 0
+    hits: int = 0
+    candidate_trials: int = 0
+    fallbacks: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.attempts if self.attempts else 0.0
+
+
+class CounterPredictor:
+    """Speculative decryption for AISE+BMT machines.
+
+    Keeps a small *LPID table* (the page's 64-bit identifier without its
+    64 minor counters — 8x the reach of a counter cache for the same
+    on-chip budget) plus, per page, the last minor counter value it
+    observed. On a read whose counter block is not on-chip, it tries
+    ``max_candidates`` minors around that observation; the per-block MAC
+    arbitrates.
+    """
+
+    def __init__(self, machine: SecureMemorySystem, max_candidates: int = 8):
+        if machine.config.integrity != INT_BMT:
+            raise ConfigurationError(
+                "counter prediction needs per-block counter-bound MACs (BMT)"
+            )
+        if not isinstance(machine.encryption, AiseEncryption):
+            raise ConfigurationError(
+                "counter prediction targets per-block minor counters (AISE-family)"
+            )
+        self.machine = machine
+        self.engine: AiseEncryption = machine.encryption
+        self.max_candidates = max_candidates
+        self._lpids: dict[int, int] = {}  # page index -> LPID
+        self._last_minor: dict[int, int] = {}  # page index -> recent minor
+        self.stats = PredictionStats()
+
+    # -- observation --------------------------------------------------------
+
+    def observe(self, page_index: int, lpid: int, minor: int) -> None:
+        """Feed the predictor from architectural accesses."""
+        self._lpids[page_index] = lpid
+        self._last_minor[page_index] = minor
+
+    def _candidates(self, page_index: int) -> list[int]:
+        base = self._last_minor.get(page_index, 0)
+        out = []
+        for delta in range(self.max_candidates):
+            candidate = base + delta - 1  # one below, then upward
+            if 0 <= candidate <= MINOR_MAX and candidate not in out:
+                out.append(candidate)
+        return out
+
+    # -- the speculative read path -------------------------------------------
+
+    def read_block(self, paddr: int) -> tuple[bytes, bool]:
+        """Read with speculation. Returns (plaintext, predicted?).
+
+        ``predicted=True`` means the block was decrypted and verified
+        without touching the counter block — the fetch the prediction
+        hides. Either way the result is architecturally correct.
+        """
+        paddr = block_address(paddr)
+        page_index = paddr // PAGE_SIZE
+        lpid = self._lpids.get(page_index)
+        on_chip = page_index in self.engine._cache
+        if lpid is not None and not on_chip:
+            self.stats.attempts += 1
+            cipher = self.machine.memory.read_block(paddr)
+            stored_mac = self.machine.integrity.store.load(paddr)
+            for minor in self._candidates(page_index):
+                self.stats.candidate_trials += 1
+                tag = (lpid << 7) | minor
+                computed = self.machine.integrity._compute(paddr, cipher, tag)
+                if computed == stored_mac:
+                    seeds = self.engine.scheme.seeds_for_block(
+                        SeedInput(paddr=paddr, lpid=lpid, counter=minor)
+                    )
+                    self.stats.hits += 1
+                    self._last_minor[page_index] = minor
+                    return self.engine._cipher.decrypt(cipher, seeds), True
+            self.stats.fallbacks += 1
+        # Architectural path (fetches + verifies the counter block).
+        plain = self.machine.read_block(paddr)
+        block = self.engine._load(page_index)
+        self.observe(page_index, block.lpid, block.minors[block_in_page(paddr)])
+        return plain, False

@@ -1,0 +1,48 @@
+"""Cryptographic primitives and engine models for the secure processor.
+
+Everything here is implemented from scratch (AES per FIPS-197, SHA-1 per
+FIPS-180-1, HMAC per RFC 2104) and validated against published test
+vectors. ``hashlib``-backed fast variants are provided for large
+simulations; they share interfaces with the reference implementations.
+"""
+
+from .aes import AES
+from .ctr_mode import CHUNKS_PER_BLOCK, CounterModeCipher, MEMORY_BLOCK_SIZE, PadGenerator
+from .engine import PipelinedEngine, aes_engine, mac_engine
+from .hmac_sha1 import HMACSHA1, hmac_sha1
+from .mac import (
+    DEFAULT_MAC_BITS,
+    SUPPORTED_MAC_BITS,
+    Blake2Mac,
+    HmacSha1Mac,
+    HmacSha256Mac,
+    MacFunction,
+    make_mac,
+)
+from .sha1 import SHA1, sha1
+from .sha256 import SHA256, hmac_sha256, sha256
+
+__all__ = [
+    "AES",
+    "SHA1",
+    "sha1",
+    "SHA256",
+    "sha256",
+    "hmac_sha256",
+    "HmacSha256Mac",
+    "HMACSHA1",
+    "hmac_sha1",
+    "MacFunction",
+    "HmacSha1Mac",
+    "Blake2Mac",
+    "make_mac",
+    "DEFAULT_MAC_BITS",
+    "SUPPORTED_MAC_BITS",
+    "CounterModeCipher",
+    "PadGenerator",
+    "MEMORY_BLOCK_SIZE",
+    "CHUNKS_PER_BLOCK",
+    "PipelinedEngine",
+    "aes_engine",
+    "mac_engine",
+]

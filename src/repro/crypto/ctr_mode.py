@@ -1,0 +1,67 @@
+"""Counter-mode pad generation and block encryption (paper section 4.1).
+
+A 64-byte memory block is four 16-byte *chunks*. Each chunk is encrypted
+by XOR with a cryptographic pad ``E_K(seed)`` where the seed embeds the
+chunk id, so pads are unique per chunk (paper footnote 1). The seed for
+chunk ``i`` of a block is supplied by a seed scheme (``repro.core.seeds``);
+this module only turns seeds into pads and applies them.
+
+Like the hardware it models, the same routine performs encryption and
+decryption (XOR with the same pad).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from .aes import AES, BLOCK_SIZE as CHUNK_SIZE
+
+MEMORY_BLOCK_SIZE = 64  # bytes, one cache line
+CHUNKS_PER_BLOCK = MEMORY_BLOCK_SIZE // CHUNK_SIZE  # 4
+
+
+class PadGenerator:
+    """Generates cryptographic pads from 128-bit seeds with a secret key."""
+
+    def __init__(self, key: bytes, fast: bool = False):
+        self.key = bytes(key)
+        self._fast = fast
+        self._aes = None if fast else AES(self.key)
+
+    def pad(self, seed: int) -> bytes:
+        """Return the 16-byte pad E_K(seed)."""
+        seed_bytes = (seed & ((1 << 128) - 1)).to_bytes(CHUNK_SIZE, "big")
+        if self._fast:
+            # Keyed BLAKE2s as a fast PRF stand-in for AES; same interface,
+            # same uniqueness properties for simulation purposes.
+            return hashlib.blake2s(seed_bytes, key=self.key[:32], digest_size=CHUNK_SIZE).digest()
+        return self._aes.encrypt_block(seed_bytes)
+
+
+class CounterModeCipher:
+    """Encrypts/decrypts 64-byte memory blocks chunk-by-chunk.
+
+    ``seeds`` is the list of per-chunk seeds (one 128-bit int per chunk)
+    produced by the active seed scheme for this block and counter value.
+    """
+
+    def __init__(self, key: bytes, fast: bool = False):
+        self._pads = PadGenerator(key, fast=fast)
+
+    def apply(self, block: bytes, seeds: list[int]) -> bytes:
+        if len(block) != MEMORY_BLOCK_SIZE:
+            raise ValueError(f"memory block must be {MEMORY_BLOCK_SIZE} bytes, got {len(block)}")
+        if len(seeds) != CHUNKS_PER_BLOCK:
+            raise ValueError(f"expected {CHUNKS_PER_BLOCK} seeds, got {len(seeds)}")
+        out = bytearray(MEMORY_BLOCK_SIZE)
+        for chunk_id, seed in enumerate(seeds):
+            pad = self._pads.pad(seed)
+            base = chunk_id * CHUNK_SIZE
+            for i in range(CHUNK_SIZE):
+                out[base + i] = block[base + i] ^ pad[i]
+        return bytes(out)
+
+    # Encryption and decryption are the same XOR operation; aliases keep
+    # call sites readable.
+    encrypt = apply
+    decrypt = apply

@@ -1,0 +1,58 @@
+"""Latency models of the on-chip cryptographic engines (paper section 6).
+
+The simulated hardware is a 128-bit AES engine with a 16-stage pipeline and
+80-cycle total latency, and an HMAC-SHA1 unit with 80-cycle latency. These
+models expose, for a request issued at a given cycle, the cycle at which
+its result is available — accounting for pipelining (a new chunk can enter
+the AES pipeline every ``latency/stages`` cycles).
+
+The timing simulator uses these to decide how much decryption latency is
+exposed on the critical path of a cache miss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PipelinedEngine:
+    """A fully pipelined fixed-latency functional unit.
+
+    ``latency`` is the cycles from issue to completion for one operation;
+    ``stages`` the pipeline depth, so the initiation interval is
+    ``latency / stages`` cycles.
+    """
+
+    latency: int
+    stages: int = 1
+    _next_issue: int = field(default=0, repr=False)
+    operations: int = field(default=0, repr=False)
+
+    @property
+    def initiation_interval(self) -> int:
+        return max(1, self.latency // self.stages)
+
+    def issue(self, cycle: int) -> int:
+        """Issue an operation at ``cycle`` (or later if the pipe is busy).
+
+        Returns the completion cycle.
+        """
+        start = max(cycle, self._next_issue)
+        self._next_issue = start + self.initiation_interval
+        self.operations += 1
+        return start + self.latency
+
+    def reset(self) -> None:
+        self._next_issue = 0
+        self.operations = 0
+
+
+def aes_engine(latency: int = 80, stages: int = 16) -> PipelinedEngine:
+    """The paper's AES engine: 16-stage pipeline, 80-cycle latency."""
+    return PipelinedEngine(latency=latency, stages=stages)
+
+
+def mac_engine(latency: int = 80, stages: int = 16) -> PipelinedEngine:
+    """The paper's HMAC-SHA1 engine: 80-cycle latency."""
+    return PipelinedEngine(latency=latency, stages=stages)

@@ -1,0 +1,45 @@
+"""HMAC (RFC 2104) over the from-scratch SHA-1 implementation.
+
+The paper computes per-block MACs with "HMAC based on SHA-1" (section 6),
+truncated to the configured MAC size (32..256 bits in the sensitivity
+study; 128 bits by default). Validated against RFC 2202 vectors in
+``tests/crypto/test_hmac.py``.
+"""
+
+from __future__ import annotations
+
+from .sha1 import BLOCK_SIZE, DIGEST_SIZE, SHA1, sha1
+
+_IPAD = 0x36
+_OPAD = 0x5C
+
+
+class HMACSHA1:
+    """Incremental HMAC-SHA1 keyed at construction time."""
+
+    digest_size = DIGEST_SIZE
+
+    def __init__(self, key: bytes, data: bytes = b""):
+        key = bytes(key)
+        if len(key) > BLOCK_SIZE:
+            key = sha1(key)
+        key = key.ljust(BLOCK_SIZE, b"\x00")
+        self._inner = SHA1(bytes(b ^ _IPAD for b in key))
+        self._outer_key = bytes(b ^ _OPAD for b in key)
+        if data:
+            self.update(data)
+
+    def update(self, data: bytes) -> "HMACSHA1":
+        self._inner.update(data)
+        return self
+
+    def digest(self) -> bytes:
+        return SHA1(self._outer_key).update(self._inner.digest()).digest()
+
+    def hexdigest(self) -> str:
+        return self.digest().hex()
+
+
+def hmac_sha1(key: bytes, data: bytes) -> bytes:
+    """One-shot HMAC-SHA1 of ``data`` under ``key``."""
+    return HMACSHA1(key, data).digest()

@@ -1,0 +1,97 @@
+"""SHA-1 hash function, implemented from scratch per FIPS-180-1.
+
+The paper's integrity MACs are HMACs based on SHA-1 (section 6). This is a
+clean-room implementation of the compression function and Merkle-Damgard
+padding, validated against the FIPS-180-1 test vectors in
+``tests/crypto/test_sha1.py``.
+"""
+
+from __future__ import annotations
+
+DIGEST_SIZE = 20  # bytes
+BLOCK_SIZE = 64  # bytes (input block of the compression function)
+
+_H0 = (0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0)
+_MASK = 0xFFFFFFFF
+
+
+def _rotl(value: int, amount: int) -> int:
+    return ((value << amount) | (value >> (32 - amount))) & _MASK
+
+
+def _compress(state: tuple[int, int, int, int, int], chunk: bytes) -> tuple[int, int, int, int, int]:
+    w = [int.from_bytes(chunk[i : i + 4], "big") for i in range(0, 64, 4)]
+    for t in range(16, 80):
+        w.append(_rotl(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1))
+    a, b, c, d, e = state
+    for t in range(80):
+        if t < 20:
+            f = (b & c) | (~b & d)
+            k = 0x5A827999
+        elif t < 40:
+            f = b ^ c ^ d
+            k = 0x6ED9EBA1
+        elif t < 60:
+            f = (b & c) | (b & d) | (c & d)
+            k = 0x8F1BBCDC
+        else:
+            f = b ^ c ^ d
+            k = 0xCA62C1D6
+        temp = (_rotl(a, 5) + f + e + k + w[t]) & _MASK
+        e, d, c, b, a = d, c, _rotl(b, 30), a, temp
+    return (
+        (state[0] + a) & _MASK,
+        (state[1] + b) & _MASK,
+        (state[2] + c) & _MASK,
+        (state[3] + d) & _MASK,
+        (state[4] + e) & _MASK,
+    )
+
+
+class SHA1:
+    """Incremental SHA-1 with the usual ``update``/``digest`` interface."""
+
+    digest_size = DIGEST_SIZE
+    block_size = BLOCK_SIZE
+
+    def __init__(self, data: bytes = b""):
+        self._state = _H0
+        self._buffer = b""
+        self._length = 0  # total message length in bytes
+        if data:
+            self.update(data)
+
+    def update(self, data: bytes) -> "SHA1":
+        self._length += len(data)
+        buf = self._buffer + bytes(data)
+        offset = 0
+        while offset + BLOCK_SIZE <= len(buf):
+            self._state = _compress(self._state, buf[offset : offset + BLOCK_SIZE])
+            offset += BLOCK_SIZE
+        self._buffer = buf[offset:]
+        return self
+
+    def copy(self) -> "SHA1":
+        clone = SHA1()
+        clone._state = self._state
+        clone._buffer = self._buffer
+        clone._length = self._length
+        return clone
+
+    def digest(self) -> bytes:
+        # Pad a copy so the object remains usable for further updates.
+        bit_length = self._length * 8
+        padding = b"\x80" + b"\x00" * ((55 - self._length) % 64) + bit_length.to_bytes(8, "big")
+        state = self._state
+        buf = self._buffer + padding
+        for offset in range(0, len(buf), BLOCK_SIZE):
+            state = _compress(state, buf[offset : offset + BLOCK_SIZE])
+        return b"".join(word.to_bytes(4, "big") for word in state)
+
+    def hexdigest(self) -> str:
+        return self.digest().hex()
+
+
+def sha1(data: bytes) -> bytes:
+    """One-shot SHA-1 digest of ``data``."""
+    return SHA1(data).digest()

@@ -1,0 +1,115 @@
+"""SHA-256 hash function, implemented from scratch per FIPS-180-2.
+
+The paper's section 7.3 motivates its MAC-size sensitivity study with
+security consortia (NIST, NESSIE, CRYPTREC) recommending longer MACs
+such as SHA-256. This implementation backs the native 256-bit MAC
+variant (:class:`repro.crypto.mac.HmacSha256Mac`) so the 256-bit rows of
+Table 2 / Figure 11 can run on a full-width hash rather than a
+counter-expanded SHA-1. Validated against FIPS-180-2 vectors in
+``tests/crypto/test_sha256.py``.
+"""
+
+from __future__ import annotations
+
+DIGEST_SIZE = 32
+BLOCK_SIZE = 64
+
+_MASK = 0xFFFFFFFF
+
+# First 32 bits of the fractional parts of the cube roots of the first 64
+# primes (FIPS-180-2 section 4.2.2) — derived, not pasted.
+
+
+def _fractional_root_constants() -> tuple[list[int], list[int]]:
+    primes = []
+    candidate = 2
+    while len(primes) < 64:
+        if all(candidate % p for p in primes):
+            primes.append(candidate)
+        candidate += 1
+    k = [int((p ** (1 / 3) % 1) * (1 << 32)) & _MASK for p in primes]
+    h = [int((p ** 0.5 % 1) * (1 << 32)) & _MASK for p in primes[:8]]
+    return k, h
+
+
+_K, _H0 = _fractional_root_constants()
+
+
+def _rotr(value: int, amount: int) -> int:
+    return ((value >> amount) | (value << (32 - amount))) & _MASK
+
+
+def _compress(state: tuple, chunk: bytes) -> tuple:
+    w = [int.from_bytes(chunk[i : i + 4], "big") for i in range(0, 64, 4)]
+    for t in range(16, 64):
+        s0 = _rotr(w[t - 15], 7) ^ _rotr(w[t - 15], 18) ^ (w[t - 15] >> 3)
+        s1 = _rotr(w[t - 2], 17) ^ _rotr(w[t - 2], 19) ^ (w[t - 2] >> 10)
+        w.append((w[t - 16] + s0 + w[t - 7] + s1) & _MASK)
+    a, b, c, d, e, f, g, h = state
+    for t in range(64):
+        big_s1 = _rotr(e, 6) ^ _rotr(e, 11) ^ _rotr(e, 25)
+        ch = (e & f) ^ (~e & g)
+        temp1 = (h + big_s1 + ch + _K[t] + w[t]) & _MASK
+        big_s0 = _rotr(a, 2) ^ _rotr(a, 13) ^ _rotr(a, 22)
+        maj = (a & b) ^ (a & c) ^ (b & c)
+        temp2 = (big_s0 + maj) & _MASK
+        h, g, f, e, d, c, b, a = g, f, e, (d + temp1) & _MASK, c, b, a, (temp1 + temp2) & _MASK
+    return tuple((x + y) & _MASK for x, y in zip(state, (a, b, c, d, e, f, g, h)))
+
+
+class SHA256:
+    """Incremental SHA-256 with the usual ``update``/``digest`` interface."""
+
+    digest_size = DIGEST_SIZE
+    block_size = BLOCK_SIZE
+
+    def __init__(self, data: bytes = b""):
+        self._state = tuple(_H0)
+        self._buffer = b""
+        self._length = 0
+        if data:
+            self.update(data)
+
+    def update(self, data: bytes) -> "SHA256":
+        self._length += len(data)
+        buf = self._buffer + bytes(data)
+        offset = 0
+        while offset + BLOCK_SIZE <= len(buf):
+            self._state = _compress(self._state, buf[offset : offset + BLOCK_SIZE])
+            offset += BLOCK_SIZE
+        self._buffer = buf[offset:]
+        return self
+
+    def copy(self) -> "SHA256":
+        clone = SHA256()
+        clone._state = self._state
+        clone._buffer = self._buffer
+        clone._length = self._length
+        return clone
+
+    def digest(self) -> bytes:
+        bit_length = self._length * 8
+        padding = b"\x80" + b"\x00" * ((55 - self._length) % 64) + bit_length.to_bytes(8, "big")
+        state = self._state
+        buf = self._buffer + padding
+        for offset in range(0, len(buf), BLOCK_SIZE):
+            state = _compress(state, buf[offset : offset + BLOCK_SIZE])
+        return b"".join(word.to_bytes(4, "big") for word in state)
+
+    def hexdigest(self) -> str:
+        return self.digest().hex()
+
+
+def sha256(data: bytes) -> bytes:
+    """One-shot SHA-256 digest of ``data``."""
+    return SHA256(data).digest()
+
+
+def hmac_sha256(key: bytes, data: bytes) -> bytes:
+    """HMAC (RFC 2104) over SHA-256."""
+    key = bytes(key)
+    if len(key) > BLOCK_SIZE:
+        key = sha256(key)
+    key = key.ljust(BLOCK_SIZE, b"\x00")
+    inner = sha256(bytes(b ^ 0x36 for b in key) + data)
+    return sha256(bytes(b ^ 0x5C for b in key) + inner)

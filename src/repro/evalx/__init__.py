@@ -1,0 +1,48 @@
+"""Evaluation harness: tables, figures, and the full reproduction report."""
+
+from .figures import ALL_FIGURES, FigureData, figure6, figure7, figure8, figure9, figure10a, figure10b, figure11a, figure11b
+from .runner import CONFIGS, Runner, config_named
+from .tables import PAPER_TABLE2, TableData, table1, table2
+from .report import generate_report, render_figure, render_table
+from .export import (
+    figure_to_csv,
+    figure_to_dict,
+    figure_to_json,
+    table_to_csv,
+    table_to_dict,
+    table_to_json,
+)
+from .sweeps import ALL_SWEEPS, counter_cache_sweep, l2_size_sweep, memory_latency_sweep
+
+__all__ = [
+    "Runner",
+    "CONFIGS",
+    "config_named",
+    "FigureData",
+    "ALL_FIGURES",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10a",
+    "figure10b",
+    "figure11a",
+    "figure11b",
+    "TableData",
+    "table1",
+    "table2",
+    "PAPER_TABLE2",
+    "generate_report",
+    "render_table",
+    "render_figure",
+    "figure_to_dict",
+    "figure_to_json",
+    "figure_to_csv",
+    "table_to_dict",
+    "table_to_json",
+    "table_to_csv",
+    "ALL_SWEEPS",
+    "l2_size_sweep",
+    "memory_latency_sweep",
+    "counter_cache_sweep",
+]

@@ -1,0 +1,69 @@
+"""Machine-readable exports of tables and figures (JSON / CSV).
+
+Figures render to text for the report; downstream plotting wants data.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+from .figures import FigureData
+from .tables import TableData
+
+
+def figure_to_dict(fig: FigureData) -> dict:
+    """Plain-data (JSON-ready) form of a figure."""
+    return {
+        "figure": fig.figure,
+        "title": fig.title,
+        "unit": fig.unit,
+        "series": {name: dict(values) for name, values in fig.series.items()},
+    }
+
+
+def figure_to_json(fig: FigureData, indent: int = 2) -> str:
+    """Serialize a figure as pretty-printed JSON."""
+    return json.dumps(figure_to_dict(fig), indent=indent, sort_keys=True)
+
+
+def figure_to_csv(fig: FigureData) -> str:
+    """One row per x-value, one column per series."""
+    names = list(fig.series)
+    keys: list = []
+    for values in fig.series.values():
+        for key in values:
+            if key not in keys:
+                keys.append(key)
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(["x", *names])
+    for key in keys:
+        writer.writerow([key] + [fig.series[name].get(key, "") for name in names])
+    return out.getvalue()
+
+
+def table_to_dict(table: TableData) -> dict:
+    """Plain-data (JSON-ready) form of a table."""
+    return {
+        "table": table.table,
+        "title": table.title,
+        "columns": list(table.columns),
+        "rows": [dict(row) for row in table.rows],
+    }
+
+
+def table_to_json(table: TableData, indent: int = 2) -> str:
+    """Serialize a table as pretty-printed JSON."""
+    return json.dumps(table_to_dict(table), indent=indent, sort_keys=True)
+
+
+def table_to_csv(table: TableData) -> str:
+    """Render a table as CSV (header row + one row per entry)."""
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(table.columns)
+    for row in table.rows:
+        writer.writerow([row[col] for col in table.columns])
+    return out.getvalue()

@@ -1,0 +1,142 @@
+"""Regeneration of every figure in the paper's evaluation (section 7).
+
+Each ``figureN`` function returns a :class:`FigureData`: named series of
+per-benchmark values plus the all-21 average — exactly the rows the
+paper's bar charts plot. ``repro.evalx.report`` renders them as text.
+
+Paper shape targets (see EXPERIMENTS.md for measured-vs-paper):
+
+* Fig 6  — global64+MT ~26% average overhead (max ~151%) vs AISE+BMT
+           ~1.8% (max ~13%).
+* Fig 7  — AISE ~1.6% < global-32 ~4% < global-64 ~6%.
+* Fig 8  — AISE+MT ~12.1% vs AISE+BMT ~1.8%; integrity dominates.
+* Fig 9  — L2 data occupancy ~68% under MT, ~98% under BMT.
+* Fig 10 — L2 miss rate 37.8 -> 47.5 (MT) vs 38.5 (BMT); bus util
+           14 -> 24 vs 16.
+* Fig 11 — MT overhead grows steeply with MAC size (3.9 -> 53.2%),
+           BMT stays nearly flat (1.4 -> 2.4%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..workloads.spec2k import MEMORY_BOUND
+from .runner import Runner
+
+MAC_SIZES = (32, 64, 128, 256)
+
+
+@dataclass
+class FigureData:
+    """Series of per-benchmark values, as plotted in one figure panel."""
+
+    figure: str
+    title: str
+    unit: str  # "%" for overheads/rates/fractions
+    series: dict = field(default_factory=dict)  # name -> {bench: value}
+    shown: tuple = MEMORY_BOUND  # benchmarks plotted individually
+
+    def add(self, name: str, values: dict) -> None:
+        """Attach one named series ({x-key: value})."""
+        self.series[name] = values
+
+    def average(self, name: str) -> float:
+        """Mean of a series over its per-benchmark values (excluding 'avg')."""
+        values = self.series[name]
+        per_bench = [v for k, v in values.items() if k != "avg"]
+        return sum(per_bench) / len(per_bench)
+
+    def with_averages(self) -> "FigureData":
+        """Add an 'avg' entry to every series; returns self for chaining."""
+        for values in self.series.values():
+            per_bench = [v for k, v in values.items() if k != "avg"]
+            values["avg"] = sum(per_bench) / len(per_bench)
+        return self
+
+
+def figure6(runner: Runner) -> FigureData:
+    """Execution-time overhead: AISE+BMT vs global64+MT (normalized)."""
+    fig = FigureData("6", "Overhead: AISE+BMT vs 64-bit global counter + Merkle Tree", "%")
+    for label in ("global64+mt", "aise+bmt"):
+        fig.add(label, {b: runner.overhead(b, label) for b in runner.benchmarks})
+    return fig.with_averages()
+
+
+def figure7(runner: Runner) -> FigureData:
+    """Encryption-only overhead: AISE vs global counter schemes."""
+    fig = FigureData("7", "Overhead: AISE vs global counter encryption (no integrity)", "%")
+    for label in ("global32", "global64", "aise"):
+        fig.add(label, {b: runner.overhead(b, label) for b in runner.benchmarks})
+    return fig.with_averages()
+
+
+def figure8(runner: Runner) -> FigureData:
+    """AISE alone vs AISE+MT vs AISE+BMT: integrity verification cost."""
+    fig = FigureData("8", "Overhead: AISE / AISE+MT / AISE+BMT", "%")
+    for label in ("aise", "aise+mt", "aise+bmt"):
+        fig.add(label, {b: runner.overhead(b, label) for b in runner.benchmarks})
+    return fig.with_averages()
+
+
+def figure9(runner: Runner) -> FigureData:
+    """L2 cache pollution: fraction of L2 capacity holding data."""
+    fig = FigureData("9", "Fraction of L2 occupied by data blocks", "%")
+    fig.add("no-integrity", {b: runner.result(b, "base").l2_data_fraction for b in runner.benchmarks})
+    fig.add("aise+mt", {b: runner.result(b, "aise+mt").l2_data_fraction for b in runner.benchmarks})
+    fig.add("aise+bmt", {b: runner.result(b, "aise+bmt").l2_data_fraction for b in runner.benchmarks})
+    return fig.with_averages()
+
+
+def figure10a(runner: Runner) -> FigureData:
+    """L2 (local) miss rates: unprotected vs MT vs BMT."""
+    fig = FigureData("10a", "L2 cache miss rate", "%")
+    fig.add("base", {b: runner.result(b, "base").l2_miss_rate for b in runner.benchmarks})
+    fig.add("aise+mt", {b: runner.result(b, "aise+mt").l2_miss_rate for b in runner.benchmarks})
+    fig.add("aise+bmt", {b: runner.result(b, "aise+bmt").l2_miss_rate for b in runner.benchmarks})
+    return fig.with_averages()
+
+
+def figure10b(runner: Runner) -> FigureData:
+    """Memory bus utilization: unprotected vs MT vs BMT."""
+    fig = FigureData("10b", "Bus utilization", "%")
+    fig.add("base", {b: runner.result(b, "base").bus_utilization for b in runner.benchmarks})
+    fig.add("aise+mt", {b: runner.result(b, "aise+mt").bus_utilization for b in runner.benchmarks})
+    fig.add("aise+bmt", {b: runner.result(b, "aise+bmt").bus_utilization for b in runner.benchmarks})
+    return fig.with_averages()
+
+
+def figure11a(runner: Runner, mac_sizes: tuple = MAC_SIZES) -> FigureData:
+    """Average overhead sensitivity to MAC size, MT vs BMT."""
+    fig = FigureData("11a", "Average overhead across MAC sizes", "%", shown=())
+    fig.add("aise+mt", {f"{bits}b": runner.average_overhead("aise+mt", bits) for bits in mac_sizes})
+    fig.add("aise+bmt", {f"{bits}b": runner.average_overhead("aise+bmt", bits) for bits in mac_sizes})
+    return fig
+
+
+def figure11b(runner: Runner, mac_sizes: tuple = MAC_SIZES) -> FigureData:
+    """Average L2 data occupancy across MAC sizes, MT vs BMT."""
+    fig = FigureData("11b", "Average L2 data occupancy across MAC sizes", "%", shown=())
+    for label in ("aise+mt", "aise+bmt"):
+        fig.add(
+            label,
+            {
+                f"{bits}b": runner.average(
+                    lambda bench, bits=bits: runner.result(bench, label, bits).l2_data_fraction
+                )
+                for bits in mac_sizes
+            },
+        )
+    return fig
+
+
+ALL_FIGURES = {
+    "6": figure6,
+    "7": figure7,
+    "8": figure8,
+    "9": figure9,
+    "10a": figure10a,
+    "10b": figure10b,
+    "11a": figure11a,
+    "11b": figure11b,
+}

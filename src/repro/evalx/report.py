@@ -1,0 +1,130 @@
+"""Text rendering of tables and figures, and the full-report entry point.
+
+``python -m repro.evalx.report [--events N] [--out FILE]`` regenerates
+every table and figure of the paper and prints (or writes) them as text —
+the artifact EXPERIMENTS.md is built from.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .figures import ALL_FIGURES, FigureData
+from .runner import Runner
+from .tables import TableData, table1, table2
+
+
+def render_table(table: TableData) -> str:
+    """Render a TableData as aligned monospace text."""
+    widths = {col: len(col) for col in table.columns}
+    for row in table.rows:
+        for col in table.columns:
+            widths[col] = max(widths[col], len(str(row[col])))
+    lines = [f"Table {table.table}: {table.title}"]
+    header = " | ".join(col.ljust(widths[col]) for col in table.columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[col] for col in table.columns))
+    for row in table.rows:
+        lines.append(" | ".join(str(row[col]).ljust(widths[col]) for col in table.columns))
+    return "\n".join(lines)
+
+
+def render_figure(fig: FigureData) -> str:
+    """Render a figure's series as a text table (shown benchmarks + avg)."""
+    some_series = next(iter(fig.series.values()))
+    if fig.shown:
+        keys = [k for k in fig.shown if k in some_series] + ["avg"]
+    else:
+        keys = [k for k in some_series if k != "avg"]
+    names = list(fig.series)
+    name_width = max(len(n) for n in names)
+    lines = [f"Figure {fig.figure}: {fig.title}"]
+    header = " " * name_width + "  " + "".join(f"{k:>9}" for k in keys)
+    lines.append(header)
+    for name in names:
+        values = fig.series[name]
+        cells = "".join(
+            f"{values.get(k, float('nan')) * 100:8.1f}%" for k in keys
+        )
+        lines.append(f"{name.ljust(name_width)}  {cells}")
+    return "\n".join(lines)
+
+
+def generate_report(
+    events: int = 120_000,
+    figures: list[str] | None = None,
+    stream=None,
+    data_dir: str | None = None,
+) -> str:
+    """Run the whole evaluation and return the rendered report.
+
+    With ``data_dir`` set, every table and figure is also exported as
+    machine-readable JSON and CSV into that directory.
+    """
+    from .export import figure_to_csv, figure_to_json, table_to_csv, table_to_json
+
+    out = []
+
+    def emit(text: str) -> None:
+        out.append(text)
+        if stream is not None:
+            print(text, file=stream, flush=True)
+
+    def export(name: str, json_text: str, csv_text: str) -> None:
+        if data_dir is None:
+            return
+        import os
+
+        os.makedirs(data_dir, exist_ok=True)
+        with open(os.path.join(data_dir, f"{name}.json"), "w") as f:
+            f.write(json_text + "\n")
+        with open(os.path.join(data_dir, f"{name}.csv"), "w") as f:
+            f.write(csv_text)
+
+    emit("=" * 72)
+    emit("AISE + Bonsai Merkle Trees (MICRO 2007) - reproduction report")
+    emit(f"trace length: {events} L2 accesses/benchmark (25% warmup)")
+    emit("=" * 72)
+    emit("")
+    for table in (table1(), table2()):
+        emit(render_table(table))
+        emit("")
+        export(f"table{table.table}", table_to_json(table), table_to_csv(table))
+    runner = Runner(events=events)
+    for fig_id, builder in ALL_FIGURES.items():
+        if figures and fig_id not in figures:
+            continue
+        start = time.time()
+        fig = builder(runner)
+        emit(render_figure(fig))
+        emit(f"  [{time.time() - start:.1f}s]")
+        emit("")
+        export(f"figure{fig_id}", figure_to_json(fig), figure_to_csv(fig))
+    return "\n".join(out)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point (also reachable via ``python -m repro report``)."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--events", type=int, default=120_000,
+                        help="L2 accesses per benchmark trace")
+    parser.add_argument("--figures", nargs="*", default=None,
+                        help="subset of figure ids (e.g. 6 7 10a)")
+    parser.add_argument("--out", default=None, help="write report to file")
+    parser.add_argument("--data-dir", default=None,
+                        help="also export each table/figure as JSON + CSV here")
+    args = parser.parse_args(argv)
+    report = generate_report(args.events, args.figures,
+                             stream=sys.stdout if not args.out else None,
+                             data_dir=args.data_dir)
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(report + "\n")
+        print(f"report written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

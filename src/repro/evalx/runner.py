@@ -1,0 +1,83 @@
+"""Experiment runner: simulates (benchmark x configuration) grids with caching.
+
+Every figure in the paper draws from the same small set of protection
+configurations over the same 21 benchmarks. The runner simulates each
+pair once per process and memoizes the :class:`SimResult`, so generating
+all six figures costs one sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.config import MachineConfig, aise_bmt_config, baseline_config, global64_mt_config
+from ..sim.results import SimResult
+from ..sim.simulator import TimingSimulator
+from ..sim.trace import Trace
+from ..workloads.spec2k import SPEC2K_BENCHMARKS, spec_trace
+
+# The named configurations the evaluation uses. MAC-size variants are
+# derived on demand (figure 11).
+CONFIGS: dict[str, MachineConfig] = {
+    "base": baseline_config(),
+    "aise": MachineConfig(encryption="aise", integrity="none"),
+    "global32": MachineConfig(encryption="global32", integrity="none"),
+    "global64": MachineConfig(encryption="global64", integrity="none"),
+    "aise+mt": MachineConfig(encryption="aise", integrity="merkle"),
+    "aise+bmt": aise_bmt_config(),
+    "global64+mt": global64_mt_config(),
+}
+
+
+def config_named(label: str, mac_bits: int | None = None) -> MachineConfig:
+    """Resolve a registry label (optionally with a MAC-size override)."""
+    config = CONFIGS[label]
+    if mac_bits is not None and mac_bits != config.mac_bits:
+        from dataclasses import replace
+
+        config = replace(config, mac_bits=mac_bits)
+    return config
+
+
+@dataclass
+class Runner:
+    """Memoizing simulation driver."""
+
+    events: int = 120_000
+    benchmarks: tuple = SPEC2K_BENCHMARKS
+    overlap: float = 0.7
+    warmup: float = 0.25
+    _traces: dict = field(default_factory=dict, repr=False)
+    _results: dict = field(default_factory=dict, repr=False)
+
+    def trace(self, bench: str) -> Trace:
+        """The (memoized) trace for a benchmark."""
+        cached = self._traces.get(bench)
+        if cached is None:
+            cached = self._traces[bench] = spec_trace(bench, self.events)
+        return cached
+
+    def result(self, bench: str, label: str, mac_bits: int | None = None) -> SimResult:
+        """Simulate (benchmark, configuration) once; memoized thereafter."""
+        key = (bench, label, mac_bits)
+        cached = self._results.get(key)
+        if cached is None:
+            config = config_named(label, mac_bits)
+            sim = TimingSimulator(config, overlap=self.overlap)
+            cached = sim.run(self.trace(bench), label=label, warmup=self.warmup)
+            self._results[key] = cached
+        return cached
+
+    def overhead(self, bench: str, label: str, mac_bits: int | None = None) -> float:
+        """Normalized execution-time overhead of a configuration vs base."""
+        base = self.result(bench, "base")
+        return self.result(bench, label, mac_bits).overhead_vs(base)
+
+    def average(self, metric) -> float:
+        """Average a per-benchmark callable over all benchmarks."""
+        values = [metric(bench) for bench in self.benchmarks]
+        return sum(values) / len(values)
+
+    def average_overhead(self, label: str, mac_bits: int | None = None) -> float:
+        """Mean overhead across all configured benchmarks."""
+        return self.average(lambda bench: self.overhead(bench, label, mac_bits))

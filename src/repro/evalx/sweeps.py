@@ -1,0 +1,99 @@
+"""Extension sensitivity sweeps (beyond the paper's own figures).
+
+The paper fixes one machine (1MB L2, 200-cycle memory, 32KB counter
+cache). These sweeps vary the machine instead of the protection scheme,
+checking that the BMT conclusion is not an artifact of that one design
+point — the robustness study a reviewer would ask for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..core.config import MachineConfig, baseline_config
+from ..sim.simulator import TimingSimulator
+from ..workloads.spec2k import spec_trace
+from .figures import FigureData
+
+DEFAULT_BENCHES = ("art", "mcf", "swim", "gcc")
+
+
+def _avg_overhead(config: MachineConfig, benches, events: int) -> float:
+    total = 0.0
+    for bench in benches:
+        trace = spec_trace(bench, events)
+        base_config = replace(baseline_config(), l2=config.l2,
+                              memory_latency=config.memory_latency,
+                              bus_cycles_per_block=config.bus_cycles_per_block)
+        base = TimingSimulator(base_config).run(trace)
+        result = TimingSimulator(config).run(trace)
+        total += result.overhead_vs(base)
+    return total / len(benches)
+
+
+def l2_size_sweep(
+    sizes_kb=(512, 1024, 2048, 4096),
+    benches=DEFAULT_BENCHES,
+    events: int = 30_000,
+) -> FigureData:
+    """MT vs BMT overhead across L2 capacities.
+
+    Expected shape: MT's pollution penalty shrinks as the L2 grows (the
+    nodes fit alongside the data), while BMT is flat everywhere — i.e.
+    BMT's advantage is largest exactly where caches are precious.
+    """
+    fig = FigureData("S1", "Average overhead vs L2 size", "%", shown=())
+    for label, integrity in (("aise+mt", "merkle"), ("aise+bmt", "bonsai")):
+        series = {}
+        for kb in sizes_kb:
+            config = MachineConfig(encryption="aise", integrity=integrity)
+            config = replace(config, l2=replace(config.l2, size_bytes=kb * 1024))
+            series[f"{kb}KB"] = _avg_overhead(config, benches, events)
+        fig.add(label, series)
+    return fig
+
+
+def memory_latency_sweep(
+    latencies=(100, 200, 400),
+    benches=DEFAULT_BENCHES,
+    events: int = 30_000,
+) -> FigureData:
+    """MT vs BMT overhead across DRAM latencies (faster/slower memory)."""
+    fig = FigureData("S2", "Average overhead vs memory latency", "%", shown=())
+    for label, integrity in (("aise+mt", "merkle"), ("aise+bmt", "bonsai")):
+        series = {}
+        for latency in latencies:
+            config = MachineConfig(encryption="aise", integrity=integrity,
+                                   memory_latency=latency)
+            series[f"{latency}cy"] = _avg_overhead(config, benches, events)
+        fig.add(label, series)
+    return fig
+
+
+def counter_cache_sweep(
+    sizes_kb=(8, 32, 128),
+    benches=DEFAULT_BENCHES,
+    events: int = 30_000,
+) -> FigureData:
+    """AISE vs global-64 encryption overhead across counter-cache sizes.
+
+    Expected shape: AISE is flat (its reach already covers working sets);
+    global-64 chases the cache size — reach, not capacity, is the story.
+    """
+    fig = FigureData("S3", "Encryption overhead vs counter cache size", "%", shown=())
+    for enc in ("aise", "global64"):
+        series = {}
+        for kb in sizes_kb:
+            config = MachineConfig(encryption=enc, integrity="none")
+            config = replace(config,
+                             counter_cache=replace(config.counter_cache, size_bytes=kb * 1024))
+            series[f"{kb}KB"] = _avg_overhead(config, benches, events)
+        fig.add(enc, series)
+    return fig
+
+
+ALL_SWEEPS = {
+    "l2_size": l2_size_sweep,
+    "memory_latency": memory_latency_sweep,
+    "counter_cache": counter_cache_sweep,
+}

@@ -1,0 +1,29 @@
+"""Memory integrity verification schemes.
+
+* :class:`MacOnlyIntegrity` — per-block MACs (spoofing/splicing only).
+* :class:`StandardMerkleIntegrity` — one Merkle tree over data+counters.
+* :class:`BonsaiMerkleIntegrity` — the paper's BMT: tree over counters,
+  counter-bound per-block MACs for data.
+* :class:`LogHashIntegrity` — deferred log-hash baseline.
+* :class:`PageRootDirectory` — swap-extension of Merkle protection.
+"""
+
+from .bonsai import BonsaiMerkleIntegrity, StandardMerkleIntegrity
+from .geometry import NodeRef, TreeGeometry
+from .loghash import LogHashIntegrity
+from .macs import MacOnlyIntegrity, MacStore
+from .merkle import MerkleTree, RootRegister
+from .pageroot import PageRootDirectory
+
+__all__ = [
+    "TreeGeometry",
+    "NodeRef",
+    "MerkleTree",
+    "RootRegister",
+    "MacStore",
+    "MacOnlyIntegrity",
+    "StandardMerkleIntegrity",
+    "BonsaiMerkleIntegrity",
+    "LogHashIntegrity",
+    "PageRootDirectory",
+]

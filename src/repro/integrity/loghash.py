@@ -1,0 +1,112 @@
+"""Log-hash integrity verification baseline ([Suh et al. MICRO'03]).
+
+Instead of verifying every fetch, the processor maintains two incremental
+multiset hashes. WriteLog folds in every (address, value, timestamp) the
+processor puts into memory; ReadLog folds in every (address, value,
+timestamp) taken back out. At a *check*, the processor sweeps the
+remaining live blocks into ReadLog; untampered memory makes the two logs
+cancel exactly.
+
+Invariant maintained here: every live block appears in WriteLog exactly
+once, at its current timestamp, with the value the processor believes it
+wrote. A read consumes the memory's (possibly tampered) version and
+re-logs it; a write consumes the processor's shadow copy — modelling the
+cache fill that precedes any writeback in the original hardware scheme —
+and logs the new version.
+
+The paper (section 2, citing [20]) notes the scheme's weakness: the long
+interval between checks leaves the system open — tampering is detected
+only at the next check, not at use. ``tests/integrity/test_loghash.py``
+demonstrates exactly that deferred-detection window.
+
+Multiset hash: XOR of a keyed hash of each (addr, value, ts) triple —
+incremental and order-independent, structurally the MSet-XOR-Hash of the
+original work.
+"""
+
+from __future__ import annotations
+
+from ..crypto.mac import MacFunction
+from ..mem.dram import BlockMemory
+from ..core.errors import IntegrityError
+
+
+class LogHashIntegrity:
+    """Deferred, epoch-based integrity checking with multiset hashes."""
+
+    kind = "loghash"
+    detects_replay = True  # ...but only at the next periodic check
+
+    def __init__(self, memory: BlockMemory, mac: MacFunction):
+        self.memory = memory
+        self.mac = mac
+        self._write_log = 0
+        self._read_log = 0
+        self._timestamps: dict[int, int] = {}
+        # The processor's belief of each live block's current value (the
+        # on-chip cached copy in the original scheme).
+        self._shadow: dict[int, bytes] = {}
+        self._clock = 0
+        self.checks = 0
+
+    def _fold(self, address: int, value: bytes, timestamp: int) -> int:
+        digest = self.mac.compute(
+            address.to_bytes(8, "big") + value + timestamp.to_bytes(8, "big")
+        )
+        return int.from_bytes(digest, "big")
+
+    def _log_current(self, address: int, value: bytes) -> None:
+        self._clock += 1
+        self._write_log ^= self._fold(address, value, self._clock)
+        self._timestamps[address] = self._clock
+        self._shadow[address] = value
+
+    # -- per-access hooks (cheap: one or two hashes, no tree walk) -----------
+
+    def update_data(self, address: int, cipher: bytes, counter: int = 0) -> None:
+        """Writeback: consume the previous version, log the new one."""
+        old_ts = self._timestamps.get(address)
+        if old_ts is not None:
+            self._read_log ^= self._fold(address, self._shadow[address], old_ts)
+        self._log_current(address, cipher)
+
+    def verify_data(self, address: int, cipher: bytes, counter: int = 0) -> None:
+        """Fetch: consume what memory handed us, re-log it.
+
+        Never raises — deferred detection is the point of the baseline;
+        a tampered ``cipher`` makes the logs diverge and :meth:`check`
+        fail later.
+        """
+        old_ts = self._timestamps.get(address)
+        if old_ts is None:
+            self._log_current(address, cipher)  # first sight: adopt
+            return
+        self._read_log ^= self._fold(address, cipher, old_ts)
+        self._log_current(address, cipher)
+
+    def verify_metadata(self, address: int, raw: bytes) -> None:
+        return None
+
+    def update_metadata(self, address: int, raw: bytes) -> None:
+        return None
+
+    # -- the periodic check ---------------------------------------------------
+
+    def check(self) -> None:
+        """Sweep all live blocks and compare logs. Raises on any tamper
+        since the previous check (spoofing, splicing, or replay)."""
+        self.checks += 1
+        read_log = self._read_log
+        for address, timestamp in self._timestamps.items():
+            value = self.memory.read_block(address)
+            read_log ^= self._fold(address, value, timestamp)
+        if read_log != self._write_log:
+            raise IntegrityError("log-hash check failed: memory was tampered", kind="loghash")
+        # Start a new epoch from current (now known-consistent) memory.
+        self._read_log = 0
+        self._write_log = 0
+        addresses = list(self._timestamps)
+        self._timestamps = {}
+        self._shadow = {}
+        for address in addresses:
+            self._log_current(address, self.memory.read_block(address))

@@ -1,0 +1,222 @@
+"""Functional Merkle tree over a region of (attackable) physical memory.
+
+This is the real thing, not a timing abstraction: node blocks live in the
+:class:`~repro.mem.dram.BlockMemory` where an adversary can flip them, the
+root MAC lives in an on-chip register, and every read of a covered block
+verifies a MAC chain up to the first *trusted on-chip copy* of a node (the
+caching optimization of [Gassend et al. HPCA'03] that the paper builds on).
+
+Trusted copies are write-through: updates recompute the MAC chain, store
+new node bytes both on-chip and in memory, and finally refresh the root
+register. Evicting a trusted copy is therefore always safe.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..crypto.mac import MacFunction
+from ..mem.dram import BlockMemory
+from ..mem.layout import BLOCK_SIZE, block_address
+from ..core.errors import IntegrityError
+from .geometry import TreeGeometry
+
+
+class RootRegister:
+    """The on-chip secure register holding the tree's root MAC."""
+
+    def __init__(self):
+        self.value: bytes | None = None
+        self.updates = 0
+
+    def store(self, mac: bytes) -> None:
+        self.value = bytes(mac)
+        self.updates += 1
+
+
+class MerkleTree:
+    """A Merkle tree with on-chip node caching over one covered range."""
+
+    def __init__(
+        self,
+        memory: BlockMemory,
+        geometry: TreeGeometry,
+        mac: MacFunction,
+        trusted_capacity: int | None = None,
+    ):
+        self.memory = memory
+        self.geometry = geometry
+        self.mac = mac
+        self.root = RootRegister()
+        self._trusted: OrderedDict[int, bytes] = OrderedDict()
+        self._trusted_capacity = trusted_capacity
+        # Statistics.
+        self.verifications = 0
+        self.node_fetches = 0  # node blocks read from memory (not on-chip)
+        self.trusted_hits = 0
+
+    # -- MAC helpers ---------------------------------------------------------
+
+    def _mac_child(self, child_bytes: bytes, child_level: int, child_index: int) -> bytes:
+        """MAC binding a child block to its level and position (anti-splicing)."""
+        binding = child_level.to_bytes(2, "big") + child_index.to_bytes(8, "big")
+        return self.mac.compute(child_bytes + binding)
+
+    def _mac_top(self, top_bytes: bytes) -> bytes:
+        return self.mac.compute(top_bytes + b"\xff\xfftree-root")
+
+    # -- trusted on-chip copies ----------------------------------------------
+
+    def _trust(self, address: int, node_bytes: bytes) -> None:
+        cache = self._trusted
+        if address in cache:
+            cache.move_to_end(address)
+        cache[address] = node_bytes
+        if self._trusted_capacity is not None and len(cache) > self._trusted_capacity:
+            cache.popitem(last=False)  # write-through: safe to drop
+
+    def trusted_nodes(self) -> int:
+        return len(self._trusted)
+
+    def drop_trusted(self, address: int) -> bool:
+        return self._trusted.pop(address, None) is not None
+
+    def invalidate_covered_range(self, start: int, length: int) -> int:
+        """Drop trusted copies of every node covering [start, start+length).
+
+        Used when a page is swapped out: future accesses to the reused
+        frame must re-verify through memory (paper section 5.1, step 3).
+        """
+        geometry = self.geometry
+        dropped = set()
+        first = block_address(start)
+        for addr in range(first, start + length, BLOCK_SIZE):
+            if not geometry.covers(addr):
+                continue
+            for ref in geometry.walk(addr):
+                if ref.address in self._trusted and ref.address not in dropped:
+                    # Only drop nodes fully inside the invalidated subtree;
+                    # upper shared nodes stay (they are still valid).
+                    first_child, count = geometry.node_child_range(ref.level, ref.index)
+                    if ref.level == 1:
+                        child_lo = geometry.covered_start + first_child * BLOCK_SIZE
+                        child_hi = child_lo + count * BLOCK_SIZE
+                        if start <= child_lo and child_hi <= start + length:
+                            dropped.add(ref.address)
+        for address in dropped:
+            self._trusted.pop(address, None)
+        return len(dropped)
+
+    # -- construction ----------------------------------------------------------
+
+    def build(self) -> None:
+        """(Re)compute every node from current memory content.
+
+        Models the secure-boot step the paper assumes has already happened
+        (section 3): the processor computes the tree over the loaded image.
+        """
+        geometry = self.geometry
+        arity = geometry.arity
+        mac_bytes = self.mac.mac_bytes
+        children = geometry.covered_bytes // BLOCK_SIZE
+        child_reader = lambda i: self.memory.read_block(geometry.covered_start + i * BLOCK_SIZE)
+        for level in range(1, geometry.levels + 1):
+            base = geometry.level_bases[level - 1]
+            count = geometry.level_counts[level - 1]
+            next_reader_blocks = []
+            for node_index in range(count):
+                node = bytearray(BLOCK_SIZE)
+                first = node_index * arity
+                for slot in range(min(arity, children - first)):
+                    child_index = first + slot
+                    mac = self._mac_child(child_reader(child_index), level - 1, child_index)
+                    node[slot * mac_bytes : (slot + 1) * mac_bytes] = mac
+                node_bytes = bytes(node)
+                self.memory.write_block(base + node_index * BLOCK_SIZE, node_bytes)
+                next_reader_blocks.append(node_bytes)
+            children = count
+            child_reader = lambda i, blocks=next_reader_blocks: blocks[i]
+        self.root.store(self._mac_top(child_reader(0)))
+        self._trusted.clear()
+
+    # -- verification ------------------------------------------------------------
+
+    def _trusted_node(self, level: int, index: int) -> bytes:
+        """Return verified bytes of node (level, index), fetching + checking
+        the chain above it as needed."""
+        address = self.geometry.level_bases[level - 1] + index * BLOCK_SIZE
+        cached = self._trusted.get(cache_key := address)
+        if cached is not None:
+            self.trusted_hits += 1
+            self._trusted.move_to_end(cache_key)
+            return cached
+        raw = self.memory.read_block(address)
+        self.node_fetches += 1
+        if level == self.geometry.levels:
+            if self.root.value is None:
+                raise IntegrityError("tree has no root; call build() first", kind="root")
+            if self._mac_top(raw) != self.root.value:
+                raise IntegrityError(
+                    f"Merkle root mismatch for top node at {address:#x}",
+                    address=address,
+                    kind="root",
+                )
+        else:
+            parent = self._trusted_node(level + 1, index // self.geometry.arity)
+            slot = index % self.geometry.arity
+            mac_bytes = self.mac.mac_bytes
+            stored = parent[slot * mac_bytes : (slot + 1) * mac_bytes]
+            if self._mac_child(raw, level, index) != stored:
+                raise IntegrityError(
+                    f"Merkle node mismatch at level {level}, index {index}",
+                    address=address,
+                    kind="node",
+                )
+        self._trust(address, raw)
+        return raw
+
+    def verify(self, address: int, data: bytes | None = None) -> None:
+        """Verify the covered block at ``address`` (optionally with the
+        just-fetched ``data`` to avoid a re-read). Raises IntegrityError."""
+        self.verifications += 1
+        geometry = self.geometry
+        index = geometry.child_index(address)
+        raw = data if data is not None else self.memory.read_block(block_address(address))
+        parent = self._trusted_node(1, index // geometry.arity)
+        slot = index % geometry.arity
+        mac_bytes = self.mac.mac_bytes
+        stored = parent[slot * mac_bytes : (slot + 1) * mac_bytes]
+        if self._mac_child(raw, 0, index) != stored:
+            raise IntegrityError(
+                f"Merkle leaf mismatch for block at {address:#x}",
+                address=address,
+                kind="leaf",
+            )
+
+    # -- update ---------------------------------------------------------------
+
+    def update(self, address: int, new_data: bytes) -> None:
+        """Re-anchor the tree after the covered block at ``address`` changed.
+
+        ``new_data`` must already be the block's bytes in memory (the
+        memory controller writes data first, then updates the tree).
+        """
+        geometry = self.geometry
+        arity = geometry.arity
+        mac_bytes = self.mac.mac_bytes
+        index = geometry.child_index(address)
+        child_bytes = new_data
+        for level in range(1, geometry.levels + 1):
+            node_index = index // arity
+            node = bytearray(self._trusted_node(level, node_index))
+            slot = index % arity
+            node[slot * mac_bytes : (slot + 1) * mac_bytes] = self._mac_child(
+                child_bytes, level - 1, index
+            )
+            node_bytes = bytes(node)
+            node_address = geometry.level_bases[level - 1] + node_index * BLOCK_SIZE
+            self.memory.write_block(node_address, node_bytes)
+            self._trust(node_address, node_bytes)
+            child_bytes = node_bytes
+            index = node_index
+        self.root.store(self._mac_top(child_bytes))

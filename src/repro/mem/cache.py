@@ -1,0 +1,204 @@
+"""Set-associative write-back caches with LRU replacement.
+
+Used for the L1 I/D caches, the unified L2, and the 32KB counter cache
+(paper section 6). Lines are tagged with a *content class* so the shared
+L2 can report how much of its capacity holds data versus Merkle-tree
+nodes — the cache-pollution measurement behind Figure 9.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+# Content classes for cache lines.
+DATA = "data"
+CODE = "code"
+COUNTER = "counter"
+MERKLE = "merkle"
+MAC = "mac"
+
+LINE_CLASSES = (DATA, CODE, COUNTER, MERKLE, MAC)
+
+
+@dataclass
+class Eviction:
+    """A victim line pushed out of the cache by an insertion."""
+
+    block: int  # block index (address // block_size)
+    dirty: bool
+    line_class: str
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/writeback counters plus time-weighted occupancy sums."""
+
+    hits: int = 0
+    misses: int = 0
+    writebacks: int = 0
+    hits_by_class: dict = field(default_factory=dict)
+    misses_by_class: dict = field(default_factory=dict)
+    # Time-weighted occupancy accounting (advanced by ``tick_occupancy``).
+    occupancy_samples: int = 0
+    occupancy_by_class: dict = field(default_factory=dict)
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def occupancy_fraction(self, line_class: str) -> float:
+        """Average fraction of cache lines holding ``line_class`` content."""
+        if not self.occupancy_samples:
+            return 0.0
+        return self.occupancy_by_class.get(line_class, 0) / self.occupancy_samples
+
+
+class SetAssociativeCache:
+    """A write-back, write-allocate, set-associative cache with true LRU.
+
+    Addresses are byte addresses; internally the cache works on block
+    indices. The cache stores only tags and per-line metadata (the
+    functional system keeps payloads in its memory model, so the cache is
+    purely a presence/recency structure usable by both systems).
+    """
+
+    def __init__(self, size_bytes: int, assoc: int, block_size: int = 64, name: str = "cache"):
+        if size_bytes % (assoc * block_size):
+            raise ValueError("cache size must be divisible by assoc * block_size")
+        self.name = name
+        self.size_bytes = size_bytes
+        self.assoc = assoc
+        self.block_size = block_size
+        self.num_sets = size_bytes // (assoc * block_size)
+        self.num_lines = self.num_sets * assoc
+        # Each set maps block_index -> (dirty, line_class); OrderedDict keeps
+        # LRU order with the most recently used entry last.
+        self._sets: list[OrderedDict] = [OrderedDict() for _ in range(self.num_sets)]
+        self._class_lines: dict[str, int] = {}
+        self.stats = CacheStats()
+
+    # -- internal helpers ---------------------------------------------------
+
+    def _set_for(self, block: int) -> OrderedDict:
+        return self._sets[block % self.num_sets]
+
+    # -- core operations ----------------------------------------------------
+
+    def lookup(self, address: int, write: bool = False) -> bool:
+        """Access the block containing ``address``. Returns hit/miss.
+
+        On a hit the line becomes most-recently-used and, for writes,
+        dirty. On a miss the cache is *not* modified — callers decide
+        whether to ``insert`` (modelling fill policy explicitly).
+        """
+        block = address // self.block_size
+        cache_set = self._sets[block % self.num_sets]
+        entry = cache_set.get(block)
+        if entry is None:
+            self.stats.misses += 1
+            return False
+        cache_set.move_to_end(block)
+        if write and not entry[0]:
+            cache_set[block] = (True, entry[1])
+        self.stats.hits += 1
+        return True
+
+    def insert(self, address: int, line_class: str = DATA, dirty: bool = False) -> Eviction | None:
+        """Fill the block containing ``address``, evicting LRU if needed.
+
+        Returns the eviction (if a victim was displaced) so the caller can
+        model the writeback.
+        """
+        block = address // self.block_size
+        cache_set = self._sets[block % self.num_sets]
+        entry = cache_set.get(block)
+        if entry is not None:
+            # Refill of a present line: merge dirty bit, refresh recency.
+            cache_set[block] = (entry[0] or dirty, line_class)
+            cache_set.move_to_end(block)
+            if entry[1] != line_class:
+                self._class_lines[entry[1]] = self._class_lines.get(entry[1], 1) - 1
+                self._class_lines[line_class] = self._class_lines.get(line_class, 0) + 1
+            return None
+        victim = None
+        if len(cache_set) >= self.assoc:
+            vblock, (vdirty, vclass) = cache_set.popitem(last=False)
+            self._class_lines[vclass] = self._class_lines.get(vclass, 1) - 1
+            if vdirty:
+                self.stats.writebacks += 1
+            victim = Eviction(block=vblock, dirty=vdirty, line_class=vclass)
+        cache_set[block] = (dirty, line_class)
+        self._class_lines[line_class] = self._class_lines.get(line_class, 0) + 1
+        return victim
+
+    def contains(self, address: int) -> bool:
+        """Presence test without touching recency or stats."""
+        block = address // self.block_size
+        return block in self._sets[block % self.num_sets]
+
+    def invalidate(self, address: int) -> bool:
+        """Drop the block containing ``address`` (no writeback). True if present."""
+        block = address // self.block_size
+        cache_set = self._sets[block % self.num_sets]
+        entry = cache_set.pop(block, None)
+        if entry is None:
+            return False
+        self._class_lines[entry[1]] = self._class_lines.get(entry[1], 1) - 1
+        return True
+
+    def invalidate_range(self, start_address: int, length: int) -> int:
+        """Invalidate every block overlapping [start, start+length). Returns count.
+
+        Used when a page is swapped out and its Merkle subtree must be
+        forced out of on-chip caches (paper section 5.1).
+        """
+        first = start_address // self.block_size
+        last = (start_address + length - 1) // self.block_size
+        dropped = 0
+        for block in range(first, last + 1):
+            if self.invalidate(block * self.block_size):
+                dropped += 1
+        return dropped
+
+    def flush(self) -> list[Eviction]:
+        """Empty the cache, returning dirty victims in no particular order."""
+        dirty = []
+        for cache_set in self._sets:
+            for block, (is_dirty, line_class) in cache_set.items():
+                if is_dirty:
+                    dirty.append(Eviction(block=block, dirty=True, line_class=line_class))
+            cache_set.clear()
+        self._class_lines.clear()
+        return dirty
+
+    # -- occupancy accounting -------------------------------------------------
+
+    def lines_of_class(self, line_class: str) -> int:
+        """Lines currently holding content of ``line_class``."""
+        return self._class_lines.get(line_class, 0)
+
+    @property
+    def occupied_lines(self) -> int:
+        return sum(self._class_lines.values())
+
+    def tick_occupancy(self) -> None:
+        """Record one occupancy sample (fractions of total capacity).
+
+        Empty (never-filled) lines are counted toward the DATA class, as
+        in the paper's measurement where "fraction of L2 occupied by data"
+        means everything that is not a Merkle-tree node.
+        """
+        stats = self.stats
+        stats.occupancy_samples += self.num_lines
+        for line_class, count in self._class_lines.items():
+            stats.occupancy_by_class[line_class] = (
+                stats.occupancy_by_class.get(line_class, 0) + count
+            )
+        free = self.num_lines - self.occupied_lines
+        if free:
+            stats.occupancy_by_class[DATA] = stats.occupancy_by_class.get(DATA, 0) + free

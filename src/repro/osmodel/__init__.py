@@ -1,0 +1,23 @@
+"""Functional OS model: virtual memory, swapping, processes, and IPC."""
+
+from .filesystem import FileStore
+from .frames import FrameAllocator, FrameInfo
+from .kernel import DiskCipher, Kernel, KernelStats
+from .pagetable import PageTable, PageTableEntry
+from .process import Process
+from .swap import SwapDevice
+from .tlb import TLB
+
+__all__ = [
+    "Kernel",
+    "KernelStats",
+    "DiskCipher",
+    "Process",
+    "PageTable",
+    "PageTableEntry",
+    "FrameAllocator",
+    "FrameInfo",
+    "FileStore",
+    "SwapDevice",
+    "TLB",
+]

@@ -1,0 +1,72 @@
+"""A minimal file store for file-backed mmap.
+
+The paper's IPC argument (section 4.2) leans on mmap being "used
+extensively in glibc for file I/O and memory management" and on shared
+libraries: a single physical page holding file content gets mapped into
+many processes, read-only or copy-on-write. This module provides the
+file substrate; the kernel adds ``mmap_file`` / ``msync`` on top.
+
+Files live on an (unprotected, attacker-visible) disk as plaintext —
+exactly like a program binary or shared library shipped to the machine.
+Protection begins when pages are loaded into the secure processor's
+memory; AISE's address-free seeds are what let one in-memory copy serve
+every mapper.
+"""
+
+from __future__ import annotations
+
+from ..mem.layout import PAGE_SIZE
+
+
+class FileStore:
+    """Named byte arrays on disk, page-granular."""
+
+    def __init__(self):
+        self._files: dict[str, bytearray] = {}
+        self.reads = 0
+        self.writes = 0
+
+    def create(self, name: str, content: bytes = b"") -> None:
+        if name in self._files:
+            raise FileExistsError(f"file {name!r} already exists")
+        self._files[name] = bytearray(content)
+
+    def exists(self, name: str) -> bool:
+        return name in self._files
+
+    def size(self, name: str) -> int:
+        return len(self._file(name))
+
+    def pages(self, name: str) -> int:
+        return (self.size(name) + PAGE_SIZE - 1) // PAGE_SIZE
+
+    def _file(self, name: str) -> bytearray:
+        try:
+            return self._files[name]
+        except KeyError:
+            raise FileNotFoundError(f"no file named {name!r}") from None
+
+    def read_page(self, name: str, page: int) -> bytes:
+        """One page of file content, zero-padded past EOF."""
+        data = self._file(name)
+        self.reads += 1
+        chunk = bytes(data[page * PAGE_SIZE : (page + 1) * PAGE_SIZE])
+        return chunk.ljust(PAGE_SIZE, b"\x00")
+
+    def write_page(self, name: str, page: int, content: bytes) -> None:
+        """Write one page back (msync); grows the file if needed."""
+        if len(content) != PAGE_SIZE:
+            raise ValueError(f"page writes must be {PAGE_SIZE} bytes")
+        data = self._file(name)
+        end = (page + 1) * PAGE_SIZE
+        if len(data) < end:
+            data.extend(bytes(end - len(data)))
+        data[page * PAGE_SIZE : end] = content
+        self.writes += 1
+
+    def raw_content(self, name: str) -> bytes:
+        """Attacker/debug view of the on-disk bytes."""
+        return bytes(self._file(name))
+
+    def unlink(self, name: str) -> None:
+        del self._files[name]

@@ -1,0 +1,77 @@
+"""Per-process page tables for the functional OS model (paper section 4.2).
+
+A page-table entry maps a virtual page to either a physical frame
+(present) or a swap slot (swapped out). COW and shared flags support the
+fork / shared-memory scenarios the paper argues address-based seed
+schemes cannot handle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..mem.layout import PAGE_SIZE
+from ..core.errors import PageFaultError
+
+
+@dataclass
+class PageTableEntry:
+    """One virtual page's mapping state (frame / swap slot / flags)."""
+
+    vpage: int
+    frame: int | None = None  # physical frame index when present
+    swap_slot: int | None = None  # swap slot when not present
+    writable: bool = True
+    cow: bool = False  # copy-on-write pending
+    shared: bool = False  # shared-memory mapping (pinned, never swapped)
+
+    @property
+    def present(self) -> bool:
+        return self.frame is not None
+
+
+class PageTable:
+    """Sparse virtual page -> PTE map for one process."""
+
+    def __init__(self, pid: int):
+        self.pid = pid
+        self._entries: dict[int, PageTableEntry] = {}
+
+    def entry(self, vpage: int) -> PageTableEntry:
+        pte = self._entries.get(vpage)
+        if pte is None:
+            raise PageFaultError(f"pid {self.pid}: no mapping for virtual page {vpage:#x}")
+        return pte
+
+    def lookup(self, vaddr: int) -> PageTableEntry:
+        return self.entry(vaddr // PAGE_SIZE)
+
+    def map(self, vpage: int, **fields) -> PageTableEntry:
+        if vpage in self._entries:
+            raise ValueError(f"pid {self.pid}: virtual page {vpage:#x} already mapped")
+        pte = PageTableEntry(vpage=vpage, **fields)
+        self._entries[vpage] = pte
+        return pte
+
+    def unmap(self, vpage: int) -> PageTableEntry:
+        pte = self.entry(vpage)
+        del self._entries[vpage]
+        return pte
+
+    def is_mapped(self, vpage: int) -> bool:
+        return vpage in self._entries
+
+    def entries(self) -> list[PageTableEntry]:
+        return list(self._entries.values())
+
+    def resident_pages(self) -> list[PageTableEntry]:
+        return [pte for pte in self._entries.values() if pte.present]
+
+    def translate(self, vaddr: int) -> int:
+        """Virtual -> physical address; raises PageFaultError if not present."""
+        pte = self.lookup(vaddr)
+        if not pte.present:
+            raise PageFaultError(
+                f"pid {self.pid}: page {vaddr // PAGE_SIZE:#x} is swapped out"
+            )
+        return pte.frame * PAGE_SIZE + (vaddr % PAGE_SIZE)

@@ -1,0 +1,23 @@
+"""Processes for the functional OS model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .pagetable import PageTable
+
+
+@dataclass
+class Process:
+    """A process: PID, page table, parentage, attached shared segments."""
+
+    pid: int
+    name: str = ""
+    page_table: PageTable = None  # set by the kernel
+    parent_pid: int | None = None
+    alive: bool = True
+    shared_segments: dict = field(default_factory=dict)  # name -> base vpage
+
+    def __post_init__(self):
+        if self.page_table is None:
+            self.page_table = PageTable(self.pid)

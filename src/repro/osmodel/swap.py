@@ -1,0 +1,83 @@
+"""The swap device: attackable disk storage for page images.
+
+Swap-outs are DMA transfers (paper section 4.4: "moving the page in and
+out of the disk can be accomplished with or without the involvement of
+the processor") — the device stores exactly the bytes it is given, and an
+adversary can read or modify them at will. Protection comes solely from
+the page-root directory in tree-covered physical memory (section 5.1).
+"""
+
+from __future__ import annotations
+
+from ..mem.dram import BlockMemory
+from ..mem.layout import BLOCK_SIZE
+from ..core.machine import IMAGE_BLOCKS
+
+
+class SwapDevice:
+    """Fixed-size slots of page images on 'disk'."""
+
+    def __init__(self, slots: int):
+        if slots <= 0:
+            raise ValueError("swap device needs at least one slot")
+        self.slots = slots
+        self.slot_bytes = IMAGE_BLOCKS * BLOCK_SIZE
+        self.storage = BlockMemory(slots * self.slot_bytes, name="swap")
+        self._free = list(range(slots - 1, -1, -1))
+        self._used: set[int] = set()
+        self.writes = 0
+        self.reads = 0
+
+    @property
+    def free_slots(self) -> int:
+        return len(self._free)
+
+    def allocate_slot(self) -> int:
+        if not self._free:
+            raise MemoryError("swap device full")
+        slot = self._free.pop()
+        self._used.add(slot)
+        return slot
+
+    def release_slot(self, slot: int) -> None:
+        if slot not in self._used:
+            raise KeyError(f"slot {slot} not in use")
+        self._used.remove(slot)
+        self._free.append(slot)
+
+    def _base(self, slot: int) -> int:
+        if not 0 <= slot < self.slots:
+            raise IndexError(f"swap slot {slot} out of range")
+        return slot * self.slot_bytes
+
+    def dma_write(self, slot: int, image: bytes) -> None:
+        """Store a page image (no processor involvement, no checks)."""
+        if len(image) != self.slot_bytes:
+            raise ValueError(f"image must be {self.slot_bytes} bytes, got {len(image)}")
+        base = self._base(slot)
+        for offset in range(0, self.slot_bytes, BLOCK_SIZE):
+            self.storage.write_block(base + offset, image[offset : offset + BLOCK_SIZE])
+        self.writes += 1
+
+    def dma_read(self, slot: int) -> bytes:
+        base = self._base(slot)
+        self.reads += 1
+        return b"".join(
+            self.storage.read_block(base + offset)
+            for offset in range(0, self.slot_bytes, BLOCK_SIZE)
+        )
+
+    # -- adversary interface -------------------------------------------------
+
+    def corrupt_slot(self, slot: int, byte_offset: int = 0) -> None:
+        """Flip bytes of a stored image (physical attack on the disk)."""
+        base = self._base(slot) + (byte_offset // BLOCK_SIZE) * BLOCK_SIZE
+        self.storage.corrupt(base)
+
+    def snapshot_slot(self, slot: int) -> bytes:
+        return self.dma_read(slot)
+
+    def replay_slot(self, slot: int, old_image: bytes) -> None:
+        """Put back a previously captured image (replay attack on swap)."""
+        self.dma_write(slot, old_image)
+        self.writes -= 1  # adversary action, not a kernel DMA

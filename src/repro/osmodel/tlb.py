@@ -1,0 +1,59 @@
+"""A small fully-associative TLB with LRU replacement.
+
+Purely a performance structure in this model — translation correctness
+comes from the page tables. Its relevance to the paper: Figure 3's point
+that AISE's LPIDs are found via the *physical* address (counter-cache
+indexed), so the TLB does **not** grow — unlike designs that stash LPIDs
+or virtual addresses in TLB entries (section 4.3).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class TLB:
+    """Fully-associative LRU translation lookaside buffer (stats only)."""
+
+    def __init__(self, entries: int = 64):
+        if entries <= 0:
+            raise ValueError("TLB needs at least one entry")
+        self.capacity = entries
+        self._map: OrderedDict[tuple[int, int], int] = OrderedDict()  # (pid, vpage) -> frame
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, pid: int, vpage: int) -> int | None:
+        key = (pid, vpage)
+        frame = self._map.get(key)
+        if frame is None:
+            self.misses += 1
+            return None
+        self._map.move_to_end(key)
+        self.hits += 1
+        return frame
+
+    def fill(self, pid: int, vpage: int, frame: int) -> None:
+        key = (pid, vpage)
+        if key in self._map:
+            self._map.move_to_end(key)
+        self._map[key] = frame
+        if len(self._map) > self.capacity:
+            self._map.popitem(last=False)
+
+    def invalidate(self, pid: int, vpage: int) -> None:
+        self._map.pop((pid, vpage), None)
+
+    def invalidate_frame(self, frame: int) -> None:
+        """Shoot down every entry pointing at a frame (swap-out, COW break)."""
+        stale = [key for key, value in self._map.items() if value == frame]
+        for key in stale:
+            del self._map[key]
+
+    def flush(self) -> None:
+        self._map.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,25 @@
+"""Trace-driven timing simulation of the secure memory system."""
+
+from .l1filter import filter_through_l1, l1_hit_rate
+from .recorder import AccessRecorder
+from .results import SimResult
+from .simulator import TimingSimulator, simulate
+from .trace import OP_READ, OP_WRITE, Trace
+from .traceio import dinero_from_text, dump_dinero, load_dinero, load_trace, save_trace
+
+__all__ = [
+    "TimingSimulator",
+    "simulate",
+    "SimResult",
+    "Trace",
+    "OP_READ",
+    "OP_WRITE",
+    "save_trace",
+    "load_trace",
+    "load_dinero",
+    "dump_dinero",
+    "dinero_from_text",
+    "filter_through_l1",
+    "l1_hit_rate",
+    "AccessRecorder",
+]

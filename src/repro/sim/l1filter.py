@@ -1,0 +1,82 @@
+"""L1 front-end: turn raw access traces into the L2-access traces the
+timing simulator consumes.
+
+The simulator models from the L2 down (DESIGN.md section 5); generated
+workloads are already L1-filtered by construction. Real traces (e.g.
+Dinero captures, see :mod:`repro.sim.traceio`) are raw loads/stores, so
+this utility runs them through the paper's L1D (32KB, 2-way, 64B blocks,
+write-back write-allocate) and emits:
+
+* one read event per L1 miss (the fill request seen by the L2), carrying
+  the instructions accumulated since the previous L2 access, and
+* one write event per dirty L1 eviction (the writeback into the L2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.config import CacheConfig, MachineConfig
+from ..mem.cache import DATA, SetAssociativeCache
+from .trace import OP_READ, OP_WRITE, Trace
+
+
+def filter_through_l1(
+    trace: Trace,
+    l1: CacheConfig | None = None,
+    block_size: int = 64,
+) -> Trace:
+    """Simulate the L1D over ``trace`` and return the L2-access stream."""
+    if l1 is None:
+        l1 = MachineConfig().l1d
+    cache = SetAssociativeCache(l1.size_bytes, l1.assoc, block_size, "L1D")
+
+    out_gaps: list[int] = []
+    out_ops: list[int] = []
+    out_addresses: list[int] = []
+    pending_gap = 0
+
+    gaps = trace.gaps.tolist()
+    ops = trace.ops.tolist()
+    addresses = ((trace.addresses // block_size) * block_size).tolist()
+
+    for gap, op, address in zip(gaps, ops, addresses):
+        pending_gap += gap
+        if cache.lookup(address, write=op == OP_WRITE):
+            pending_gap += 1  # the memory instruction itself retired in L1
+            continue
+        # L1 miss: the fill is the L2 access.
+        out_gaps.append(pending_gap)
+        out_ops.append(OP_READ)
+        out_addresses.append(address)
+        pending_gap = 0
+        victim = cache.insert(address, DATA, dirty=op == OP_WRITE)
+        if victim is not None and victim.dirty:
+            # Dirty L1 eviction: a store into the L2.
+            out_gaps.append(0)
+            out_ops.append(OP_WRITE)
+            out_addresses.append(victim.block * block_size)
+
+    filtered = Trace(
+        gaps=np.asarray(out_gaps, dtype=np.uint32),
+        ops=np.asarray(out_ops, dtype=np.uint8),
+        addresses=np.asarray(out_addresses, dtype=np.uint64),
+        name=f"{trace.name}@L2",
+    )
+    return filtered
+
+
+def l1_hit_rate(trace: Trace, l1: CacheConfig | None = None, block_size: int = 64) -> float:
+    """Convenience: the L1D hit rate of a raw trace."""
+    if l1 is None:
+        l1 = MachineConfig().l1d
+    cache = SetAssociativeCache(l1.size_bytes, l1.assoc, block_size, "L1D")
+    hits = 0
+    addresses = ((trace.addresses // block_size) * block_size).tolist()
+    ops = trace.ops.tolist()
+    for op, address in zip(ops, addresses):
+        if cache.lookup(address, write=op == OP_WRITE):
+            hits += 1
+        else:
+            cache.insert(address, DATA, dirty=op == OP_WRITE)
+    return hits / len(addresses) if addresses else 0.0

@@ -1,0 +1,76 @@
+"""Record functional workloads as timing traces.
+
+Bridges the library's two worlds: run any workload on the functional
+:class:`~repro.core.machine.SecureMemorySystem` (directly or through the
+OS kernel), capture the stream of data-region block accesses it makes,
+and replay that stream on the :class:`~repro.sim.TimingSimulator` under
+any protection configuration.
+
+Only *data-region* accesses are recorded — metadata traffic (counters,
+MACs, tree nodes) is the timing model's job to regenerate for whichever
+scheme it simulates; recording it would double-count and would bake one
+scheme's metadata into another scheme's run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.machine import SecureMemorySystem
+from .trace import OP_READ, OP_WRITE, Trace
+
+
+class AccessRecorder:
+    """Context manager capturing a machine's data-block access stream.
+
+    >>> with AccessRecorder(machine) as recorder:
+    ...     kernel.write(pid, 0x10000, b"...")
+    >>> trace = recorder.to_trace("my-workload")
+    """
+
+    def __init__(self, machine: SecureMemorySystem, mean_gap: int = 10):
+        self.machine = machine
+        self.mean_gap = mean_gap
+        self._log: list | None = None
+
+    def __enter__(self) -> "AccessRecorder":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def start(self) -> None:
+        if self.machine.memory.access_log is not None:
+            raise RuntimeError("another recorder is already attached to this machine")
+        self._log = []
+        self.machine.memory.access_log = self._log
+
+    def stop(self) -> None:
+        if self.machine.memory.access_log is self._log:
+            self.machine.memory.access_log = None
+
+    @property
+    def raw_events(self) -> list:
+        """All recorded (op, address) pairs, including metadata accesses."""
+        if self._log is None:
+            raise RuntimeError("recorder was never started")
+        return list(self._log)
+
+    def to_trace(self, name: str = "recorded") -> Trace:
+        """The data-region access stream as a simulator-ready trace."""
+        data_limit = self.machine.layout.data_bytes
+        ops = []
+        addresses = []
+        for op, address in self.raw_events:
+            if address >= data_limit:
+                continue  # metadata region: the timing model regenerates it
+            ops.append(OP_WRITE if op == "w" else OP_READ)
+            addresses.append(address)
+        count = len(ops)
+        return Trace(
+            gaps=np.full(count, self.mean_gap, dtype=np.uint32),
+            ops=np.asarray(ops, dtype=np.uint8),
+            addresses=np.asarray(addresses, dtype=np.uint64),
+            name=name,
+        )

@@ -1,0 +1,50 @@
+"""Result containers for timing simulations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SimResult:
+    """Everything a figure needs from one (workload, configuration) run."""
+
+    name: str
+    config_label: str
+    cycles: float
+    instructions: int
+
+    # L2 (demand data accesses only, i.e. the paper's local miss rate).
+    l2_accesses: int = 0
+    l2_misses: int = 0
+    l2_data_fraction: float = 1.0  # Figure 9: avg fraction of L2 holding data
+    l2_merkle_fraction: float = 0.0
+
+    # Counter cache.
+    counter_accesses: int = 0
+    counter_misses: int = 0
+
+    # Bus.
+    bus_utilization: float = 0.0
+    bus_transfers_by_kind: dict = field(default_factory=dict)
+
+    # Crypto exposure.
+    exposed_decrypt_cycles: float = 0.0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def l2_miss_rate(self) -> float:
+        return self.l2_misses / self.l2_accesses if self.l2_accesses else 0.0
+
+    @property
+    def counter_miss_rate(self) -> float:
+        return self.counter_misses / self.counter_accesses if self.counter_accesses else 0.0
+
+    def overhead_vs(self, base: "SimResult") -> float:
+        """Normalized execution-time overhead: cycles/base - 1."""
+        if base.cycles <= 0:
+            return 0.0
+        return self.cycles / base.cycles - 1.0

@@ -1,0 +1,338 @@
+"""Trace-driven timing model of the secure processor's memory system.
+
+Reproduces the performance methodology of the paper's section 6:
+
+* timely but **non-precise** integrity verification — Merkle/MAC fetches
+  consume bus bandwidth and L2 space but never stall retirement;
+* counter-mode decryption is off the critical path **iff** the block's
+  counter is found in the counter cache at miss time; otherwise the pad
+  cannot be generated until the counter block arrives, exposing AES
+  latency;
+* Merkle-tree nodes are cached in the **shared L2** (the pollution effect
+  of Figure 9); BMT caches only tree nodes — per-block data MACs are
+  fetched but never cached (section 5.2);
+* every off-chip transfer serializes over one memory bus whose occupancy
+  gives Figure 10b's utilization.
+
+The core is deliberately simple — an out-of-order core is abstracted to
+an issue width plus a stall-overlap factor — because every effect the
+paper reports is a *memory-system* effect.
+"""
+
+from __future__ import annotations
+
+from ..core.config import (
+    ENC_AISE,
+    ENC_DIRECT,
+    ENC_GLOBAL32,
+    ENC_GLOBAL64,
+    ENC_PHYS,
+    ENC_SPLIT,
+    ENC_VIRT,
+    INT_BMT,
+    INT_MAC,
+    INT_MT,
+    INT_NONE,
+    MachineConfig,
+)
+from ..core.machine import plan_layout
+from ..mem.bus import MemoryBus
+from ..mem.cache import COUNTER, DATA, MAC, MERKLE, SetAssociativeCache
+from ..mem.layout import BLOCK_SIZE, PAGE_SIZE
+from .results import SimResult
+from .trace import Trace
+
+_OCCUPANCY_SAMPLE_PERIOD = 64  # events between L2 occupancy samples
+
+
+class TimingSimulator:
+    """Runs traces against one machine configuration."""
+
+    def __init__(self, config: MachineConfig, overlap: float = 0.7):
+        self.config = config
+        self.overlap = overlap  # fraction of raw miss latency exposed as stall
+        layout, geometry = plan_layout(config)
+        self.layout = layout
+
+        # Encryption model parameters.
+        enc = config.encryption
+        self.enc = enc
+        self.uses_counter_cache = enc in (
+            ENC_AISE, ENC_SPLIT, ENC_GLOBAL32, ENC_GLOBAL64, ENC_PHYS, ENC_VIRT
+        )
+        if self.uses_counter_cache:
+            if enc in (ENC_AISE, ENC_SPLIT):
+                blocks_per_cb = PAGE_SIZE // BLOCK_SIZE  # 64: one page per counter block
+            elif enc == ENC_GLOBAL64:
+                blocks_per_cb = BLOCK_SIZE // 8  # 8
+            else:  # 4-byte per-block counters (global32 / phys / virt)
+                blocks_per_cb = BLOCK_SIZE // 4  # 16
+            self._cb_span = blocks_per_cb * BLOCK_SIZE
+            self._ctr_base = layout.counter_base
+
+        # Integrity model parameters.
+        integ = config.integrity
+        self.integ = integ
+        self._walk_bases: list[int] = []
+        self._arity = 1
+        self._covered_start = 0
+        if geometry is not None:
+            self._walk_bases = list(geometry.level_bases)
+            self._arity = geometry.arity
+            self._covered_start = geometry.covered_start
+        self._mac_base = layout.mac_base
+        self._mac_bytes = config.mac_bytes
+        self._cache_data_macs = config.caches_data_macs
+
+        # Hardware structures.
+        l2cfg = config.l2
+        l2_bytes = l2cfg.size_bytes
+        if enc == ENC_VIRT:
+            # Table 1's "VA storage in L2": the virtual-address scheme must
+            # keep each line's virtual address alongside its physical tag
+            # (virtual addresses are gone past the L1). Model the SRAM cost
+            # as capacity lost to the 4-byte per-line field.
+            overhead = config.block_size / (config.block_size + 4)
+            l2_bytes = int(l2_bytes * overhead) // (l2cfg.assoc * config.block_size)
+            l2_bytes *= l2cfg.assoc * config.block_size
+        self.l2 = SetAssociativeCache(l2_bytes, l2cfg.assoc, config.block_size, "L2")
+        cccfg = config.counter_cache
+        self.counter_cache = SetAssociativeCache(
+            cccfg.size_bytes, cccfg.assoc, config.block_size, "counter"
+        )
+        self.node_cache = None
+        if config.node_cache is not None:
+            ncfg = config.node_cache
+            self.node_cache = SetAssociativeCache(
+                ncfg.size_bytes, ncfg.assoc, config.block_size, "nodes"
+            )
+        self.bus = MemoryBus(config.bus_cycles_per_block)
+        self.mem_latency = config.memory_latency
+        self.l2_hit_latency = l2cfg.hit_latency
+        self.aes_latency = config.aes_latency
+        self.mac_latency = config.mac_latency
+        self.issue_width = config.issue_width
+        self.precise = config.precise_verification
+
+        # Demand-stream statistics (the paper's local L2 miss rate counts
+        # only demand data accesses, not metadata lookups).
+        self.demand_accesses = 0
+        self.demand_misses = 0
+        self.exposed_cycles = 0.0
+        self.counter_accesses = 0
+        self.counter_misses = 0
+
+    # -- metadata address helpers -------------------------------------------------
+
+    def _counter_block_addr(self, addr: int) -> int:
+        return self._ctr_base + (addr // self._cb_span) * BLOCK_SIZE
+
+    def _mac_block_addr(self, addr: int) -> int:
+        return self._mac_base + (addr // BLOCK_SIZE * self._mac_bytes // BLOCK_SIZE) * BLOCK_SIZE
+
+    # -- integrity traffic ---------------------------------------------------------
+
+    def _tree_walk(self, covered_addr: int, now: float, make_dirty: bool) -> int:
+        """Fetch Merkle nodes up to the first one cached in L2.
+
+        Under non-precise verification (the paper's default, section 6)
+        this costs bandwidth and L2 occupancy only; the precise mode uses
+        the returned count of fetched nodes to stall the pipeline.
+        """
+        index = (covered_addr - self._covered_start) // BLOCK_SIZE
+        arity = self._arity
+        l2 = self.node_cache if self.node_cache is not None else self.l2
+        fetched = 0
+        for base in self._walk_bases:
+            index //= arity
+            node_addr = base + index * BLOCK_SIZE
+            if l2.lookup(node_addr, write=make_dirty):
+                return fetched
+            self.bus.request(now, "merkle")
+            fetched += 1
+            victim = l2.insert(node_addr, MERKLE, dirty=make_dirty)
+            if victim is not None and victim.dirty:
+                self._writeback(victim, now)
+        # Fell off the top: the root register verifies/absorbs the update.
+        return fetched
+
+    def _data_mac_traffic(self, addr: int, now: float, write: bool) -> int:
+        """Per-block MAC fetch/update for BMT and MAC-only schemes.
+
+        Returns the number of off-chip fetches it issued (0 when the MAC
+        was found cached) for the precise-verification mode.
+        """
+        mac_addr = self._mac_block_addr(addr)
+        if self._cache_data_macs:
+            if self.l2.lookup(mac_addr, write=write):
+                return 0
+            self.bus.request(now, "mac")
+            victim = self.l2.insert(mac_addr, MAC, dirty=write)
+            if victim is not None and victim.dirty:
+                self._writeback(victim, now)
+            return 1
+        # Uncached MACs: every miss fetches, every writeback read-modify-
+        # writes — but only the MAC itself crosses the bus, not a full line.
+        self.bus.request(now, "mac_wb" if write else "mac",
+                         fraction=self._mac_bytes / BLOCK_SIZE)
+        return 0 if write else 1
+
+    # -- counter path -----------------------------------------------------------------
+
+    def _counter_access(self, addr: int, now: float, write: bool, data_ready: float) -> float:
+        """Look up the block's counter; returns extra critical-path stall.
+
+        A counter-cache hit lets pad generation overlap the data fetch
+        (AES latency < memory latency: fully hidden). A miss must fetch —
+        and, under a tree scheme, verify — the counter block first.
+        """
+        cb_addr = self._counter_block_addr(addr)
+        self.counter_accesses += 1
+        if self.counter_cache.lookup(cb_addr, write=write):
+            return 0.0
+        self.counter_misses += 1
+        start, _ = self.bus.request(now, "counter")
+        counter_ready = start + self.mem_latency
+        victim = self.counter_cache.insert(cb_addr, COUNTER, dirty=write)
+        if victim is not None and victim.dirty:
+            self._writeback_counter_block(victim.block * BLOCK_SIZE, now)
+        if self.integ in (INT_MT, INT_BMT):
+            self._tree_walk(cb_addr, now, make_dirty=False)
+        if write:
+            return 0.0  # writebacks are off the critical path
+        pad_ready = counter_ready + self.aes_latency
+        return max(0.0, pad_ready - data_ready)
+
+    def _writeback_counter_block(self, cb_addr: int, now: float) -> None:
+        self.bus.request(now, "counter_wb")
+        if self.integ in (INT_MT, INT_BMT):
+            self._tree_walk(cb_addr, now, make_dirty=True)
+
+    # -- writebacks ---------------------------------------------------------------------
+
+    def _writeback(self, victim, now: float) -> None:
+        addr = victim.block * BLOCK_SIZE
+        if victim.line_class == MERKLE or victim.line_class == MAC:
+            self.bus.request(now, "merkle_wb")
+            return
+        # Dirty data leaving the chip: encrypt (bump counter) + re-MAC.
+        self.bus.request(now, "data_wb")
+        if self.uses_counter_cache:
+            self._counter_access(addr, now, write=True, data_ready=now)
+        if self.integ == INT_MT:
+            self._tree_walk(addr, now, make_dirty=True)
+        elif self.integ in (INT_BMT, INT_MAC):
+            self._data_mac_traffic(addr, now, write=True)
+
+    # -- the demand miss path --------------------------------------------------------------
+
+    def _miss(self, addr: int, is_write: bool, now: float) -> float:
+        """Handle an L2 demand miss; returns the raw critical-path latency."""
+        start, _ = self.bus.request(now, "data")
+        data_ready = start + self.mem_latency
+        extra = 0.0
+        if self.uses_counter_cache:
+            extra = self._counter_access(addr, now, write=False, data_ready=data_ready)
+            self.exposed_cycles += extra
+        elif self.enc == ENC_DIRECT:
+            extra = self.aes_latency  # decryption serialized after the fetch
+            self.exposed_cycles += extra
+        integrity_fetches = 0
+        if self.integ == INT_MT:
+            integrity_fetches = self._tree_walk(addr, now, make_dirty=False)
+        elif self.integ in (INT_BMT, INT_MAC):
+            integrity_fetches = self._data_mac_traffic(addr, now, write=False)
+        if self.precise and self.integ != INT_NONE:
+            # Precise verification: the load cannot retire until the MAC
+            # chain checks out — the hash latency always shows, plus a
+            # serialized memory round-trip when metadata had to be fetched.
+            extra += self.mac_latency
+            if integrity_fetches:
+                extra += self.mem_latency
+        victim = self.l2.insert(addr, DATA, dirty=is_write)
+        if victim is not None and victim.dirty:
+            self._writeback(victim, now)
+        return (data_ready - now) + extra
+
+    # -- main loop ------------------------------------------------------------------------------
+
+    def _reset_stats(self) -> None:
+        """Zero statistics while keeping all warm state (caches, bus clock)."""
+        from ..mem.bus import BusStats
+        from ..mem.cache import CacheStats
+
+        self.l2.stats = CacheStats()
+        self.counter_cache.stats = CacheStats()
+        self.bus.stats = BusStats()
+        self.demand_accesses = 0
+        self.demand_misses = 0
+        self.exposed_cycles = 0.0
+        self.counter_accesses = 0
+        self.counter_misses = 0
+
+    def run(self, trace: Trace, label: str | None = None, warmup: float = 0.25) -> SimResult:
+        """Simulate the trace; the first ``warmup`` fraction of events warms
+        the caches (the paper fast-forwards 5B instructions) and is excluded
+        from every reported statistic, including cycle counts."""
+        gaps = trace.gaps.tolist()
+        ops = trace.ops.tolist()
+        addresses = ((trace.addresses // BLOCK_SIZE) * BLOCK_SIZE).tolist()
+
+        l2 = self.l2
+        issue = self.issue_width
+        hit_latency = self.l2_hit_latency
+        overlap = self.overlap
+        now = 0.0
+        sample_countdown = _OCCUPANCY_SAMPLE_PERIOD
+        warm_events = int(len(addresses) * warmup)
+        measured_from = 0.0
+        measured_instructions = 0
+        event_index = 0
+
+        for gap, op, addr in zip(gaps, ops, addresses):
+            if event_index == warm_events:
+                self._reset_stats()
+                measured_from = now
+            event_index += 1
+            now += gap / issue
+            self.demand_accesses += 1
+            if l2.lookup(addr, write=op == 1):
+                now += hit_latency
+            else:
+                self.demand_misses += 1
+                now += hit_latency + self._miss(addr, op == 1, now) * overlap
+            if event_index > warm_events:
+                measured_instructions += gap + 1
+            sample_countdown -= 1
+            if sample_countdown == 0:
+                l2.tick_occupancy()
+                sample_countdown = _OCCUPANCY_SAMPLE_PERIOD
+
+        if addresses and warm_events >= len(addresses):
+            # Degenerate warmup covering the whole trace: nothing measured.
+            self._reset_stats()
+            measured_from = now
+            measured_instructions = 0
+
+        stats = self.l2.stats
+        measured_cycles = now - measured_from
+        return SimResult(
+            name=trace.name,
+            config_label=label or f"{self.config.encryption}+{self.config.integrity}",
+            cycles=measured_cycles,
+            instructions=measured_instructions,
+            l2_accesses=self.demand_accesses,
+            l2_misses=self.demand_misses,
+            l2_data_fraction=stats.occupancy_fraction(DATA),
+            l2_merkle_fraction=stats.occupancy_fraction(MERKLE) + stats.occupancy_fraction(MAC),
+            counter_accesses=self.counter_accesses,
+            counter_misses=self.counter_misses,
+            bus_utilization=self.bus.stats.utilization(int(measured_cycles)),
+            bus_transfers_by_kind=dict(self.bus.stats.transfers_by_kind),
+            exposed_decrypt_cycles=self.exposed_cycles,
+        )
+
+
+def simulate(trace: Trace, config: MachineConfig, overlap: float = 0.7, label: str | None = None) -> SimResult:
+    """One-shot convenience: fresh simulator, one trace."""
+    return TimingSimulator(config, overlap=overlap).run(trace, label=label)

@@ -1,0 +1,84 @@
+"""Memory-access traces for the timing simulator.
+
+A trace is the stream of *L2 accesses* (L1 misses) of a program: for each
+event, the number of instructions executed since the previous event, the
+operation (read/write), and the physical block address. Driving the model
+with L1-filtered streams keeps a pure-Python simulator fast while leaving
+every effect the paper measures (L2 behaviour, bus traffic, metadata
+caching) fully modelled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..mem.layout import BLOCK_SIZE
+
+OP_READ = 0
+OP_WRITE = 1
+
+
+@dataclass
+class Trace:
+    """Column-oriented access trace."""
+
+    gaps: np.ndarray  # instructions since previous event (uint32)
+    ops: np.ndarray  # OP_READ / OP_WRITE (uint8)
+    addresses: np.ndarray  # byte addresses (uint64), block-aligned
+    name: str = "trace"
+
+    def __post_init__(self):
+        n = len(self.addresses)
+        if len(self.gaps) != n or len(self.ops) != n:
+            raise ValueError("trace columns must have equal length")
+
+    def __len__(self) -> int:
+        return len(self.addresses)
+
+    @property
+    def instructions(self) -> int:
+        return int(self.gaps.sum()) + len(self)
+
+    @property
+    def write_fraction(self) -> float:
+        return float(self.ops.mean()) if len(self) else 0.0
+
+    @property
+    def footprint_bytes(self) -> int:
+        if not len(self):
+            return 0
+        unique_blocks = np.unique(self.addresses // BLOCK_SIZE)
+        return int(len(unique_blocks)) * BLOCK_SIZE
+
+    def aligned(self) -> "Trace":
+        """Return a copy with block-aligned addresses."""
+        return Trace(
+            gaps=self.gaps,
+            ops=self.ops,
+            addresses=(self.addresses // BLOCK_SIZE) * BLOCK_SIZE,
+            name=self.name,
+        )
+
+    @classmethod
+    def from_lists(cls, events: list[tuple[int, int, int]], name: str = "trace") -> "Trace":
+        """Build from [(gap, op, address), ...] tuples (tests, examples)."""
+        if events:
+            gaps, ops, addresses = zip(*events)
+        else:
+            gaps, ops, addresses = (), (), ()
+        return cls(
+            gaps=np.asarray(gaps, dtype=np.uint32),
+            ops=np.asarray(ops, dtype=np.uint8),
+            addresses=np.asarray(addresses, dtype=np.uint64),
+            name=name,
+        )
+
+    def concat(self, other: "Trace") -> "Trace":
+        return Trace(
+            gaps=np.concatenate([self.gaps, other.gaps]),
+            ops=np.concatenate([self.ops, other.ops]),
+            addresses=np.concatenate([self.addresses, other.addresses]),
+            name=f"{self.name}+{other.name}",
+        )

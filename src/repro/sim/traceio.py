@@ -1,0 +1,115 @@
+"""Trace persistence and interchange.
+
+Two formats:
+
+* the library's own ``.npz`` (compressed numpy columns + metadata) for
+  fast round-trips of generated traces, and
+* the classic **Dinero** text format (``<op> <hex-address>`` per line,
+  op 0 = read, 1 = write, 2 = ifetch) so real traces captured by other
+  tools (Pin, Valgrind's lackey, dineroIV workloads) can drive the
+  timing simulator. Dinero traces carry no timing, so instruction gaps
+  are synthesized with a fixed ``mean_gap``.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+
+import numpy as np
+
+from .trace import OP_READ, OP_WRITE, Trace
+
+_NPZ_VERSION = 1
+
+
+def save_trace(trace: Trace, path: str) -> None:
+    """Write a trace as compressed ``.npz``."""
+    np.savez_compressed(
+        path,
+        version=np.asarray([_NPZ_VERSION]),
+        name=np.asarray([trace.name]),
+        gaps=trace.gaps,
+        ops=trace.ops,
+        addresses=trace.addresses,
+    )
+
+
+def load_trace(path: str) -> Trace:
+    """Load a trace written by :func:`save_trace`."""
+    with np.load(path, allow_pickle=False) as data:
+        version = int(data["version"][0])
+        if version != _NPZ_VERSION:
+            raise ValueError(f"unsupported trace version {version}")
+        return Trace(
+            gaps=data["gaps"].astype(np.uint32),
+            ops=data["ops"].astype(np.uint8),
+            addresses=data["addresses"].astype(np.uint64),
+            name=str(data["name"][0]),
+        )
+
+
+def load_dinero(source, mean_gap: int = 10, name: str | None = None) -> Trace:
+    """Parse a Dinero-format text trace.
+
+    ``source`` is a path or a file-like object. Lines are
+    ``<label> <hex address>`` where label 0 = data read, 1 = data write,
+    2 = instruction fetch (treated as a read). Blank lines and lines
+    starting with ``#`` are ignored.
+    """
+    close = False
+    if isinstance(source, (str, os.PathLike)):
+        handle = open(source, "r")
+        close = True
+        if name is None:
+            name = os.path.basename(str(source))
+    else:
+        handle = source
+        if name is None:
+            name = "dinero"
+    ops = []
+    addresses = []
+    try:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise ValueError(f"line {line_number}: expected '<op> <address>', got {line!r}")
+            label, address_text = parts[0], parts[1]
+            if label not in ("0", "1", "2"):
+                raise ValueError(f"line {line_number}: unknown access label {label!r}")
+            ops.append(OP_WRITE if label == "1" else OP_READ)
+            addresses.append(int(address_text, 16))
+    finally:
+        if close:
+            handle.close()
+    count = len(ops)
+    return Trace(
+        gaps=np.full(count, mean_gap, dtype=np.uint32),
+        ops=np.asarray(ops, dtype=np.uint8),
+        addresses=np.asarray(addresses, dtype=np.uint64),
+        name=name,
+    )
+
+
+def dump_dinero(trace: Trace, path_or_handle) -> None:
+    """Write a trace in Dinero text format (gaps are not representable)."""
+    close = False
+    if isinstance(path_or_handle, (str, os.PathLike)):
+        handle = open(path_or_handle, "w")
+        close = True
+    else:
+        handle = path_or_handle
+    try:
+        for op, address in zip(trace.ops.tolist(), trace.addresses.tolist()):
+            handle.write(f"{int(op)} {int(address):x}\n")
+    finally:
+        if close:
+            handle.close()
+
+
+def dinero_from_text(text: str, mean_gap: int = 10, name: str = "dinero") -> Trace:
+    """Convenience: parse Dinero format from an in-memory string."""
+    return load_dinero(io.StringIO(text), mean_gap=mean_gap, name=name)

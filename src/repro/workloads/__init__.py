@@ -1,0 +1,26 @@
+"""Workload generation: synthetic kernels and SPEC2K-like profiles."""
+
+from .multiprogram import interleave, multiprogrammed_spec
+from .spec2k import MEMORY_BOUND, SPEC2K_BENCHMARKS, all_spec_traces, profile, spec_trace
+from .synthetic import (
+    WorkloadProfile,
+    generate_trace,
+    pointer_chase_trace,
+    resident_trace,
+    streaming_trace,
+)
+
+__all__ = [
+    "WorkloadProfile",
+    "generate_trace",
+    "streaming_trace",
+    "pointer_chase_trace",
+    "resident_trace",
+    "SPEC2K_BENCHMARKS",
+    "MEMORY_BOUND",
+    "profile",
+    "spec_trace",
+    "all_spec_traces",
+    "interleave",
+    "multiprogrammed_spec",
+]

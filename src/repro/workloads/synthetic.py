@@ -1,0 +1,127 @@
+"""Synthetic trace generators.
+
+The paper drives its evaluation with SPEC CPU2000 reference traces; we
+have no access to those (and no SESC), so workloads are generated
+synthetically from a small set of knobs that control exactly the
+quantities the paper's figures depend on:
+
+* ``hot_bytes`` / ``hot_fraction`` — a reuse region that should live in
+  the L2; accesses to it hit unless *metadata pollution* evicts it (the
+  mechanism behind Figures 9/10);
+* ``cold_bytes`` — a larger region whose accesses mostly miss, streamed
+  sequentially in runs of ``chunk_blocks`` (spatial locality controls
+  how well counter blocks and leaf Merkle nodes amortize) or fully at
+  random for pointer-chasing workloads;
+* ``write_fraction`` — writeback (and hence counter/MAC update) traffic;
+* ``mean_gap`` — instructions between L2 accesses (memory intensity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..mem.layout import BLOCK_SIZE, PAGE_SIZE
+from ..sim.trace import Trace
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Knobs for one synthetic benchmark."""
+
+    name: str
+    hot_bytes: int = 512 * 1024
+    cold_bytes: int = 4 * 1024 * 1024
+    hot_fraction: float = 0.6
+    chunk_blocks: int = 16  # sequential run length in the cold region (1 = random)
+    write_fraction: float = 0.3
+    mean_gap: int = 20
+
+    def __post_init__(self):
+        if not 0.0 <= self.hot_fraction <= 1.0:
+            raise ValueError("hot_fraction must be in [0, 1]")
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise ValueError("write_fraction must be in [0, 1]")
+        if self.chunk_blocks < 1:
+            raise ValueError("chunk_blocks must be >= 1")
+
+    @property
+    def footprint_bytes(self) -> int:
+        return self.hot_bytes + self.cold_bytes
+
+
+def _page_round(size: int) -> int:
+    return (size + PAGE_SIZE - 1) // PAGE_SIZE * PAGE_SIZE
+
+
+def generate_trace(profile: WorkloadProfile, events: int, seed: int = 1) -> Trace:
+    """Generate an L2-access trace for a profile (deterministic per seed)."""
+    rng = np.random.default_rng(seed)
+    hot_blocks = max(1, profile.hot_bytes // BLOCK_SIZE)
+    cold_blocks = max(1, profile.cold_bytes // BLOCK_SIZE)
+    cold_base = _page_round(profile.hot_bytes)
+
+    pick_hot = rng.random(events) < profile.hot_fraction
+    n_cold = int(events - pick_hot.sum())
+
+    addresses = np.empty(events, dtype=np.uint64)
+    hot_addresses = rng.integers(0, hot_blocks, int(pick_hot.sum()), dtype=np.uint64) * BLOCK_SIZE
+    addresses[pick_hot] = hot_addresses
+
+    if n_cold:
+        chunk = profile.chunk_blocks
+        runs = (n_cold + chunk - 1) // chunk
+        starts = rng.integers(0, cold_blocks, runs, dtype=np.uint64)
+        offsets = np.arange(chunk, dtype=np.uint64)
+        cold_stream = ((starts[:, None] + offsets[None, :]) % cold_blocks).ravel()[:n_cold]
+        addresses[~pick_hot] = cold_base + cold_stream * BLOCK_SIZE
+
+    ops = (rng.random(events) < profile.write_fraction).astype(np.uint8)
+    gaps = rng.geometric(1.0 / max(1, profile.mean_gap), events).astype(np.uint32)
+    return Trace(gaps=gaps, ops=ops, addresses=addresses, name=profile.name)
+
+
+def streaming_trace(events: int, footprint_bytes: int, write_fraction: float = 0.25,
+                    mean_gap: int = 15, seed: int = 1, name: str = "stream") -> Trace:
+    """Pure sequential sweep — the worst case for capacity, best for spatial
+    locality of counters and leaf MACs."""
+    profile = WorkloadProfile(
+        name=name,
+        hot_bytes=BLOCK_SIZE,
+        cold_bytes=footprint_bytes,
+        hot_fraction=0.0,
+        chunk_blocks=256,
+        write_fraction=write_fraction,
+        mean_gap=mean_gap,
+    )
+    return generate_trace(profile, events, seed)
+
+
+def pointer_chase_trace(events: int, footprint_bytes: int, write_fraction: float = 0.1,
+                        mean_gap: int = 12, seed: int = 1, name: str = "chase") -> Trace:
+    """Uniformly random block accesses — no spatial locality at all."""
+    profile = WorkloadProfile(
+        name=name,
+        hot_bytes=BLOCK_SIZE,
+        cold_bytes=footprint_bytes,
+        hot_fraction=0.0,
+        chunk_blocks=1,
+        write_fraction=write_fraction,
+        mean_gap=mean_gap,
+    )
+    return generate_trace(profile, events, seed)
+
+
+def resident_trace(events: int, footprint_bytes: int = 256 * 1024, write_fraction: float = 0.3,
+                   mean_gap: int = 40, seed: int = 1, name: str = "resident") -> Trace:
+    """A working set that fits comfortably in the L2 — cache-friendly code."""
+    profile = WorkloadProfile(
+        name=name,
+        hot_bytes=footprint_bytes,
+        cold_bytes=BLOCK_SIZE,
+        hot_fraction=1.0,
+        write_fraction=write_fraction,
+        mean_gap=mean_gap,
+    )
+    return generate_trace(profile, events, seed)

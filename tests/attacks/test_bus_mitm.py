@@ -1,0 +1,81 @@
+"""Transient bus man-in-the-middle attacks (wires, not DRAM cells).
+
+The paper's threat model includes "a bus analyzer that snoops data
+communicated between the processor chip and other chips" acting as a
+man-in-the-middle. These tests inject values on the wire for a single
+transaction while leaving DRAM intact: detection must fire on the
+tampered fetch, and the system must recover on the next (clean) one.
+"""
+
+import pytest
+
+from repro.core import IntegrityError
+from repro.mem.dram import BlockMemory
+
+from tests.conftest import make_machine
+
+TINY = 16 * 4096
+
+
+class TestInterceptMechanism:
+    def test_one_shot_injection(self):
+        memory = BlockMemory(4096)
+        memory.write_block(0, b"\x11" * 64)
+        memory.intercept_next_read(0)
+        assert memory.read_block(0) == b"\xee" * 64  # flipped on the wire
+        assert memory.read_block(0) == b"\x11" * 64  # stored copy intact
+
+    def test_custom_payload(self):
+        memory = BlockMemory(4096)
+        memory.intercept_next_read(0, b"\x99" * 64)
+        assert memory.read_block(0) == b"\x99" * 64
+
+    def test_raw_reads_bypass_interception(self):
+        """The attacker targets the processor's transactions, not its own."""
+        memory = BlockMemory(4096)
+        memory.write_block(0, b"\x11" * 64)
+        memory.intercept_next_read(0)
+        assert memory.raw_read(0) == b"\x11" * 64
+        assert memory.read_block(0) != b"\x11" * 64  # still armed
+
+    def test_rejects_bad_payload_size(self):
+        memory = BlockMemory(4096)
+        with pytest.raises(ValueError):
+            memory.intercept_next_read(0, b"short")
+
+
+class TestDetectionAndRecovery:
+    @pytest.mark.parametrize("integ", ["bonsai", "merkle", "mac_only"])
+    def test_transient_data_injection_detected(self, integ):
+        machine = make_machine(integrity=integ, data_bytes=TINY)
+        machine.write_block(0, b"\x42" * 64)
+        machine.memory.intercept_next_read(0)
+        with pytest.raises(IntegrityError):
+            machine.read_block(0)
+
+    def test_system_recovers_after_transient_attack(self):
+        """DRAM was never modified: the retry (next fetch) succeeds —
+        unlike a persistent DRAM rewrite."""
+        machine = make_machine(data_bytes=TINY)
+        machine.write_block(0, b"\x42" * 64)
+        machine.memory.intercept_next_read(0)
+        with pytest.raises(IntegrityError):
+            machine.read_block(0)
+        assert machine.read_block(0) == b"\x42" * 64
+
+    def test_transient_counter_injection_detected(self):
+        machine = make_machine(data_bytes=TINY)
+        machine.write_block(0, b"\x42" * 64)
+        cb = machine.encryption.counter_block_address(0)
+        machine.invalidate_page(0)
+        machine.encryption.drop_cached_counters(0)
+        machine.tree._trusted.clear()
+        machine.memory.intercept_next_read(cb)
+        with pytest.raises(IntegrityError):
+            machine.read_block(0)
+
+    def test_unprotected_machine_consumes_the_injection(self):
+        machine = make_machine(encryption="none", integrity="none", data_bytes=TINY)
+        machine.write_block(0, b"\x42" * 64)
+        machine.memory.intercept_next_read(0, b"\x66" * 64)
+        assert machine.read_block(0) == b"\x66" * 64  # silently wrong

@@ -1,0 +1,136 @@
+"""Counter organizations: packing, overflow, GPC, global counters."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.counters import (
+    GlobalPageCounter,
+    MINOR_MAX,
+    MonotonicGlobalCounter,
+    PageCounterBlock,
+    SplitCounterBlock,
+)
+from repro.core.errors import CounterOverflowError
+
+
+class TestPageCounterBlock:
+    def test_serializes_to_one_memory_block(self):
+        block = PageCounterBlock.fresh(lpid=7)
+        assert len(block.to_bytes()) == 64  # 8B LPID + 56B of 7-bit minors
+
+    def test_roundtrip(self):
+        block = PageCounterBlock(lpid=0xDEADBEEF12345678, minors=[i % 128 for i in range(64)])
+        restored = PageCounterBlock.from_bytes(block.to_bytes())
+        assert restored.lpid == block.lpid
+        assert restored.minors == block.minors
+
+    def test_fresh_is_zeroed(self):
+        block = PageCounterBlock.fresh(lpid=1)
+        assert block.minors == [0] * 64
+
+    def test_increment(self):
+        block = PageCounterBlock.fresh(lpid=1)
+        assert block.increment(5) is False
+        assert block.minors[5] == 1
+
+    def test_increment_overflow_wraps_and_reports(self):
+        block = PageCounterBlock.fresh(lpid=1)
+        block.minors[3] = MINOR_MAX
+        assert block.increment(3) is True
+        assert block.minors[3] == 0
+
+    def test_minor_max_is_7_bits(self):
+        assert MINOR_MAX == 127
+
+    def test_rejects_out_of_range_values(self):
+        block = PageCounterBlock(lpid=1, minors=[128] + [0] * 63)
+        with pytest.raises(ValueError):
+            block.to_bytes()
+        with pytest.raises(ValueError):
+            PageCounterBlock(lpid=1 << 64, minors=[0] * 64).to_bytes()
+
+    def test_rejects_wrong_raw_size(self):
+        with pytest.raises(ValueError):
+            PageCounterBlock.from_bytes(bytes(63))
+
+    @settings(max_examples=40, deadline=None)
+    @given(lpid=st.integers(min_value=0, max_value=2**64 - 1),
+           minors=st.lists(st.integers(min_value=0, max_value=127), min_size=64, max_size=64))
+    def test_roundtrip_property(self, lpid, minors):
+        block = PageCounterBlock(lpid=lpid, minors=list(minors))
+        restored = PageCounterBlock.from_bytes(block.to_bytes())
+        assert (restored.lpid, restored.minors) == (lpid, list(minors))
+
+
+class TestSplitCounterBlock:
+    def test_overflow_bumps_major(self):
+        block = SplitCounterBlock.fresh()
+        block.minors[0] = MINOR_MAX
+        assert block.increment(0) is True
+        assert block.major == 1
+        assert block.minors[0] == 0
+
+    def test_roundtrip(self):
+        block = SplitCounterBlock(major=42, minors=[1] * 64)
+        restored = SplitCounterBlock.from_bytes(block.to_bytes())
+        assert (restored.major, restored.minors) == (42, [1] * 64)
+
+    def test_same_layout_as_page_counter_block(self):
+        """AISE replaces the split counter's major with the LPID — the
+        64-byte layout is identical (paper section 4.3)."""
+        split = SplitCounterBlock(major=99, minors=[3] * 64)
+        aise = PageCounterBlock(lpid=99, minors=[3] * 64)
+        assert split.to_bytes() == aise.to_bytes()
+
+
+class TestGlobalPageCounter:
+    def test_monotonic_unique(self):
+        gpc = GlobalPageCounter()
+        values = [gpc.next_lpid() for _ in range(100)]
+        assert len(set(values)) == 100
+        assert values == sorted(values)
+
+    def test_never_issues_zero(self):
+        """LPID 0 means 'page never assigned' in the counter block."""
+        gpc = GlobalPageCounter()
+        assert gpc.next_lpid() >= 1
+        with pytest.raises(ValueError):
+            GlobalPageCounter(initial=0)
+
+    def test_survives_reboot_via_state(self):
+        gpc = GlobalPageCounter()
+        gpc.next_lpid()
+        gpc.next_lpid()
+        state = gpc.save_state()
+        rebooted = GlobalPageCounter()
+        rebooted.restore_state(state)
+        assert rebooted.next_lpid() == 3
+
+    def test_exhaustion_guard(self):
+        gpc = GlobalPageCounter(initial=(1 << 64) - 1)
+        gpc.next_lpid()
+        with pytest.raises(CounterOverflowError):
+            gpc.next_lpid()
+
+
+class TestMonotonicGlobalCounter:
+    def test_increments_per_write(self):
+        counter = MonotonicGlobalCounter(bits=64)
+        assert counter.next_value() == 1
+        assert counter.next_value() == 2
+
+    def test_wrap_detected(self):
+        counter = MonotonicGlobalCounter(bits=4)
+        for _ in range(15):
+            counter.next_value()
+        assert counter.wraps == 0
+        assert counter.next_value() == 1  # wrapped
+        assert counter.wraps == 1
+
+    def test_small_counters_wrap_often(self):
+        """The motivation for 64-bit global counters (section 4.1)."""
+        counter = MonotonicGlobalCounter(bits=4)
+        for _ in range(100):
+            counter.next_value()
+        assert counter.wraps == 6

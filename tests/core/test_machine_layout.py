@@ -1,0 +1,101 @@
+"""Physical layout planning: regions exist, are disjoint, and sized right."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import MachineConfig
+from repro.core.errors import ConfigurationError
+from repro.core.machine import plan_layout
+
+
+def make_config(**kw):
+    defaults = dict(physical_bytes=1 << 20, encryption="aise", integrity="bonsai")
+    defaults.update(kw)
+    return MachineConfig(**defaults)
+
+
+class TestRegions:
+    def test_aise_counter_region_is_one_block_per_page(self):
+        layout, _ = plan_layout(make_config())
+        assert layout.counter_bytes == (1 << 20) // 4096 * 64
+
+    def test_global64_counter_region(self):
+        layout, _ = plan_layout(make_config(encryption="global64", integrity="merkle"))
+        assert layout.counter_bytes == (1 << 20) // 64 * 8
+
+    def test_no_counters_without_counter_mode(self):
+        layout, _ = plan_layout(make_config(encryption="none", integrity="merkle"))
+        assert layout.counter_bytes == 0
+
+    def test_page_root_directory_sized_by_swap(self):
+        config = make_config(swap_bytes=2 << 20)  # 512 swap pages
+        layout, _ = plan_layout(config)
+        assert layout.prd_bytes == 512 * 16  # 128-bit MACs
+
+    def test_no_prd_without_tree(self):
+        layout, _ = plan_layout(make_config(integrity="mac_only"))
+        assert layout.prd_bytes == 0
+
+    def test_mac_region_for_bmt(self):
+        layout, _ = plan_layout(make_config())
+        assert layout.mac_bytes_region == (1 << 20) // 64 * 16
+
+    def test_no_mac_region_for_standard_mt(self):
+        layout, _ = plan_layout(make_config(integrity="merkle"))
+        assert layout.mac_bytes_region == 0
+
+    def test_region_classification(self):
+        layout, _ = plan_layout(make_config())
+        assert layout.region_of(0) == "data"
+        assert layout.region_of(layout.counter_base) == "counter"
+        assert layout.region_of(layout.prd_base) == "page_root"
+        assert layout.region_of(layout.tree_base) == "tree"
+        assert layout.region_of(layout.mac_base) == "mac"
+        assert layout.region_of(layout.total_bytes) == "outside"
+
+
+class TestTreeCoverage:
+    def test_standard_mt_covers_data_counters_prd(self):
+        layout, geometry = plan_layout(make_config(integrity="merkle"))
+        assert geometry.covered_start == 0
+        assert geometry.covered_bytes == layout.data_bytes + layout.counter_bytes + layout.prd_bytes
+
+    def test_bmt_covers_only_counters_and_prd(self):
+        layout, geometry = plan_layout(make_config())
+        assert geometry.covered_start == layout.counter_base
+        assert geometry.covered_bytes == layout.counter_bytes + layout.prd_bytes
+
+    def test_bmt_tree_is_much_smaller(self):
+        _, mt = plan_layout(make_config(integrity="merkle"))
+        _, bmt = plan_layout(make_config())
+        assert bmt.node_bytes < mt.node_bytes / 10
+
+    def test_bmt_requires_counter_mode(self):
+        with pytest.raises(ConfigurationError):
+            plan_layout(make_config(encryption="none"))
+
+    def test_no_geometry_without_tree(self):
+        _, geometry = plan_layout(make_config(integrity="mac_only"))
+        assert geometry is None
+
+
+@settings(max_examples=25, deadline=None)
+@given(pages=st.integers(min_value=1, max_value=512),
+       enc=st.sampled_from(["aise", "global32", "global64", "phys_addr"]),
+       integ=st.sampled_from(["none", "mac_only", "merkle", "bonsai"]),
+       mac_bits=st.sampled_from([32, 64, 128, 256]))
+def test_regions_disjoint_and_ordered_property(pages, enc, integ, mac_bits):
+    if integ == "bonsai" and enc == "none":
+        return
+    config = MachineConfig(
+        physical_bytes=pages * 4096, encryption=enc, integrity=integ, mac_bits=mac_bits
+    )
+    layout, geometry = plan_layout(config)
+    assert 0 < layout.data_bytes == layout.counter_base
+    assert layout.counter_base <= layout.prd_base <= layout.tree_base <= layout.mac_base
+    assert layout.total_bytes == layout.mac_base + layout.mac_bytes_region
+    assert layout.total_bytes % 64 == 0
+    if geometry is not None:
+        assert geometry.nodes_start == layout.tree_base
+        assert geometry.nodes_end == layout.tree_base + layout.tree_bytes

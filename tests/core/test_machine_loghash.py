@@ -1,0 +1,56 @@
+"""The log-hash baseline mounted in a full machine (deferred detection)."""
+
+import pytest
+
+from repro.core import IntegrityError
+
+from tests.conftest import make_machine
+
+TINY = 16 * 4096
+
+
+@pytest.fixture
+def machine():
+    return make_machine(integrity="loghash", data_bytes=TINY)
+
+
+class TestLogHashMachine:
+    def test_roundtrip(self, machine):
+        machine.write_block(0, b"\x31" * 64)
+        assert machine.read_block(0) == b"\x31" * 64
+        machine.integrity.check()  # clean epoch
+
+    def test_tampered_read_returns_garbage_silently(self, machine):
+        """The scheme's documented weakness at machine level: the read
+        itself succeeds (garbage plaintext), no exception."""
+        machine.write_block(0, b"\x32" * 64)
+        machine.memory.corrupt(0)
+        got = machine.read_block(0)  # no exception
+        assert got != b"\x32" * 64
+
+    def test_tamper_caught_at_periodic_check(self, machine):
+        machine.write_block(0, b"\x33" * 64)
+        machine.memory.corrupt(0)
+        machine.read_block(0)
+        with pytest.raises(IntegrityError):
+            machine.integrity.check()
+
+    def test_replay_caught_at_check(self, machine):
+        machine.write_block(0, b"OLD!" * 16)
+        stale = machine.memory.raw_read(0)
+        machine.write_block(0, b"NEW!" * 16)
+        machine.memory.raw_write(0, stale)
+        with pytest.raises(IntegrityError):
+            machine.integrity.check()
+
+    def test_detection_window_is_the_interval(self, machine):
+        """Everything between two checks is one blind window: many reads
+        of tampered data pass; the very next check fails."""
+        for block in range(4):
+            machine.write_block(block * 64, bytes([block]) * 64)
+        machine.integrity.check()
+        machine.memory.corrupt(128)
+        for _ in range(5):
+            machine.read_block(128)  # all silently wrong
+        with pytest.raises(IntegrityError):
+            machine.integrity.check()

@@ -1,0 +1,112 @@
+"""Page-granular machine primitives: export/install images, invalidation.
+
+These are the hardware hooks the kernel's swap path uses; tested here in
+isolation from the OS (frame relocation, no-decryption guarantee, page
+roots).
+"""
+
+import pytest
+
+from repro.core import IntegrityError
+from repro.core.machine import IMAGE_BLOCKS, IMAGE_HEADER
+from repro.mem.layout import BLOCK_SIZE, PAGE_SIZE
+
+from tests.conftest import make_machine
+
+
+@pytest.fixture
+def machine():
+    return make_machine(data_bytes=16 * PAGE_SIZE)
+
+
+def fill_page(machine, frame, tag):
+    for block in range(4):  # a few distinctive blocks
+        machine.write_block(frame * PAGE_SIZE + block * BLOCK_SIZE,
+                            bytes([tag, block] * 32))
+
+
+class TestExport:
+    def test_image_shape(self, machine):
+        fill_page(machine, 2, tag=9)
+        image = machine.export_page_image(2)
+        assert len(image) == IMAGE_BLOCKS * BLOCK_SIZE
+        assert int.from_bytes(image[:IMAGE_HEADER], "big") == 2 * PAGE_SIZE
+
+    def test_export_is_raw_ciphertext(self, machine):
+        """No decryption on export: the image body equals DRAM bytes."""
+        fill_page(machine, 2, tag=9)
+        image = machine.export_page_image(2)
+        for block in range(4):
+            dram = machine.memory.raw_read(2 * PAGE_SIZE + block * BLOCK_SIZE)
+            offset = IMAGE_HEADER + block * BLOCK_SIZE
+            assert image[offset : offset + BLOCK_SIZE] == dram
+
+    def test_export_includes_counter_block(self, machine):
+        fill_page(machine, 2, tag=9)
+        image = machine.export_page_image(2)
+        counters = image[IMAGE_HEADER + PAGE_SIZE : IMAGE_HEADER + PAGE_SIZE + BLOCK_SIZE]
+        assert counters == machine.encryption.export_counter_block(2)
+
+    def test_no_pads_generated_during_export(self, machine):
+        fill_page(machine, 2, tag=9)
+        before = machine.encryption.pads_generated
+        machine.export_page_image(2)
+        assert machine.encryption.pads_generated == before
+
+
+class TestInstall:
+    def test_same_frame_roundtrip(self, machine):
+        fill_page(machine, 2, tag=7)
+        image = machine.export_page_image(2)
+        machine.invalidate_page(2)
+        machine.install_page_image(2, image)
+        assert machine.read_block(2 * PAGE_SIZE) == bytes([7, 0] * 32)
+
+    def test_relocated_frame_roundtrip(self, machine):
+        """The AISE headline: a page installs at a DIFFERENT frame with
+        zero decryption (only MAC recomputation for the new addresses)."""
+        fill_page(machine, 2, tag=7)
+        image = machine.export_page_image(2)
+        before = machine.encryption.pads_generated
+        machine.install_page_image(5, image)
+        assert machine.encryption.pads_generated == before  # no crypto pads
+        for block in range(4):
+            expected = bytes([7, block] * 32)
+            assert machine.read_block(5 * PAGE_SIZE + block * BLOCK_SIZE) == expected
+
+    def test_page_root_matches_image(self, machine):
+        fill_page(machine, 3, tag=1)
+        image = machine.export_page_image(3)
+        root = machine.page_root_of_image(image)
+        assert root == machine.page_root_of_image(image)  # deterministic
+        tampered = image[:-1] + bytes([image[-1] ^ 1])
+        assert machine.page_root_of_image(tampered) != root
+
+    def test_install_trusts_its_caller(self, machine):
+        """``install_page_image`` re-anchors integrity over whatever image
+        it is given — it does NOT verify it. That is why the kernel's
+        swap-in path MUST check the page-root directory first (section
+        5.1); this test documents the contract the PRD check relies on."""
+        fill_page(machine, 2, tag=7)
+        image = bytearray(machine.export_page_image(2))
+        image[IMAGE_HEADER + 5] ^= 0xFF  # corrupt in transit
+        # The directory check catches it...
+        assert (machine.page_root_of_image(bytes(image))
+                != machine.page_root_of_image(machine.export_page_image(2)))
+        # ...because install itself would legitimize the tampered bytes.
+        machine.install_page_image(6, bytes(image))
+        got = machine.read_block(6 * PAGE_SIZE)  # no exception: MACs re-anchored
+        assert got != bytes([7, 0] * 32)  # silently wrong without the PRD check
+
+
+class TestInvalidation:
+    def test_invalidate_drops_counter_cache(self, machine):
+        fill_page(machine, 2, tag=4)
+        assert 2 in machine.encryption._cache
+        machine.invalidate_page(2)
+        assert 2 not in machine.encryption._cache
+
+    def test_reads_work_after_invalidation(self, machine):
+        fill_page(machine, 2, tag=4)
+        machine.invalidate_page(2)
+        assert machine.read_block(2 * PAGE_SIZE) == bytes([4, 0] * 32)

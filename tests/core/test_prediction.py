@@ -1,0 +1,104 @@
+"""Counter prediction: hides the counter fetch, never breaks correctness."""
+
+import pytest
+
+from repro.core import MachineConfig
+from repro.core.errors import ConfigurationError
+from repro.core.prediction import CounterPredictor
+
+from tests.conftest import make_machine
+
+PAGE = 4096
+
+
+def primed_machine_and_predictor(writes_per_block=1):
+    machine = make_machine(data_bytes=16 * PAGE)
+    predictor = CounterPredictor(machine)
+    for block in range(8):
+        for _ in range(writes_per_block):
+            machine.write_block(block * 64, bytes([block]) * 64)
+    # Teach the predictor the pages, then evict on-chip counters so the
+    # next reads face real counter misses.
+    for block in range(8):
+        predictor.read_block(block * 64)
+    machine.encryption._cache.clear()
+    machine.tree._trusted.clear()
+    return machine, predictor
+
+
+class TestConstruction:
+    def test_requires_bmt(self):
+        machine = make_machine(integrity="merkle", data_bytes=16 * PAGE)
+        with pytest.raises(ConfigurationError):
+            CounterPredictor(machine)
+
+    def test_requires_per_block_counters(self):
+        machine = make_machine(encryption="global64", integrity="bonsai",
+                               data_bytes=16 * PAGE)
+        with pytest.raises(ConfigurationError):
+            CounterPredictor(machine)
+
+    def test_split_counter_variant_is_accepted(self):
+        machine = make_machine(encryption="split_ctr", integrity="bonsai",
+                               data_bytes=16 * PAGE)
+        CounterPredictor(machine)  # AISE-family layout
+
+
+class TestSpeculation:
+    def test_prediction_hits_on_stable_counters(self):
+        machine, predictor = primed_machine_and_predictor()
+        plain, predicted = predictor.read_block(0)
+        assert plain == bytes([0]) * 64
+        assert predicted
+        assert predictor.stats.hit_rate == 1.0
+
+    def test_prediction_correct_for_all_blocks(self):
+        machine, predictor = primed_machine_and_predictor(writes_per_block=3)
+        machine.encryption._cache.clear()
+        for block in range(8):
+            plain, _ = predictor.read_block(block * 64)
+            assert plain == bytes([block]) * 64
+
+    def test_fallback_when_counter_ran_ahead(self):
+        """Writes the predictor never saw push the minor beyond the
+        candidate window; the architectural path must take over with the
+        correct result."""
+        machine, predictor = primed_machine_and_predictor()
+        for _ in range(40):  # way past max_candidates=8
+            machine.write_block(0, b"\x77" * 64)
+        machine.encryption._cache.clear()
+        plain, predicted = predictor.read_block(0)
+        assert plain == b"\x77" * 64
+        assert not predicted
+        assert predictor.stats.fallbacks >= 1
+
+    def test_prediction_recovers_after_fallback(self):
+        machine, predictor = primed_machine_and_predictor()
+        for _ in range(40):
+            machine.write_block(0, b"\x77" * 64)
+        machine.encryption._cache.clear()
+        predictor.read_block(0)  # fallback, re-observes
+        machine.encryption._cache.clear()
+        machine.tree._trusted.clear()
+        plain, predicted = predictor.read_block(0)
+        assert plain == b"\x77" * 64
+        assert predicted
+
+    def test_no_attempt_when_counter_on_chip(self):
+        machine, predictor = primed_machine_and_predictor()
+        machine.read_block(0)  # counter block back on-chip
+        attempts = predictor.stats.attempts
+        plain, predicted = predictor.read_block(0)
+        assert plain == bytes([0]) * 64
+        assert not predicted
+        assert predictor.stats.attempts == attempts
+
+    def test_tamper_never_accepted_speculatively(self):
+        """A corrupted block must not match ANY candidate MAC."""
+        from repro.core.errors import IntegrityError
+
+        machine, predictor = primed_machine_and_predictor()
+        machine.memory.corrupt(0)
+        with pytest.raises(IntegrityError):
+            predictor.read_block(0)
+        assert predictor.stats.hits == 0 or predictor.stats.fallbacks >= 1

@@ -1,0 +1,130 @@
+"""The analytic storage model must reproduce the paper's Table 2 exactly."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import MachineConfig
+from repro.core.errors import ConfigurationError
+from repro.core.storage import breakdown_for_config, counter_bytes_per_data_byte, storage_breakdown, tree_bytes
+from repro.evalx.tables import PAPER_TABLE2
+
+
+class TestTable2Exact:
+    @pytest.mark.parametrize("bits,scheme", list(PAPER_TABLE2))
+    def test_matches_paper_cell(self, bits, scheme):
+        enc, integ = ("global64", "merkle") if scheme == "global64+mt" else ("aise", "bonsai")
+        b = storage_breakdown(enc, integ, bits)
+        mt, page_root, counters, total = PAPER_TABLE2[(bits, scheme)]
+        assert b.merkle_fraction * 100 == pytest.approx(mt, abs=0.005)
+        assert b.page_root_fraction * 100 == pytest.approx(page_root, abs=0.005)
+        assert b.counter_fraction * 100 == pytest.approx(counters, abs=0.005)
+        assert b.overhead_fraction * 100 == pytest.approx(total, abs=0.005)
+
+    def test_aise_bmt_always_cheaper(self):
+        """AISE+BMT is more storage-efficient at every MAC size (section 7.4)."""
+        for bits in (32, 64, 128, 256):
+            mt = storage_breakdown("global64", "merkle", bits)
+            bmt = storage_breakdown("aise", "bonsai", bits)
+            assert bmt.overhead_fraction < mt.overhead_fraction
+
+    def test_32bit_gap_is_largest(self):
+        """Paper: the gap widens to 2.3x at 32-bit MACs (1.6x at 256)."""
+        gap32 = (storage_breakdown("global64", "merkle", 32).overhead_fraction
+                 / storage_breakdown("aise", "bonsai", 32).overhead_fraction)
+        gap256 = (storage_breakdown("global64", "merkle", 256).overhead_fraction
+                  / storage_breakdown("aise", "bonsai", 256).overhead_fraction)
+        assert gap32 == pytest.approx(2.3, abs=0.1)
+        assert gap256 == pytest.approx(1.6, abs=0.1)
+
+
+class TestCounterStorage:
+    def test_aise_is_1_64th(self):
+        assert counter_bytes_per_data_byte("aise") == pytest.approx(1 / 64)
+
+    def test_global64_is_12_5_percent(self):
+        assert counter_bytes_per_data_byte("global64") == 0.125
+
+    def test_global32_is_half_that(self):
+        assert counter_bytes_per_data_byte("global32") == 0.0625
+
+    def test_no_encryption_no_counters(self):
+        assert counter_bytes_per_data_byte("none") == 0.0
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ConfigurationError):
+            counter_bytes_per_data_byte("nonsense")
+
+
+class TestTreeGeometryMath:
+    def test_arity_4_tree_is_a_third(self):
+        assert tree_bytes(3 * 1024, 16) == pytest.approx(1024)
+
+    def test_arity_2_tree_equals_covered(self):
+        assert tree_bytes(1024, 32) == pytest.approx(1024)
+
+    def test_rejects_degenerate_arity(self):
+        with pytest.raises(ConfigurationError):
+            tree_bytes(1024, 64)
+
+
+class TestOtherSchemes:
+    def test_mac_only_overhead(self):
+        b = storage_breakdown("aise", "mac_only", 128)
+        # 16B MAC per 64B block = 25% of data, plus 1/64 counters.
+        assert b.merkle_bytes / b.data_bytes == pytest.approx(0.25)
+        assert b.page_root_bytes == 0
+
+    def test_no_integrity(self):
+        b = storage_breakdown("aise", "none", 128)
+        assert b.merkle_bytes == 0
+        assert b.overhead_fraction == pytest.approx((1 / 64) / (1 + 1 / 64))
+
+    def test_config_integration(self):
+        config = MachineConfig(encryption="aise", integrity="bonsai", mac_bits=128)
+        b = breakdown_for_config(config)
+        assert b.overhead_fraction * 100 == pytest.approx(21.55, abs=0.01)
+
+
+@settings(max_examples=30, deadline=None)
+@given(bits=st.sampled_from([32, 64, 128, 256]),
+       data_mb=st.integers(min_value=1, max_value=4096))
+def test_fractions_are_scale_invariant(bits, data_mb):
+    """Table 2 percentages do not depend on the memory size."""
+    small = storage_breakdown("aise", "bonsai", bits, data_bytes=1 << 24)
+    sized = storage_breakdown("aise", "bonsai", bits, data_bytes=data_mb << 20)
+    assert small.overhead_fraction == pytest.approx(sized.overhead_fraction)
+
+
+@settings(max_examples=30, deadline=None)
+@given(bits=st.sampled_from([32, 64, 128, 256]))
+def test_components_sum_to_total(bits):
+    b = storage_breakdown("global64", "merkle", bits)
+    total = b.data_bytes + b.counter_bytes + b.merkle_bytes + b.page_root_bytes
+    assert b.total_bytes == pytest.approx(total)
+    assert b.data_fraction + b.overhead_fraction == pytest.approx(1.0)
+
+
+class TestSwapProtectionComparison:
+    """Section 5.1's design choice: one tree + directory beats N trees."""
+
+    def test_on_chip_cost_scales_with_processes(self):
+        from repro.core.storage import compare_swap_protection
+
+        costs = compare_swap_protection(processes=100, avg_process_bytes=64 << 20)
+        assert costs["single"].on_chip_root_bytes == 16  # one 128-bit root
+        assert costs["per_process"].on_chip_root_bytes == 100 * 16
+
+    def test_single_tree_manages_one_structure(self):
+        from repro.core.storage import compare_swap_protection
+
+        costs = compare_swap_protection(processes=64, avg_process_bytes=32 << 20)
+        assert costs["single"].trees_to_manage == 1
+        assert costs["per_process"].trees_to_manage == 64
+
+    def test_directory_is_tiny(self):
+        from repro.core.storage import compare_swap_protection
+
+        costs = compare_swap_protection(processes=10, avg_process_bytes=64 << 20)
+        # The page-root directory is a fraction of a percent of memory.
+        assert costs["single"].memory_overhead_bytes < 0.005 * (1 << 30)

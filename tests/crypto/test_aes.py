@@ -1,0 +1,116 @@
+"""AES validation against FIPS-197 vectors plus behavioural properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aes import AES, BLOCK_SIZE, SBOX, INV_SBOX, expand_key
+
+
+class TestFipsVectors:
+    def test_appendix_c1_aes128(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+        expected = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+        assert AES(key).encrypt_block(plaintext) == expected
+
+    def test_appendix_c2_aes192(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f1011121314151617")
+        plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+        expected = bytes.fromhex("dda97ca4864cdfe06eaf70a0ec0d7191")
+        assert AES(key).encrypt_block(plaintext) == expected
+
+    def test_appendix_c3_aes256(self):
+        key = bytes.fromhex(
+            "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f"
+        )
+        plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+        expected = bytes.fromhex("8ea2b7ca516745bfeafc49904b496089")
+        assert AES(key).encrypt_block(plaintext) == expected
+
+    def test_appendix_b_worked_example(self):
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        plaintext = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+        expected = bytes.fromhex("3925841d02dc09fbdc118597196a0b32")
+        assert AES(key).encrypt_block(plaintext) == expected
+
+    def test_decrypt_inverts_fips_vector(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        ciphertext = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+        expected = bytes.fromhex("00112233445566778899aabbccddeeff")
+        assert AES(key).decrypt_block(ciphertext) == expected
+
+
+class TestSboxConstruction:
+    """The S-box is derived, not pasted — pin the well-known entries."""
+
+    def test_known_entries(self):
+        assert SBOX[0x00] == 0x63
+        assert SBOX[0x01] == 0x7C
+        assert SBOX[0x53] == 0xED
+        assert SBOX[0xFF] == 0x16
+
+    def test_inverse_sbox_inverts(self):
+        for x in range(256):
+            assert INV_SBOX[SBOX[x]] == x
+
+    def test_sbox_is_permutation(self):
+        assert sorted(SBOX) == list(range(256))
+
+
+class TestKeyExpansion:
+    def test_round_key_counts(self):
+        assert len(expand_key(bytes(16))) == 11
+        assert len(expand_key(bytes(24))) == 13
+        assert len(expand_key(bytes(32))) == 15
+
+    def test_first_round_key_is_the_key(self):
+        key = bytes(range(16))
+        assert bytes(expand_key(key)[0]) == key
+
+    def test_rejects_bad_key_sizes(self):
+        for bad in (0, 8, 15, 17, 33):
+            with pytest.raises(ValueError):
+                expand_key(bytes(bad))
+
+
+class TestBlockInterface:
+    def test_rejects_short_block(self):
+        cipher = AES(bytes(16))
+        with pytest.raises(ValueError):
+            cipher.encrypt_block(b"short")
+        with pytest.raises(ValueError):
+            cipher.decrypt_block(b"short")
+
+    def test_deterministic(self):
+        cipher = AES(b"k" * 16)
+        block = b"p" * 16
+        assert cipher.encrypt_block(block) == cipher.encrypt_block(block)
+
+    def test_different_keys_differ(self):
+        block = bytes(16)
+        assert AES(b"a" * 16).encrypt_block(block) != AES(b"b" * 16).encrypt_block(block)
+
+    def test_avalanche_single_bit(self):
+        cipher = AES(bytes(16))
+        base = cipher.encrypt_block(bytes(16))
+        flipped = cipher.encrypt_block(b"\x01" + bytes(15))
+        differing_bits = sum(bin(a ^ b).count("1") for a, b in zip(base, flipped))
+        assert differing_bits > 32  # ~64 expected for a good cipher
+
+
+@settings(max_examples=25, deadline=None)
+@given(key=st.binary(min_size=16, max_size=16), block=st.binary(min_size=16, max_size=16))
+def test_roundtrip_property(key, block):
+    cipher = AES(key)
+    assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+
+@settings(max_examples=15, deadline=None)
+@given(key=st.binary(min_size=16, max_size=16),
+       a=st.binary(min_size=16, max_size=16),
+       b=st.binary(min_size=16, max_size=16))
+def test_injective_property(key, a, b):
+    cipher = AES(key)
+    if a != b:
+        assert cipher.encrypt_block(a) != cipher.encrypt_block(b)

@@ -1,0 +1,93 @@
+"""Counter-mode cipher: the XOR-pad datapath of the paper's Figure 1."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.ctr_mode import CHUNKS_PER_BLOCK, CounterModeCipher, MEMORY_BLOCK_SIZE, PadGenerator
+
+
+def seeds(base: int = 1000) -> list[int]:
+    return [base + i for i in range(CHUNKS_PER_BLOCK)]
+
+
+class TestPadGenerator:
+    @pytest.mark.parametrize("fast", [False, True])
+    def test_pad_is_deterministic(self, fast):
+        gen = PadGenerator(b"\x07" * 32, fast=fast)
+        assert gen.pad(42) == gen.pad(42)
+
+    @pytest.mark.parametrize("fast", [False, True])
+    def test_distinct_seeds_distinct_pads(self, fast):
+        gen = PadGenerator(b"\x07" * 32, fast=fast)
+        assert gen.pad(1) != gen.pad(2)
+
+    def test_aes_pad_matches_block_cipher(self):
+        """Slow mode must literally be E_K(seed) with the from-scratch AES."""
+        from repro.crypto.aes import AES
+
+        key = bytes(range(16))
+        gen = PadGenerator(key, fast=False)
+        assert gen.pad(5) == AES(key).encrypt_block((5).to_bytes(16, "big"))
+
+    def test_pad_length(self):
+        assert len(PadGenerator(b"k" * 16, fast=True).pad(9)) == 16
+
+
+class TestCounterModeCipher:
+    @pytest.mark.parametrize("fast", [False, True])
+    def test_roundtrip(self, fast):
+        cipher = CounterModeCipher(b"\x01" * 16, fast=fast)
+        block = bytes(range(64))
+        assert cipher.decrypt(cipher.encrypt(block, seeds()), seeds()) == block
+
+    def test_encryption_changes_bytes(self):
+        cipher = CounterModeCipher(b"\x01" * 16, fast=True)
+        block = b"\x00" * 64
+        assert cipher.encrypt(block, seeds()) != block
+
+    def test_wrong_seeds_give_garbage(self):
+        cipher = CounterModeCipher(b"\x01" * 16, fast=True)
+        block = (b"secret! " * 8)[:64]
+        encrypted = cipher.encrypt(block, seeds(1))
+        assert cipher.decrypt(encrypted, seeds(2)) != block
+
+    def test_same_seed_same_pad_xor_relation(self):
+        """The pad-reuse vulnerability (section 4.1): C1 ^ C2 == P1 ^ P2."""
+        cipher = CounterModeCipher(b"\x01" * 16, fast=True)
+        p1 = bytes(range(64))
+        p2 = bytes(range(64, 128))
+        c1 = cipher.encrypt(p1, seeds())
+        c2 = cipher.encrypt(p2, seeds())
+        xor_c = bytes(a ^ b for a, b in zip(c1, c2))
+        xor_p = bytes(a ^ b for a, b in zip(p1, p2))
+        assert xor_c == xor_p  # attacker learns P2 from P1 without the key
+
+    def test_chunk_independence(self):
+        """Changing one chunk's seed only re-encrypts that chunk."""
+        cipher = CounterModeCipher(b"\x01" * 16, fast=True)
+        block = bytes(64)
+        base = cipher.encrypt(block, [10, 11, 12, 13])
+        changed = cipher.encrypt(block, [10, 11, 99, 13])
+        assert base[:32] == changed[:32]
+        assert base[32:48] != changed[32:48]
+        assert base[48:] == changed[48:]
+
+    def test_rejects_wrong_block_size(self):
+        cipher = CounterModeCipher(b"\x01" * 16, fast=True)
+        with pytest.raises(ValueError):
+            cipher.encrypt(b"short", seeds())
+
+    def test_rejects_wrong_seed_count(self):
+        cipher = CounterModeCipher(b"\x01" * 16, fast=True)
+        with pytest.raises(ValueError):
+            cipher.encrypt(bytes(64), [1, 2])
+
+
+@settings(max_examples=30, deadline=None)
+@given(block=st.binary(min_size=MEMORY_BLOCK_SIZE, max_size=MEMORY_BLOCK_SIZE),
+       seed_base=st.integers(min_value=0, max_value=2**120))
+def test_roundtrip_property(block, seed_base):
+    cipher = CounterModeCipher(b"\x5a" * 16, fast=True)
+    s = [seed_base + i for i in range(CHUNKS_PER_BLOCK)]
+    assert cipher.decrypt(cipher.encrypt(block, s), s) == block

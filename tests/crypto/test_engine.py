@@ -1,0 +1,55 @@
+"""Crypto-engine latency models: pipelining and initiation intervals."""
+
+from repro.crypto.engine import PipelinedEngine, aes_engine, mac_engine
+
+
+class TestPipelinedEngine:
+    def test_single_issue_latency(self):
+        engine = PipelinedEngine(latency=80, stages=16)
+        assert engine.issue(100) == 180
+
+    def test_initiation_interval(self):
+        engine = PipelinedEngine(latency=80, stages=16)
+        assert engine.initiation_interval == 5
+
+    def test_back_to_back_issues_pipeline(self):
+        engine = PipelinedEngine(latency=80, stages=16)
+        first = engine.issue(0)
+        second = engine.issue(0)  # wants cycle 0, pipe busy until 5
+        assert first == 80
+        assert second == 85
+
+    def test_four_chunks_of_one_block(self):
+        """A 64B block is 4 AES chunks: last pad ready at 80 + 3*5 = 95."""
+        engine = aes_engine()
+        completions = [engine.issue(0) for _ in range(4)]
+        assert completions == [80, 85, 90, 95]
+
+    def test_idle_gap_resets_pipeline_pressure(self):
+        engine = PipelinedEngine(latency=80, stages=16)
+        engine.issue(0)
+        assert engine.issue(1000) == 1080
+
+    def test_unpipelined_engine(self):
+        engine = PipelinedEngine(latency=50, stages=1)
+        assert engine.issue(0) == 50
+        assert engine.issue(0) == 100  # fully serialized
+
+    def test_operation_counter_and_reset(self):
+        engine = mac_engine()
+        engine.issue(0)
+        engine.issue(0)
+        assert engine.operations == 2
+        engine.reset()
+        assert engine.operations == 0
+        assert engine.issue(0) == engine.latency
+
+
+class TestPaperParameters:
+    def test_aes_defaults(self):
+        engine = aes_engine()
+        assert engine.latency == 80
+        assert engine.stages == 16
+
+    def test_mac_defaults(self):
+        assert mac_engine().latency == 80

@@ -1,0 +1,54 @@
+"""HMAC-SHA1 validation against RFC 2202 test vectors."""
+
+import hashlib
+import hmac as stdlib_hmac
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.hmac_sha1 import HMACSHA1, hmac_sha1
+
+RFC2202_CASES = [
+    (b"\x0b" * 20, b"Hi There", "b617318655057264e28bc0b6fb378c8ef146be00"),
+    (b"Jefe", b"what do ya want for nothing?", "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79"),
+    (b"\xaa" * 20, b"\xdd" * 50, "125d7342b9ac11cd91a39af48aa17b4f63f175d3"),
+    (bytes(range(1, 26)), b"\xcd" * 50, "4c9007f4026250c6bc8414f9bf50c86c2d7235da"),
+    (b"\x0c" * 20, b"Test With Truncation", "4c1a03424b55e07fe7f27be1d58bb9324a9a5a04"),
+    (b"\xaa" * 80, b"Test Using Larger Than Block-Size Key - Hash Key First",
+     "aa4ae5e15272d00e95705637ce8a3b55ed402112"),
+    (b"\xaa" * 80,
+     b"Test Using Larger Than Block-Size Key and Larger Than One Block-Size Data",
+     "e8e99d0f45237d786d6bbaa7965c7808bbff1a91"),
+]
+
+
+class TestRfc2202:
+    def test_all_vectors(self):
+        for key, data, expected in RFC2202_CASES:
+            assert hmac_sha1(key, data).hex() == expected, (key, data)
+
+
+class TestInterface:
+    def test_incremental_updates(self):
+        mac = HMACSHA1(b"\x0b" * 20)
+        mac.update(b"Hi ")
+        mac.update(b"There")
+        assert mac.hexdigest() == RFC2202_CASES[0][2]
+
+    def test_digest_idempotent(self):
+        mac = HMACSHA1(b"key", b"message")
+        assert mac.digest() == mac.digest()
+
+    def test_key_sensitivity(self):
+        assert hmac_sha1(b"key1", b"m") != hmac_sha1(b"key2", b"m")
+
+    def test_exactly_block_size_key(self):
+        key = b"\x42" * 64
+        assert hmac_sha1(key, b"data") == stdlib_hmac.new(key, b"data", hashlib.sha1).digest()
+
+
+@settings(max_examples=40, deadline=None)
+@given(key=st.binary(min_size=1, max_size=100), data=st.binary(max_size=200))
+def test_matches_stdlib_property(key, data):
+    expected = stdlib_hmac.new(key, data, hashlib.sha1).digest()
+    assert hmac_sha1(key, data) == expected

@@ -1,0 +1,78 @@
+"""SHA-1 validation against FIPS-180-1 vectors and streaming behaviour."""
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.sha1 import SHA1, sha1
+
+
+class TestFipsVectors:
+    def test_abc(self):
+        assert sha1(b"abc").hex() == "a9993e364706816aba3e25717850c26c9cd0d89d"
+
+    def test_two_block_message(self):
+        message = b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+        assert sha1(message).hex() == "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+
+    def test_empty(self):
+        assert sha1(b"").hex() == "da39a3ee5e6b4b0d3255bfef95601890afd80709"
+
+    def test_repeated_a_100k(self):
+        # Scaled-down variant of the FIPS million-'a' vector; cross-checked
+        # against the (independent) stdlib implementation.
+        data = b"a" * 100_000
+        assert sha1(data) == hashlib.sha1(data).digest()
+
+
+class TestStreaming:
+    def test_incremental_equals_oneshot(self):
+        h = SHA1()
+        h.update(b"abc")
+        h.update(b"dbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")
+        assert h.hexdigest() == "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+
+    def test_digest_is_idempotent(self):
+        h = SHA1(b"hello")
+        assert h.digest() == h.digest()
+
+    def test_update_after_digest(self):
+        h = SHA1(b"hello ")
+        h.digest()
+        h.update(b"world")
+        assert h.digest() == sha1(b"hello world")
+
+    def test_copy_forks_state(self):
+        h = SHA1(b"prefix-")
+        fork = h.copy()
+        h.update(b"one")
+        fork.update(b"two")
+        assert h.digest() == sha1(b"prefix-one")
+        assert fork.digest() == sha1(b"prefix-two")
+
+    def test_boundary_lengths(self):
+        """Padding edge cases: lengths around the 64-byte block boundary."""
+        for n in (54, 55, 56, 57, 63, 64, 65, 127, 128, 129):
+            data = bytes(range(256))[:n] * 1
+            assert sha1(data) == hashlib.sha1(data).digest(), f"length {n}"
+
+    def test_update_chaining_returns_self(self):
+        assert SHA1().update(b"a").update(b"b").digest() == sha1(b"ab")
+
+
+@settings(max_examples=50, deadline=None)
+@given(data=st.binary(max_size=300))
+def test_matches_stdlib_property(data):
+    assert sha1(data) == hashlib.sha1(data).digest()
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.binary(max_size=200), split=st.integers(min_value=0, max_value=200))
+def test_split_update_property(data, split):
+    split = min(split, len(data))
+    h = SHA1()
+    h.update(data[:split])
+    h.update(data[split:])
+    assert h.digest() == sha1(data)

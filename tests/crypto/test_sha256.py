@@ -1,0 +1,96 @@
+"""SHA-256 validation against FIPS-180-2 vectors and the stdlib."""
+
+import hashlib
+import hmac as stdlib_hmac
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.mac import HmacSha256Mac
+from repro.crypto.sha256 import SHA256, hmac_sha256, sha256
+
+
+class TestFipsVectors:
+    def test_abc(self):
+        assert sha256(b"abc").hex() == (
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        )
+
+    def test_two_block_message(self):
+        message = b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+        assert sha256(message).hex() == (
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        )
+
+    def test_empty(self):
+        assert sha256(b"").hex() == (
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        )
+
+    def test_repeated_a(self):
+        data = b"a" * 100_000
+        assert sha256(data) == hashlib.sha256(data).digest()
+
+
+class TestStreaming:
+    def test_incremental(self):
+        h = SHA256()
+        h.update(b"ab")
+        h.update(b"c")
+        assert h.digest() == sha256(b"abc")
+
+    def test_copy(self):
+        h = SHA256(b"pre")
+        fork = h.copy()
+        h.update(b"-one")
+        fork.update(b"-two")
+        assert h.digest() == sha256(b"pre-one")
+        assert fork.digest() == sha256(b"pre-two")
+
+    def test_boundary_lengths(self):
+        for n in (55, 56, 57, 63, 64, 65, 128):
+            data = bytes(range(n % 256 or 1)) * 2
+            data = data[:n]
+            assert sha256(data) == hashlib.sha256(data).digest(), n
+
+
+class TestHmac256:
+    def test_matches_stdlib(self):
+        expected = stdlib_hmac.new(b"key", b"msg", hashlib.sha256).digest()
+        assert hmac_sha256(b"key", b"msg") == expected
+
+    def test_long_key_hashed_first(self):
+        key = b"\xaa" * 100
+        expected = stdlib_hmac.new(key, b"m", hashlib.sha256).digest()
+        assert hmac_sha256(key, b"m") == expected
+
+    def test_native_256_bit_mac(self):
+        """256-bit MACs come from one digest — no counter expansion."""
+        mac = HmacSha256Mac(b"key", 256)
+        assert mac.compute(b"m") == hmac_sha256(b"key", b"m" + b"\x00\x00\x00\x00")
+
+    def test_mac_verify(self):
+        mac = HmacSha256Mac(b"key", 256)
+        tag = mac.compute(b"payload")
+        assert mac.verify(b"payload", tag)
+        assert not mac.verify(b"payload!", tag)
+
+
+class TestReferenceMacSelection:
+    def test_make_mac_picks_sha256_for_wide_macs(self):
+        from repro.crypto.mac import HmacSha1Mac, make_mac
+
+        assert isinstance(make_mac(b"k", 256, fast=False), HmacSha256Mac)
+        assert isinstance(make_mac(b"k", 128, fast=False), HmacSha1Mac)
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.binary(max_size=300))
+def test_matches_stdlib_property(data):
+    assert sha256(data) == hashlib.sha256(data).digest()
+
+
+@settings(max_examples=25, deadline=None)
+@given(key=st.binary(min_size=1, max_size=80), data=st.binary(max_size=150))
+def test_hmac_matches_stdlib_property(key, data):
+    assert hmac_sha256(key, data) == stdlib_hmac.new(key, data, hashlib.sha256).digest()

@@ -1,0 +1,95 @@
+"""JSON/CSV exports and the extension sensitivity sweeps."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.evalx.export import (
+    figure_to_csv,
+    figure_to_dict,
+    figure_to_json,
+    table_to_csv,
+    table_to_dict,
+    table_to_json,
+)
+from repro.evalx.figures import FigureData
+from repro.evalx.sweeps import counter_cache_sweep, l2_size_sweep, memory_latency_sweep
+from repro.evalx.tables import table1, table2
+
+
+def toy_figure() -> FigureData:
+    fig = FigureData("X", "toy", "%")
+    fig.add("a", {"art": 0.5, "mcf": 0.25})
+    fig.add("b", {"art": 0.1, "mcf": 0.2})
+    return fig.with_averages()
+
+
+class TestFigureExport:
+    def test_json_roundtrip(self):
+        data = json.loads(figure_to_json(toy_figure()))
+        assert data["figure"] == "X"
+        assert data["series"]["a"]["art"] == 0.5
+        assert "avg" in data["series"]["a"]
+
+    def test_dict_is_plain_data(self):
+        data = figure_to_dict(toy_figure())
+        assert isinstance(data["series"], dict)
+        json.dumps(data)  # fully serializable
+
+    def test_csv_shape(self):
+        rows = list(csv.reader(io.StringIO(figure_to_csv(toy_figure()))))
+        assert rows[0] == ["x", "a", "b"]
+        assert rows[1][0] == "art"
+        assert float(rows[1][1]) == 0.5
+
+    def test_csv_handles_missing_keys(self):
+        fig = FigureData("X", "t", "%")
+        fig.add("a", {"p": 1.0})
+        fig.add("b", {"q": 2.0})
+        rows = list(csv.reader(io.StringIO(figure_to_csv(fig))))
+        assert rows[1] == ["p", "1.0", ""]
+        assert rows[2] == ["q", "", "2.0"]
+
+
+class TestTableExport:
+    def test_table1_json(self):
+        data = json.loads(table_to_json(table1()))
+        assert data["columns"][0] == "Encryption Approach"
+        assert len(data["rows"]) == 4
+
+    def test_table2_csv(self):
+        rows = list(csv.reader(io.StringIO(table_to_csv(table2()))))
+        assert len(rows) == 9  # header + 8 rows
+        assert "21.55" in rows[4]
+
+
+EVENTS = 8_000
+BENCHES = ("art", "gcc")
+
+
+class TestSweeps:
+    def test_l2_size_sweep_shape(self):
+        fig = l2_size_sweep(sizes_kb=(512, 2048), benches=BENCHES, events=EVENTS)
+        mt = fig.series["aise+mt"]
+        bmt = fig.series["aise+bmt"]
+        # BMT stays cheap at every size; MT's pain shrinks with capacity.
+        for key in mt:
+            assert bmt[key] < mt[key]
+        assert mt["2048KB"] < mt["512KB"]
+
+    def test_memory_latency_sweep_shape(self):
+        fig = memory_latency_sweep(latencies=(100, 400), benches=BENCHES, events=EVENTS)
+        for label in ("aise+mt", "aise+bmt"):
+            assert set(fig.series[label]) == {"100cy", "400cy"}
+        assert fig.series["aise+bmt"]["400cy"] < fig.series["aise+mt"]["400cy"]
+
+    def test_counter_cache_sweep_shape(self):
+        fig = counter_cache_sweep(sizes_kb=(8, 128), benches=BENCHES, events=EVENTS)
+        aise = fig.series["aise"]
+        g64 = fig.series["global64"]
+        # global64 benefits far more from extra capacity than AISE at the
+        # large end (where AISE's reach already covers the working set).
+        assert g64["128KB"] > aise["128KB"]
+        assert aise["128KB"] < 0.05

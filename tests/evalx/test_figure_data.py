@@ -1,0 +1,51 @@
+"""FigureData container and text rendering edge cases."""
+
+import math
+
+from repro.evalx.figures import FigureData
+from repro.evalx.report import render_figure
+
+
+def make_fig(shown=("art", "mcf")):
+    fig = FigureData("T", "test figure", "%", shown=shown)
+    fig.add("scheme-a", {"art": 0.10, "mcf": 0.30, "gzip": 0.02})
+    fig.add("scheme-b", {"art": 0.05, "mcf": 0.15, "gzip": 0.01})
+    return fig
+
+
+class TestFigureData:
+    def test_average_excludes_avg_key(self):
+        fig = make_fig().with_averages()
+        assert fig.series["scheme-a"]["avg"] == (0.10 + 0.30 + 0.02) / 3
+        # Recomputing after with_averages must not fold 'avg' back in.
+        assert fig.average("scheme-a") == fig.series["scheme-a"]["avg"]
+
+    def test_with_averages_returns_self(self):
+        fig = make_fig()
+        assert fig.with_averages() is fig
+
+
+class TestRenderFigure:
+    def test_shown_subset_plus_avg(self):
+        text = render_figure(make_fig().with_averages())
+        header = text.splitlines()[1]
+        assert "art" in header and "mcf" in header and "avg" in header
+        assert "gzip" not in header  # not in the shown subset
+
+    def test_sweep_style_renders_all_keys(self):
+        fig = FigureData("S", "sweep", "%", shown=())
+        fig.add("a", {"32b": 0.1, "64b": 0.2})
+        text = render_figure(fig)
+        assert "32b" in text and "64b" in text
+
+    def test_missing_key_renders_nan(self):
+        fig = FigureData("S", "sweep", "%", shown=())
+        fig.add("a", {"x": 0.1})
+        fig.add("b", {"y": 0.2})
+        text = render_figure(fig)
+        assert "nan" in text
+
+    def test_values_render_as_percent(self):
+        text = render_figure(make_fig())
+        assert "10.0%" in text
+        assert "30.0%" in text

@@ -1,0 +1,117 @@
+"""Figure harness: shape assertions on a reduced benchmark set.
+
+Full-fidelity regeneration lives in ``benchmarks/``; these tests check the
+machinery and the paper's qualitative orderings with small traces.
+"""
+
+import pytest
+
+from repro.evalx.figures import (
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10a,
+    figure10b,
+    figure11a,
+    figure11b,
+)
+from repro.evalx.runner import Runner
+
+BENCHES = ("art", "swim", "gzip")
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return Runner(events=20_000, benchmarks=BENCHES)
+
+
+class TestFigure6(object):
+    def test_proposal_wins_everywhere(self, runner):
+        fig = figure6(runner)
+        for bench in BENCHES:
+            assert fig.series["aise+bmt"][bench] < fig.series["global64+mt"][bench]
+
+    def test_average_row(self, runner):
+        fig = figure6(runner)
+        assert "avg" in fig.series["aise+bmt"]
+        assert fig.series["aise+bmt"]["avg"] < 0.10
+
+
+class TestFigure7(object):
+    def test_aise_cheapest(self, runner):
+        fig = figure7(runner)
+        assert fig.series["aise"]["avg"] < fig.series["global32"]["avg"]
+        assert fig.series["aise"]["avg"] < fig.series["global64"]["avg"]
+
+    def test_global32_beats_global64(self, runner):
+        """Smaller stamps cache better (more counters per line)."""
+        fig = figure7(runner)
+        assert fig.series["global32"]["avg"] <= fig.series["global64"]["avg"]
+
+
+class TestFigure8(object):
+    def test_integrity_dominates_encryption(self, runner):
+        """Paper: Merkle maintenance, not encryption, is the main cost."""
+        fig = figure8(runner)
+        assert fig.series["aise+mt"]["avg"] > fig.series["aise"]["avg"] * 2
+
+    def test_bmt_removes_almost_all_of_it(self, runner):
+        fig = figure8(runner)
+        mt_extra = fig.series["aise+mt"]["avg"] - fig.series["aise"]["avg"]
+        bmt_extra = fig.series["aise+bmt"]["avg"] - fig.series["aise"]["avg"]
+        assert bmt_extra < mt_extra / 3
+
+
+class TestFigure9(object):
+    def test_occupancy_ordering(self, runner):
+        fig = figure9(runner)
+        for bench in BENCHES:
+            assert fig.series["no-integrity"][bench] >= 0.99
+            assert fig.series["aise+bmt"][bench] > fig.series["aise+mt"][bench]
+
+    def test_bmt_keeps_l2_for_data(self, runner):
+        fig = figure9(runner)
+        assert fig.series["aise+bmt"]["avg"] > 0.95
+
+
+class TestFigure10(object):
+    def test_miss_rates(self, runner):
+        fig = figure10a(runner)
+        assert fig.series["aise+mt"]["avg"] > fig.series["base"]["avg"]
+        assert fig.series["aise+bmt"]["avg"] == pytest.approx(fig.series["base"]["avg"], abs=0.02)
+
+    def test_bus_utilization(self, runner):
+        fig = figure10b(runner)
+        assert fig.series["aise+mt"]["avg"] > fig.series["base"]["avg"]
+
+
+class TestFigure11(object):
+    def test_mt_blows_up_with_mac_size(self, runner):
+        fig = figure11a(runner, mac_sizes=(64, 256))
+        assert fig.series["aise+mt"]["256b"] > fig.series["aise+mt"]["64b"] * 2
+
+    def test_bmt_stays_flat(self, runner):
+        fig = figure11a(runner, mac_sizes=(64, 256))
+        assert fig.series["aise+bmt"]["256b"] < fig.series["aise+bmt"]["64b"] + 0.05
+
+    def test_occupancy_sensitivity(self, runner):
+        fig = figure11b(runner, mac_sizes=(64, 256))
+        assert fig.series["aise+mt"]["256b"] < fig.series["aise+mt"]["64b"]
+        assert fig.series["aise+bmt"]["256b"] > 0.85
+
+
+class TestRunnerMachinery(object):
+    def test_results_are_memoized(self, runner):
+        a = runner.result("art", "base")
+        b = runner.result("art", "base")
+        assert a is b
+
+    def test_overhead_of_base_is_zero(self, runner):
+        assert runner.overhead("art", "base") == 0.0
+
+    def test_mac_bits_variants_are_distinct(self, runner):
+        default = runner.result("art", "aise+mt")
+        wide = runner.result("art", "aise+mt", mac_bits=256)
+        assert default is not wide
+        assert default.cycles != wide.cycles

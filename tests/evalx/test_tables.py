@@ -1,0 +1,58 @@
+"""Table generators: Table 1 content, Table 2 exactness, rendering."""
+
+import pytest
+
+from repro.evalx.report import render_table
+from repro.evalx.tables import PAPER_TABLE2, table1, table2
+
+
+class TestTable1:
+    def test_four_schemes_in_paper_order(self):
+        t = table1()
+        names = [row["Encryption Approach"] for row in t.rows]
+        assert names == [
+            "Global Counter (64-bit)",
+            "Counter (Phys Addr)",
+            "Counter (Virt Addr)",
+            "AISE",
+        ]
+
+    def test_key_cells(self):
+        t = table1()
+        rows = {row["Encryption Approach"]: row for row in t.rows}
+        assert rows["AISE"]["IPC Support"] == "Yes"
+        assert rows["AISE"]["Latency Hiding"] == "Good"
+        assert rows["AISE"]["Other Issues"] == "None"
+        assert rows["Counter (Virt Addr)"]["IPC Support"] == "No shared-memory IPC"
+        assert "Re-enc on page swap" in rows["Counter (Phys Addr)"]["Other Issues"]
+        assert "12.5%" in rows["Global Counter (64-bit)"]["Storage Overhead"]
+
+
+class TestTable2:
+    def test_all_16_cells_match_paper(self):
+        t = table2()
+        assert len(t.rows) == 8
+        for row in t.rows:
+            bits = int(row["MAC size"].rstrip("b"))
+            paper_mt, paper_pr, paper_ctr, paper_total = PAPER_TABLE2[(bits, row["Scheme"])]
+            assert row["MT %"] == pytest.approx(paper_mt, abs=0.01)
+            assert row["Page Root %"] == pytest.approx(paper_pr, abs=0.01)
+            assert row["Counters %"] == pytest.approx(paper_ctr, abs=0.01)
+            assert row["Total %"] == pytest.approx(paper_total, abs=0.01)
+
+    def test_totals_column_echoes_paper(self):
+        for row in table2().rows:
+            assert row["Total %"] == pytest.approx(row["Paper Total %"], abs=0.01)
+
+
+class TestRendering:
+    def test_render_contains_all_cells(self):
+        text = render_table(table1())
+        assert "AISE" in text
+        assert "Global Counter (64-bit)" in text
+        assert text.splitlines()[0].startswith("Table 1")
+
+    def test_render_table2(self):
+        text = render_table(table2())
+        assert "21.55" in text  # the headline 128-bit AISE+BMT total
+        assert "33.51" in text

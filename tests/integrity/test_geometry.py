@@ -1,0 +1,114 @@
+"""Merkle tree geometry: level shapes, walks, child ranges."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.integrity.geometry import TreeGeometry
+
+
+class TestShapes:
+    def test_64_blocks_arity_4(self):
+        """A 4KB page with 128-bit MACs: 64 -> 16 -> 4 -> 1 nodes."""
+        g = TreeGeometry(0, 4096, 10000, 16)
+        assert g.arity == 4
+        assert g.level_counts == [16, 4, 1]
+        assert g.levels == 3
+        assert g.node_bytes == 21 * 64
+
+    def test_arity_2_doubles_depth(self):
+        g = TreeGeometry(0, 4096, 10000, 32)
+        assert g.arity == 2
+        assert g.level_counts == [32, 16, 8, 4, 2, 1]
+
+    def test_arity_16_shallow(self):
+        g = TreeGeometry(0, 4096, 10000, 4)
+        assert g.level_counts == [4, 1]
+
+    def test_single_block_degenerate(self):
+        g = TreeGeometry(0, 64, 10000, 16)
+        assert g.level_counts == [1]
+
+    def test_non_power_of_arity_rounds_up(self):
+        g = TreeGeometry(0, 5 * 64, 10000, 16)  # 5 blocks, arity 4
+        assert g.level_counts == [2, 1]
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            TreeGeometry(0, 0, 0, 16)
+        with pytest.raises(ValueError):
+            TreeGeometry(0, 100, 0, 16)  # not block multiple
+        with pytest.raises(ValueError):
+            TreeGeometry(0, 4096, 0, 64)  # arity 1
+
+
+class TestAddressing:
+    def test_level_bases_are_contiguous(self):
+        g = TreeGeometry(0, 4096, 10000, 16)
+        assert g.level_bases == [10000, 10000 + 16 * 64, 10000 + 20 * 64]
+        assert g.nodes_end == 10000 + 21 * 64
+
+    def test_covers(self):
+        g = TreeGeometry(1000 * 64, 4096, 0, 16)
+        assert g.covers(1000 * 64)
+        assert g.covers(1000 * 64 + 4095)
+        assert not g.covers(1000 * 64 - 1)
+        assert not g.covers(1000 * 64 + 4096)
+
+    def test_child_index_offsets_by_start(self):
+        g = TreeGeometry(1024, 4096, 10000, 16)
+        assert g.child_index(1024) == 0
+        assert g.child_index(1024 + 64) == 1
+
+    def test_node_ref_slots(self):
+        g = TreeGeometry(0, 4096, 10000, 16)
+        ref = g.node_ref(1, 5)  # child block 5 -> node 1, slot 1
+        assert ref.index == 1
+        assert ref.slot == 1
+        assert ref.address == 10000 + 64
+
+    def test_walk_reaches_top(self):
+        g = TreeGeometry(0, 4096, 10000, 16)
+        refs = g.walk(0)
+        assert [r.level for r in refs] == [1, 2, 3]
+        assert refs[-1].address == g.root_block_address
+
+    def test_walk_siblings_share_parent_node(self):
+        g = TreeGeometry(0, 4096, 10000, 16)
+        walk_a = g.walk(0)
+        walk_b = g.walk(64)
+        assert walk_a[0].address == walk_b[0].address  # same leaf node
+        assert walk_a[0].slot != walk_b[0].slot
+
+    def test_node_child_range_full_and_partial(self):
+        g = TreeGeometry(0, 5 * 64, 10000, 16)  # 5 blocks, arity 4
+        assert g.node_child_range(1, 0) == (0, 4)
+        assert g.node_child_range(1, 1) == (4, 1)  # partial last node
+
+    def test_child_block_address(self):
+        g = TreeGeometry(4096, 4096, 10000, 16)
+        assert g.child_block_address(1, 2) == 4096 + 128
+        assert g.child_block_address(2, 0) == g.level_bases[0]
+
+
+@settings(max_examples=40, deadline=None)
+@given(blocks=st.integers(min_value=1, max_value=2000),
+       mac_bytes=st.sampled_from([4, 8, 16, 32]),
+       block=st.integers(min_value=0, max_value=1999))
+def test_walk_invariants_property(blocks, mac_bytes, block):
+    if block >= blocks:
+        block = block % blocks
+    g = TreeGeometry(0, blocks * 64, 1 << 20, mac_bytes)
+    refs = g.walk(block * 64)
+    assert len(refs) == g.levels
+    # Levels strictly increase; each node contains the previous index.
+    index = block
+    for ref in refs:
+        assert ref.index == index // g.arity
+        assert ref.slot == index % g.arity
+        assert g.nodes_start <= ref.address < g.nodes_end
+        index = ref.index
+    assert refs[-1].index == 0  # single top node
+    # Level sizes shrink by at least arity-fold (rounded up).
+    for a, b in zip([blocks] + g.level_counts, g.level_counts):
+        assert b == (a + g.arity - 1) // g.arity

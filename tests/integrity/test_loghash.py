@@ -1,0 +1,103 @@
+"""Log-hash baseline: correct for clean runs, detection only at checks."""
+
+import pytest
+
+from repro.core.errors import IntegrityError
+from repro.crypto.mac import Blake2Mac
+from repro.integrity.loghash import LogHashIntegrity
+from repro.mem.dram import BlockMemory
+
+
+def make_loghash():
+    memory = BlockMemory(64 * 64)
+    scheme = LogHashIntegrity(memory, Blake2Mac(b"log-key", 128))
+    return scheme, memory
+
+
+def write(scheme, memory, address, data):
+    memory.write_block(address, data)
+    scheme.update_data(address, data)
+
+
+def read(scheme, memory, address):
+    data = memory.read_block(address)
+    scheme.verify_data(address, data)
+    return data
+
+
+class TestCleanRuns:
+    def test_empty_check_passes(self):
+        scheme, _ = make_loghash()
+        scheme.check()
+
+    def test_write_read_check_passes(self):
+        scheme, memory = make_loghash()
+        write(scheme, memory, 0, b"\x01" * 64)
+        read(scheme, memory, 0)
+        scheme.check()
+
+    def test_many_operations_pass(self):
+        scheme, memory = make_loghash()
+        for i in range(20):
+            write(scheme, memory, (i % 8) * 64, bytes([i]) * 64)
+            read(scheme, memory, (i % 8) * 64)
+        scheme.check()
+
+    def test_multiple_epochs(self):
+        scheme, memory = make_loghash()
+        for epoch in range(3):
+            write(scheme, memory, 0, bytes([epoch]) * 64)
+            scheme.check()
+        assert scheme.checks == 3
+
+
+class TestDeferredDetection:
+    def test_tamper_not_caught_at_use(self):
+        """The scheme's weakness (paper section 2): a read of tampered
+        data does NOT fail immediately."""
+        scheme, memory = make_loghash()
+        write(scheme, memory, 0, b"\x01" * 64)
+        memory.corrupt(0)
+        read(scheme, memory, 0)  # no exception — attack unnoticed for now
+
+    def test_tamper_caught_at_next_check(self):
+        scheme, memory = make_loghash()
+        write(scheme, memory, 0, b"\x01" * 64)
+        memory.corrupt(0)
+        with pytest.raises(IntegrityError):
+            scheme.check()
+
+    def test_tamper_after_read_caught_at_check(self):
+        scheme, memory = make_loghash()
+        write(scheme, memory, 0, b"\x01" * 64)
+        read(scheme, memory, 0)
+        memory.corrupt(0)
+        with pytest.raises(IntegrityError):
+            scheme.check()
+
+    def test_replay_caught_at_check(self):
+        scheme, memory = make_loghash()
+        write(scheme, memory, 0, b"OLD-" * 16)
+        stale = memory.read_block(0)
+        write(scheme, memory, 0, b"NEW!" * 16)
+        memory.raw_write(0, stale)
+        with pytest.raises(IntegrityError):
+            scheme.check()
+
+    def test_splice_caught_at_check(self):
+        scheme, memory = make_loghash()
+        write(scheme, memory, 0, b"\x0a" * 64)
+        write(scheme, memory, 64, b"\x0b" * 64)
+        a, b = memory.read_block(0), memory.read_block(64)
+        memory.raw_write(0, b)
+        memory.raw_write(64, a)
+        with pytest.raises(IntegrityError):
+            scheme.check()
+
+    def test_clean_epoch_after_detection_window(self):
+        """After a passing check, a fresh epoch starts from current state."""
+        scheme, memory = make_loghash()
+        write(scheme, memory, 0, b"\x01" * 64)
+        scheme.check()
+        write(scheme, memory, 64, b"\x02" * 64)
+        scheme.check()

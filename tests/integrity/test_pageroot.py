@@ -1,0 +1,93 @@
+"""Page Root Directory: the swap-extension of Merkle protection."""
+
+import pytest
+
+from repro.core.errors import IntegrityError
+from repro.integrity.pageroot import PageRootDirectory
+from repro.mem.dram import BlockMemory
+
+
+def make_prd(swap_pages: int = 16, mac_bytes: int = 16):
+    memory = BlockMemory(64 * 64)
+    prd = PageRootDirectory(memory, 0, swap_pages, mac_bytes)
+    return prd, memory
+
+
+class TestDirectory:
+    def test_region_size(self):
+        prd, _ = make_prd(swap_pages=16, mac_bytes=16)
+        assert prd.region_bytes == 4 * 64  # 4 roots per block
+
+    def test_install_lookup_roundtrip(self):
+        prd, _ = make_prd()
+        prd.install(3, b"\xcd" * 16)
+        assert prd.lookup(3) == b"\xcd" * 16
+
+    def test_slots_pack_without_interference(self):
+        prd, _ = make_prd()
+        prd.install(0, b"\x01" * 16)
+        prd.install(1, b"\x02" * 16)
+        prd.install(4, b"\x04" * 16)  # next directory block
+        assert prd.lookup(0) == b"\x01" * 16
+        assert prd.lookup(1) == b"\x02" * 16
+        assert prd.lookup(4) == b"\x04" * 16
+
+    def test_reinstall_overwrites(self):
+        prd, _ = make_prd()
+        prd.install(2, b"\x0a" * 16)
+        prd.install(2, b"\x0b" * 16)
+        assert prd.lookup(2) == b"\x0b" * 16
+
+    def test_rejects_bad_slot(self):
+        prd, _ = make_prd(swap_pages=4)
+        with pytest.raises(IndexError):
+            prd.lookup(4)
+        with pytest.raises(IndexError):
+            prd.install(-1, b"\x00" * 16)
+
+    def test_rejects_wrong_root_size(self):
+        prd, _ = make_prd()
+        with pytest.raises(ValueError):
+            prd.install(0, b"\x00" * 8)
+
+    def test_stats(self):
+        prd, _ = make_prd()
+        prd.install(0, b"\x01" * 16)
+        prd.lookup(0)
+        prd.lookup(0)
+        assert prd.installs == 1
+        assert prd.lookups == 2
+
+
+class TestVerification:
+    def test_matching_image_passes(self):
+        prd, _ = make_prd()
+        prd.install(5, b"\x42" * 16)
+        prd.verify_page_image(5, b"\x42" * 16)
+
+    def test_mismatching_image_fails(self):
+        prd, _ = make_prd()
+        prd.install(5, b"\x42" * 16)
+        with pytest.raises(IntegrityError) as err:
+            prd.verify_page_image(5, b"\x43" * 16)
+        assert err.value.kind == "swap"
+
+    def test_verified_access_hooks_are_used(self):
+        """Directory reads/writes flow through the supplied (tree-backed)
+        metadata callbacks, so the directory itself is protected."""
+        reads, writes = [], []
+        memory = BlockMemory(64 * 16)
+
+        def tracked_read(addr):
+            reads.append(addr)
+            return memory.read_block(addr)
+
+        def tracked_write(addr, raw):
+            writes.append(addr)
+            memory.write_block(addr, raw)
+
+        prd = PageRootDirectory(memory, 0, 8, 16, tracked_read, tracked_write)
+        prd.install(0, b"\x01" * 16)
+        prd.lookup(0)
+        assert writes == [0]
+        assert len(reads) == 2  # read-modify-write + lookup

@@ -1,0 +1,70 @@
+"""Memory bus: serialization, queueing, and utilization accounting."""
+
+import pytest
+
+from repro.mem.bus import MemoryBus
+
+
+class TestScheduling:
+    def test_idle_bus_starts_immediately(self):
+        bus = MemoryBus(cycles_per_block=16)
+        start, end = bus.request(100)
+        assert (start, end) == (100, 116)
+
+    def test_busy_bus_queues(self):
+        bus = MemoryBus(cycles_per_block=16)
+        bus.request(100)
+        start, end = bus.request(105)
+        assert (start, end) == (116, 132)
+
+    def test_gap_leaves_bus_idle(self):
+        bus = MemoryBus(cycles_per_block=16)
+        bus.request(0)
+        start, _ = bus.request(1000)
+        assert start == 1000
+
+    def test_back_to_back_saturation(self):
+        bus = MemoryBus(cycles_per_block=10)
+        for i in range(10):
+            bus.request(0)
+        assert bus.free_at == 100
+
+
+class TestStats:
+    def test_busy_cycles_accumulate(self):
+        bus = MemoryBus(cycles_per_block=16)
+        bus.request(0)
+        bus.request(0)
+        assert bus.stats.busy_cycles == 32
+        assert bus.stats.transfers == 2
+
+    def test_queue_cycles(self):
+        bus = MemoryBus(cycles_per_block=16)
+        bus.request(0)
+        bus.request(0)  # waits 16
+        assert bus.stats.queue_cycles == 16
+
+    def test_utilization(self):
+        bus = MemoryBus(cycles_per_block=16)
+        bus.request(0)
+        assert bus.stats.utilization(64) == pytest.approx(0.25)
+        assert bus.stats.utilization(0) == 0.0
+
+    def test_utilization_clamped_to_one(self):
+        bus = MemoryBus(cycles_per_block=100)
+        bus.request(0)
+        assert bus.stats.utilization(10) == 1.0
+
+    def test_transfer_kinds(self):
+        bus = MemoryBus()
+        bus.request(0, "data")
+        bus.request(0, "merkle")
+        bus.request(0, "merkle")
+        assert bus.stats.transfers_by_kind == {"data": 1, "merkle": 2}
+
+    def test_reset(self):
+        bus = MemoryBus()
+        bus.request(0)
+        bus.reset()
+        assert bus.free_at == 0
+        assert bus.stats.transfers == 0

@@ -1,0 +1,185 @@
+"""Set-associative cache: LRU, eviction, classes, occupancy accounting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.cache import DATA, MERKLE, SetAssociativeCache
+
+
+def direct_mapped(sets: int = 4) -> SetAssociativeCache:
+    return SetAssociativeCache(sets * 64, assoc=1)
+
+
+def two_way(sets: int = 4) -> SetAssociativeCache:
+    return SetAssociativeCache(sets * 2 * 64, assoc=2)
+
+
+class TestGeometry:
+    def test_paper_l2_dimensions(self):
+        l2 = SetAssociativeCache(1024 * 1024, 8, 64)
+        assert l2.num_sets == 2048
+        assert l2.num_lines == 16384
+
+    def test_counter_cache_dimensions(self):
+        cc = SetAssociativeCache(32 * 1024, 16, 64)
+        assert cc.num_sets == 32
+        assert cc.num_lines == 512
+
+    def test_rejects_non_divisible(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(1000, 3, 64)
+
+
+class TestHitMiss:
+    def test_cold_miss_then_hit(self):
+        cache = two_way()
+        assert not cache.lookup(0)
+        cache.insert(0)
+        assert cache.lookup(0)
+
+    def test_same_block_different_offsets(self):
+        cache = two_way()
+        cache.insert(0)
+        assert cache.lookup(63)
+        assert not cache.lookup(64)
+
+    def test_lookup_does_not_allocate(self):
+        cache = two_way()
+        cache.lookup(0)
+        assert not cache.contains(0)
+
+    def test_stats(self):
+        cache = two_way()
+        cache.lookup(0)
+        cache.insert(0)
+        cache.lookup(0)
+        cache.lookup(0)
+        assert cache.stats.hits == 2
+        assert cache.stats.misses == 1
+        assert cache.stats.miss_rate == pytest.approx(1 / 3)
+
+
+class TestLru:
+    def test_evicts_least_recent(self):
+        cache = two_way(sets=1)
+        cache.insert(0)  # set 0
+        cache.insert(64)  # set 0
+        cache.lookup(0)  # 0 becomes MRU
+        victim = cache.insert(128)
+        assert victim.block == 1  # block index of address 64
+        assert cache.contains(0)
+        assert not cache.contains(64)
+
+    def test_insert_refreshes_recency(self):
+        cache = two_way(sets=1)
+        cache.insert(0)
+        cache.insert(64)
+        cache.insert(0)  # refresh
+        victim = cache.insert(128)
+        assert victim.block == 1
+
+    def test_write_hits_set_dirty(self):
+        cache = two_way(sets=1)
+        cache.insert(0)
+        cache.lookup(0, write=True)
+        cache.insert(64)
+        victim = cache.insert(128)  # evicts 0
+        assert victim.block == 0 and victim.dirty
+
+    def test_clean_eviction_not_counted_as_writeback(self):
+        cache = direct_mapped(sets=1)
+        cache.insert(0, dirty=False)
+        cache.insert(64)
+        assert cache.stats.writebacks == 0
+
+    def test_dirty_eviction_counted(self):
+        cache = direct_mapped(sets=1)
+        cache.insert(0, dirty=True)
+        cache.insert(64)
+        assert cache.stats.writebacks == 1
+
+
+class TestInvalidate:
+    def test_invalidate_drops_line(self):
+        cache = two_way()
+        cache.insert(0)
+        assert cache.invalidate(0)
+        assert not cache.contains(0)
+        assert not cache.invalidate(0)
+
+    def test_invalidate_range(self):
+        cache = SetAssociativeCache(64 * 1024, 8)
+        for block in range(64):
+            cache.insert(block * 64)
+        dropped = cache.invalidate_range(0, 4096)
+        assert dropped == 64
+        assert cache.occupied_lines == 0
+
+    def test_flush_returns_dirty_lines(self):
+        cache = two_way()
+        cache.insert(0, dirty=True)
+        cache.insert(64, dirty=False)
+        dirty = cache.flush()
+        assert [e.block for e in dirty] == [0]
+        assert cache.occupied_lines == 0
+
+
+class TestClasses:
+    def test_class_line_counts(self):
+        cache = SetAssociativeCache(4096, 4)
+        cache.insert(0, DATA)
+        cache.insert(64, MERKLE)
+        cache.insert(128, MERKLE)
+        assert cache.lines_of_class(DATA) == 1
+        assert cache.lines_of_class(MERKLE) == 2
+
+    def test_eviction_decrements_class(self):
+        cache = direct_mapped(sets=1)
+        cache.insert(0, MERKLE)
+        cache.insert(64, DATA)
+        assert cache.lines_of_class(MERKLE) == 0
+        assert cache.lines_of_class(DATA) == 1
+
+    def test_reinsert_changes_class(self):
+        cache = two_way()
+        cache.insert(0, DATA)
+        cache.insert(0, MERKLE)
+        assert cache.lines_of_class(DATA) == 0
+        assert cache.lines_of_class(MERKLE) == 1
+
+    def test_occupancy_counts_free_lines_as_data(self):
+        cache = SetAssociativeCache(4096, 4)  # 64 lines
+        cache.insert(0, MERKLE)
+        cache.tick_occupancy()
+        assert cache.stats.occupancy_fraction(MERKLE) == pytest.approx(1 / 64)
+        assert cache.stats.occupancy_fraction(DATA) == pytest.approx(63 / 64)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(st.integers(min_value=0, max_value=31), st.booleans()), max_size=120))
+def test_lru_matches_reference_model(operations):
+    """Cross-check against a brute-force per-set LRU list model."""
+    cache = SetAssociativeCache(4 * 2 * 64, assoc=2)  # 4 sets, 2-way
+    model: dict[int, list] = {s: [] for s in range(4)}
+
+    for block, is_insert in operations:
+        address = block * 64
+        s = block % 4
+        if is_insert:
+            cache.insert(address)
+            if block in model[s]:
+                model[s].remove(block)
+            model[s].append(block)
+            if len(model[s]) > 2:
+                model[s].pop(0)
+        else:
+            expected = block in model[s]
+            assert cache.lookup(address) == expected
+            if expected:
+                model[s].remove(block)
+                model[s].append(block)
+
+    for s, blocks in model.items():
+        for block in blocks:
+            assert cache.contains(block * 64)

@@ -1,0 +1,77 @@
+"""BlockMemory (functional DRAM/disk) and the DRAM timing model."""
+
+import pytest
+
+from repro.mem.dram import BlockMemory, DramTiming
+
+
+class TestBlockMemory:
+    def test_unwritten_reads_as_zero(self):
+        memory = BlockMemory(4096)
+        assert memory.read_block(0) == bytes(64)
+
+    def test_write_read_roundtrip(self):
+        memory = BlockMemory(4096)
+        memory.write_block(128, b"\xab" * 64)
+        assert memory.read_block(128) == b"\xab" * 64
+
+    def test_rejects_unaligned(self):
+        memory = BlockMemory(4096)
+        with pytest.raises(ValueError):
+            memory.read_block(1)
+        with pytest.raises(ValueError):
+            memory.write_block(63, bytes(64))
+
+    def test_rejects_out_of_range(self):
+        memory = BlockMemory(4096)
+        with pytest.raises(IndexError):
+            memory.read_block(4096)
+        with pytest.raises(IndexError):
+            memory.read_block(-64)
+
+    def test_rejects_wrong_write_size(self):
+        memory = BlockMemory(4096)
+        with pytest.raises(ValueError):
+            memory.write_block(0, b"short")
+
+    def test_rejects_non_block_size(self):
+        with pytest.raises(ValueError):
+            BlockMemory(100)
+
+    def test_corrupt_flips_content(self):
+        memory = BlockMemory(4096)
+        memory.write_block(0, b"\x0f" * 64)
+        old = memory.corrupt(0)
+        assert old == b"\x0f" * 64
+        assert memory.read_block(0) == b"\xf0" * 64
+
+    def test_corrupt_with_payload(self):
+        memory = BlockMemory(4096)
+        memory.corrupt(0, b"\x99" * 64)
+        assert memory.read_block(0) == b"\x99" * 64
+
+    def test_corrupt_aligns_address(self):
+        memory = BlockMemory(4096)
+        memory.write_block(64, b"\x01" * 64)
+        memory.corrupt(100)  # inside block 1
+        assert memory.read_block(64) != b"\x01" * 64
+
+    def test_populated_blocks(self):
+        memory = BlockMemory(4096)
+        memory.write_block(0, bytes(64))
+        memory.write_block(64, bytes(64))
+        assert memory.populated_blocks() == 2
+
+
+class TestDramTiming:
+    def test_paper_latency(self):
+        dram = DramTiming()
+        assert dram.read() == 200
+        assert dram.write() == 200
+
+    def test_counters(self):
+        dram = DramTiming(access_latency=100)
+        dram.read()
+        dram.read()
+        dram.write()
+        assert (dram.reads, dram.writes) == (2, 1)

@@ -1,0 +1,81 @@
+"""Address geometry helpers and the Geometry dataclass."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.layout import (
+    BLOCK_SIZE,
+    BLOCKS_PER_PAGE,
+    PAGE_SIZE,
+    Geometry,
+    block_address,
+    block_in_page,
+    block_index,
+    block_offset,
+    chunk_id,
+    page_address,
+    page_index,
+    page_offset,
+)
+
+
+class TestConstants:
+    def test_paper_geometry(self):
+        assert BLOCK_SIZE == 64
+        assert PAGE_SIZE == 4096
+        assert BLOCKS_PER_PAGE == 64
+
+
+class TestHelpers:
+    def test_block_helpers(self):
+        assert block_index(0) == 0
+        assert block_index(64) == 1
+        assert block_address(100) == 64
+        assert block_offset(100) == 36
+
+    def test_page_helpers(self):
+        assert page_index(4095) == 0
+        assert page_index(4096) == 1
+        assert page_address(5000) == 4096
+        assert page_offset(5000) == 904
+
+    def test_block_in_page(self):
+        assert block_in_page(0) == 0
+        assert block_in_page(63) == 0
+        assert block_in_page(64) == 1
+        assert block_in_page(4095) == 63
+        assert block_in_page(4096) == 0
+
+    def test_chunk_id(self):
+        assert chunk_id(0) == 0
+        assert chunk_id(16) == 1
+        assert chunk_id(48) == 3
+        assert chunk_id(63) == 3
+        assert chunk_id(64) == 0
+
+
+class TestGeometry:
+    def test_defaults(self):
+        g = Geometry()
+        assert g.physical_bytes == 1 << 30
+        assert g.swap_bytes == 1 << 30  # defaults to physical
+        assert g.physical_pages == (1 << 30) // 4096
+
+    def test_explicit_swap(self):
+        g = Geometry(physical_bytes=1 << 20, swap_bytes=1 << 21)
+        assert g.swap_pages == 2 * g.physical_pages
+
+    def test_rejects_partial_pages(self):
+        with pytest.raises(ValueError):
+            Geometry(physical_bytes=5000)
+        with pytest.raises(ValueError):
+            Geometry(physical_bytes=1 << 20, swap_bytes=5000)
+
+
+@settings(max_examples=50, deadline=None)
+@given(addr=st.integers(min_value=0, max_value=2**40))
+def test_decomposition_property(addr):
+    assert block_address(addr) + block_offset(addr) == addr
+    assert page_address(addr) + page_offset(addr) == addr
+    assert page_index(addr) * (PAGE_SIZE // BLOCK_SIZE) + block_in_page(addr) == block_index(addr)

@@ -1,0 +1,174 @@
+"""File-backed mmap: glibc-style file I/O and the shared-library case.
+
+Section 4.2's strongest examples of why seeds must be address-free:
+mmap'd files (used "extensively in glibc for file I/O") and shared
+libraries (one physical copy, many mappers, copy-on-write privates).
+"""
+
+import pytest
+
+from repro.core import IntegrityError
+from repro.mem.layout import PAGE_SIZE
+from repro.osmodel.filesystem import FileStore
+
+
+@pytest.fixture
+def kernel(kernel_factory):
+    return kernel_factory(frames=24, swap_slots=64)
+
+
+class TestFileStore:
+    def test_create_read_roundtrip(self):
+        store = FileStore()
+        store.create("a.txt", b"hello file")
+        assert store.read_page("a.txt", 0)[:10] == b"hello file"
+        assert store.size("a.txt") == 10
+
+    def test_pages_padded_past_eof(self):
+        store = FileStore()
+        store.create("a", b"x")
+        page = store.read_page("a", 0)
+        assert len(page) == PAGE_SIZE
+        assert page[1:] == bytes(PAGE_SIZE - 1)
+
+    def test_write_grows_file(self):
+        store = FileStore()
+        store.create("a", b"")
+        store.write_page("a", 1, b"\x07" * PAGE_SIZE)
+        assert store.size("a") == 2 * PAGE_SIZE
+
+    def test_errors(self):
+        store = FileStore()
+        store.create("a")
+        with pytest.raises(FileExistsError):
+            store.create("a")
+        with pytest.raises(FileNotFoundError):
+            store.read_page("ghost", 0)
+        with pytest.raises(ValueError):
+            store.write_page("a", 0, b"short")
+        store.unlink("a")
+        assert not store.exists("a")
+
+
+class TestSharedFileMappings:
+    def test_two_processes_share_file_pages(self, kernel):
+        kernel.files.create("data", b"initial content" + bytes(4081))
+        a = kernel.create_process()
+        b = kernel.create_process()
+        kernel.mmap_file(a.pid, 0x800000, "data", shared=True)
+        kernel.mmap_file(b.pid, 0x900000, "data", shared=True)
+        assert kernel.read(b.pid, 0x900000, 15) == b"initial content"
+        kernel.write(a.pid, 0x800000, b"updated content")
+        assert kernel.read(b.pid, 0x900000, 15) == b"updated content"
+
+    def test_single_resident_copy(self, kernel):
+        kernel.files.create("data", bytes(2 * PAGE_SIZE))
+        a = kernel.create_process()
+        b = kernel.create_process()
+        assert kernel.mmap_file(a.pid, 0x800000, "data") == 2
+        kernel.mmap_file(b.pid, 0x900000, "data")
+        for i in range(2):
+            fa = a.page_table.entry(0x800000 // PAGE_SIZE + i).frame
+            fb = b.page_table.entry(0x900000 // PAGE_SIZE + i).frame
+            assert fa == fb
+
+    def test_msync_writes_back_to_disk(self, kernel):
+        kernel.files.create("log", bytes(PAGE_SIZE))
+        p = kernel.create_process()
+        kernel.mmap_file(p.pid, 0x800000, "log", shared=True)
+        kernel.write(p.pid, 0x800000, b"entry 1\n")
+        assert kernel.files.raw_content("log")[:7] == bytes(7)  # not yet
+        kernel.msync("log")
+        assert kernel.files.raw_content("log")[:8] == b"entry 1\n"
+
+    def test_memory_copy_is_encrypted(self, kernel):
+        """On disk the file is plaintext (like any shipped binary); the
+        resident copy in DRAM must be ciphertext."""
+        kernel.files.create("secret", b"\x41" * PAGE_SIZE)
+        p = kernel.create_process()
+        kernel.mmap_file(p.pid, 0x800000, "secret")
+        frame = p.page_table.lookup(0x800000).frame
+        assert kernel.machine.memory.raw_read(frame * PAGE_SIZE) != b"\x41" * 64
+
+    def test_file_pages_protected_by_integrity(self, kernel):
+        kernel.files.create("bin", b"\x55" * PAGE_SIZE)
+        p = kernel.create_process()
+        kernel.mmap_file(p.pid, 0x800000, "bin")
+        frame = p.page_table.lookup(0x800000).frame
+        kernel.machine.memory.corrupt(frame * PAGE_SIZE)
+        with pytest.raises(IntegrityError):
+            kernel.read(p.pid, 0x800000, 8)
+
+
+class TestPrivateFileMappings:
+    def test_shared_library_cow(self, kernel):
+        """MAP_PRIVATE: both processes run the same resident library; a
+        private write copies the page, the file and the other mapper are
+        untouched (the copy-on-write shared-library case)."""
+        kernel.files.create("libm.so", b"\x7fELF" + bytes(PAGE_SIZE - 4))
+        a = kernel.create_process()
+        b = kernel.create_process()
+        kernel.mmap_file(a.pid, 0x700000, "libm.so", shared=False)
+        kernel.mmap_file(b.pid, 0x700000, "libm.so", shared=False)
+        assert (a.page_table.lookup(0x700000).frame
+                == b.page_table.lookup(0x700000).frame)
+        kernel.write(a.pid, 0x700000, b"HOOK")
+        assert kernel.read(a.pid, 0x700000, 4) == b"HOOK"
+        assert kernel.read(b.pid, 0x700000, 4) == b"\x7fELF"
+        assert kernel.files.raw_content("libm.so")[:4] == b"\x7fELF"
+        assert (a.page_table.lookup(0x700000).frame
+                != b.page_table.lookup(0x700000).frame)
+
+    def test_private_write_counts_as_cow_break(self, kernel):
+        kernel.files.create("lib", bytes(PAGE_SIZE))
+        p = kernel.create_process()
+        kernel.mmap_file(p.pid, 0x700000, "lib", shared=False)
+        kernel.write(p.pid, 0x700000, b"x")
+        assert kernel.stats.cow_breaks == 1
+
+    def test_sole_private_mapper_still_copies(self, kernel):
+        """Even the only process mapper must not scribble on the file
+        cache frame — the synthetic file mapper keeps it shared."""
+        kernel.files.create("lib", b"\xaa" * PAGE_SIZE)
+        p = kernel.create_process()
+        kernel.mmap_file(p.pid, 0x700000, "lib", shared=False)
+        kernel.write(p.pid, 0x700000, b"\xbb")
+        q = kernel.create_process()
+        kernel.mmap_file(q.pid, 0x700000, "lib", shared=False)
+        assert kernel.read(q.pid, 0x700000, 1) == b"\xaa"  # cache pristine
+
+
+class TestFileCacheLifecycle:
+    def test_drop_requires_no_mappers(self, kernel):
+        kernel.files.create("tmp", bytes(PAGE_SIZE))
+        p = kernel.create_process()
+        kernel.mmap_file(p.pid, 0x800000, "tmp")
+        with pytest.raises(ValueError):
+            kernel.drop_file_cache("tmp")
+        kernel.munmap(p.pid, 0x800000, 1)
+        used = kernel.frames.used_frames
+        kernel.drop_file_cache("tmp")
+        assert kernel.frames.used_frames == used - 1
+
+    def test_reload_after_drop_sees_synced_content(self, kernel):
+        kernel.files.create("tmp", bytes(PAGE_SIZE))
+        p = kernel.create_process()
+        kernel.mmap_file(p.pid, 0x800000, "tmp", shared=True)
+        kernel.write(p.pid, 0x800000, b"durable")
+        kernel.msync("tmp")
+        kernel.munmap(p.pid, 0x800000, 1)
+        kernel.drop_file_cache("tmp")
+        kernel.mmap_file(p.pid, 0x800000, "tmp", shared=True)
+        assert kernel.read(p.pid, 0x800000, 7) == b"durable"
+
+    def test_file_pages_never_swapped(self, kernel):
+        """File-cache frames are pinned like shm: memory pressure swaps
+        anonymous pages around them."""
+        kernel.files.create("pin", bytes(PAGE_SIZE))
+        p = kernel.create_process()
+        kernel.mmap_file(p.pid, 0x800000, "pin")
+        hog = kernel.create_process()
+        kernel.mmap(hog.pid, 0x900000, 30)
+        for i in range(30):
+            kernel.write(hog.pid, 0x900000 + i * PAGE_SIZE, b"\xcc")
+        assert p.page_table.lookup(0x800000).present

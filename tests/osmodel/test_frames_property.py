@@ -1,0 +1,97 @@
+"""Property-based checks on the frame allocator and TLB."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.osmodel.frames import FrameAllocator
+from repro.osmodel.tlb import TLB
+
+
+class FrameAllocatorModel(RuleBasedStateMachine):
+    """The allocator against a trivial set-based reference model."""
+
+    def __init__(self):
+        super().__init__()
+        self.allocator = FrameAllocator(total_frames=8)
+        self.free = set(range(8))
+        self.used: dict[int, set] = {}
+
+    @rule()
+    def allocate(self):
+        frame = self.allocator.allocate()
+        if self.free:
+            assert frame in self.free
+            self.free.remove(frame)
+            self.used[frame] = set()
+        else:
+            assert frame is None
+
+    @precondition(lambda self: self.used)
+    @rule(pid=st.integers(min_value=1, max_value=3),
+          vpage=st.integers(min_value=0, max_value=5),
+          pick=st.integers(min_value=0))
+    def attach(self, pid, vpage, pick):
+        frame = sorted(self.used)[pick % len(self.used)]
+        self.allocator.attach(frame, pid, vpage)
+        self.used[frame].add((pid, vpage))
+
+    @precondition(lambda self: any(self.used.values()))
+    @rule(pick=st.integers(min_value=0))
+    def detach(self, pick):
+        mapped = [f for f, m in self.used.items() if m]
+        frame = mapped[pick % len(mapped)]
+        mapper = next(iter(self.used[frame]))
+        self.allocator.detach(frame, *mapper)
+        self.used[frame].discard(mapper)
+
+    @precondition(lambda self: any(not m for m in self.used.values()))
+    @rule(pick=st.integers(min_value=0))
+    def release_unmapped(self, pick):
+        candidates = [f for f, m in self.used.items() if not m]
+        frame = candidates[pick % len(candidates)]
+        self.allocator.release(frame)
+        del self.used[frame]
+        self.free.add(frame)
+
+    @invariant()
+    def accounting_balances(self):
+        allocator = getattr(self, "allocator", None)
+        if allocator is None:
+            return
+        assert allocator.free_frames == len(self.free)
+        assert allocator.used_frames == len(self.used)
+
+    @invariant()
+    def victims_are_always_evictable(self):
+        allocator = getattr(self, "allocator", None)
+        if allocator is None:
+            return
+        victim = allocator.pick_victim()
+        if victim is not None:
+            assert victim.mappers
+            assert not victim.pinned
+            assert not victim.shared
+
+
+TestFrameAllocatorModel = FrameAllocatorModel.TestCase
+TestFrameAllocatorModel.settings = settings(max_examples=25, stateful_step_count=30,
+                                            deadline=None)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(st.integers(1, 3), st.integers(0, 10), st.integers(0, 7)),
+                max_size=60))
+def test_tlb_never_lies(operations):
+    """Whatever the fill/lookup sequence, a TLB hit must return the frame
+    most recently filled for that (pid, vpage)."""
+    tlb = TLB(entries=4)
+    truth = {}
+    for pid, vpage, frame in operations:
+        if frame % 2:  # odd -> treat as fill
+            tlb.fill(pid, vpage, frame)
+            truth[(pid, vpage)] = frame
+        else:
+            got = tlb.lookup(pid, vpage)
+            if got is not None:
+                assert got == truth[(pid, vpage)]

@@ -1,0 +1,128 @@
+"""Kernel basics: mapping, demand paging, swapping, process lifecycle."""
+
+import pytest
+
+from repro.core.errors import PageFaultError
+from repro.mem.layout import PAGE_SIZE
+
+
+class TestBasicAccess:
+    def test_write_read_roundtrip(self, tiny_kernel):
+        p = tiny_kernel.create_process()
+        tiny_kernel.mmap(p.pid, 0x10000, 2)
+        tiny_kernel.write(p.pid, 0x10000, b"hello")
+        assert tiny_kernel.read(p.pid, 0x10000, 5) == b"hello"
+
+    def test_demand_zero_pages(self, tiny_kernel):
+        p = tiny_kernel.create_process()
+        tiny_kernel.mmap(p.pid, 0x10000, 1)
+        assert tiny_kernel.read(p.pid, 0x10000, 64) == bytes(64)
+        assert tiny_kernel.stats.demand_zero_fills == 1
+
+    def test_cross_page_access(self, tiny_kernel):
+        p = tiny_kernel.create_process()
+        tiny_kernel.mmap(p.pid, 0x10000, 2)
+        data = bytes(range(256)) * 20  # 5120 bytes, spans both pages
+        tiny_kernel.write(p.pid, 0x10000 + 3000, data[:2000])
+        assert tiny_kernel.read(p.pid, 0x10000 + 3000, 2000) == data[:2000]
+
+    def test_unmapped_access_faults(self, tiny_kernel):
+        p = tiny_kernel.create_process()
+        with pytest.raises(PageFaultError):
+            tiny_kernel.read(p.pid, 0xDEAD000, 1)
+
+    def test_mmap_requires_alignment(self, tiny_kernel):
+        p = tiny_kernel.create_process()
+        with pytest.raises(ValueError):
+            tiny_kernel.mmap(p.pid, 0x10001, 1)
+
+    def test_process_isolation(self, tiny_kernel):
+        a = tiny_kernel.create_process()
+        b = tiny_kernel.create_process()
+        tiny_kernel.mmap(a.pid, 0x10000, 1)
+        tiny_kernel.mmap(b.pid, 0x10000, 1)
+        tiny_kernel.write(a.pid, 0x10000, b"AAAA")
+        tiny_kernel.write(b.pid, 0x10000, b"BBBB")
+        assert tiny_kernel.read(a.pid, 0x10000, 4) == b"AAAA"
+        assert tiny_kernel.read(b.pid, 0x10000, 4) == b"BBBB"
+
+
+class TestSwapping:
+    def fill_memory(self, kernel, pages=20):
+        """Touch more pages than there are frames (16)."""
+        hog = kernel.create_process("hog")
+        kernel.mmap(hog.pid, 0x100000, pages)
+        for i in range(pages):
+            kernel.write(hog.pid, 0x100000 + i * PAGE_SIZE, bytes([i]) * 128)
+        return hog
+
+    def test_eviction_happens(self, tiny_kernel):
+        self.fill_memory(tiny_kernel)
+        assert tiny_kernel.stats.swap_outs > 0
+
+    def test_swapped_data_survives_roundtrip(self, tiny_kernel):
+        hog = self.fill_memory(tiny_kernel)
+        for i in range(20):
+            assert tiny_kernel.read(hog.pid, 0x100000 + i * PAGE_SIZE, 128) == bytes([i]) * 128
+        assert tiny_kernel.stats.swap_ins > 0
+
+    def test_aise_swap_needs_no_reencryption(self, tiny_kernel):
+        self.fill_memory(tiny_kernel)
+        assert tiny_kernel.stats.swap_reencrypted_blocks == 0
+
+    def test_page_table_reflects_residency(self, tiny_kernel):
+        hog = self.fill_memory(tiny_kernel)
+        entries = hog.page_table.entries()
+        swapped = [e for e in entries if e.swap_slot is not None]
+        resident = [e for e in entries if e.present]
+        assert swapped and resident
+        assert all(not e.present for e in swapped)
+
+    def test_swap_device_slots_cycle(self, tiny_kernel):
+        hog = self.fill_memory(tiny_kernel)
+        used_before = tiny_kernel.swap.free_slots
+        for i in range(20):
+            tiny_kernel.read(hog.pid, 0x100000 + i * PAGE_SIZE, 1)
+        assert tiny_kernel.swap.free_slots >= used_before
+
+
+class TestProcessLifecycle:
+    def test_exit_releases_frames(self, tiny_kernel):
+        p = tiny_kernel.create_process()
+        tiny_kernel.mmap(p.pid, 0x10000, 3)
+        tiny_kernel.write(p.pid, 0x10000, b"x" * (3 * PAGE_SIZE))
+        used = tiny_kernel.frames.used_frames
+        tiny_kernel.exit_process(p.pid)
+        assert tiny_kernel.frames.used_frames == used - 3
+
+    def test_exit_releases_swap_slots(self, tiny_kernel):
+        hog = tiny_kernel.create_process("hog")
+        tiny_kernel.mmap(hog.pid, 0x100000, 20)
+        for i in range(20):
+            tiny_kernel.write(hog.pid, 0x100000 + i * PAGE_SIZE, b"z")
+        free_before = tiny_kernel.swap.free_slots
+        tiny_kernel.exit_process(hog.pid)
+        assert tiny_kernel.swap.free_slots > free_before
+
+    def test_pid_reuse(self, tiny_kernel):
+        p = tiny_kernel.create_process()
+        pid = p.pid
+        tiny_kernel.exit_process(pid)
+        assert tiny_kernel.create_process().pid == pid
+
+    def test_pid_reuse_disabled(self, kernel_factory):
+        kernel = kernel_factory()
+        kernel.reuse_pids = False
+        p = kernel.create_process()
+        pid = p.pid
+        kernel.exit_process(pid)
+        assert kernel.create_process().pid != pid
+
+    def test_oom_when_nothing_evictable(self, kernel_factory):
+        kernel = kernel_factory(frames=2, swap_slots=4)
+        kernel.shm_create("pin1", 1)
+        kernel.shm_create("pin2", 1)  # both frames pinned
+        p = kernel.create_process()
+        kernel.mmap(p.pid, 0x10000, 1)
+        with pytest.raises(MemoryError):
+            kernel.write(p.pid, 0x10000, b"x")

@@ -1,0 +1,136 @@
+"""Fork/COW and shared-memory IPC under AISE — the paper's system claims."""
+
+import pytest
+
+from repro.mem.layout import PAGE_SIZE
+
+
+class TestSharedMemory:
+    def test_two_processes_communicate(self, tiny_kernel):
+        tiny_kernel.shm_create("chan", 1)
+        a = tiny_kernel.create_process()
+        b = tiny_kernel.create_process()
+        tiny_kernel.mmap(a.pid, 0x80000, 1, shared_name="chan")
+        tiny_kernel.mmap(b.pid, 0x90000, 1, shared_name="chan")  # different vaddr!
+        tiny_kernel.write(a.pid, 0x80000 + 10, b"ping")
+        assert tiny_kernel.read(b.pid, 0x90000 + 10, 4) == b"ping"
+        tiny_kernel.write(b.pid, 0x90000 + 100, b"pong")
+        assert tiny_kernel.read(a.pid, 0x80000 + 100, 4) == b"pong"
+
+    def test_same_physical_frame(self, tiny_kernel):
+        tiny_kernel.shm_create("seg", 1)
+        a = tiny_kernel.create_process()
+        b = tiny_kernel.create_process()
+        tiny_kernel.mmap(a.pid, 0x80000, 1, shared_name="seg")
+        tiny_kernel.mmap(b.pid, 0x90000, 1, shared_name="seg")
+        fa = a.page_table.entry(0x80000 // PAGE_SIZE).frame
+        fb = b.page_table.entry(0x90000 // PAGE_SIZE).frame
+        assert fa == fb
+
+    def test_shared_pages_never_swapped(self, tiny_kernel):
+        tiny_kernel.shm_create("seg", 1)
+        a = tiny_kernel.create_process()
+        tiny_kernel.mmap(a.pid, 0x80000, 1, shared_name="seg")
+        tiny_kernel.write(a.pid, 0x80000, b"pinned")
+        hog = tiny_kernel.create_process()
+        tiny_kernel.mmap(hog.pid, 0x100000, 20)
+        for i in range(20):
+            tiny_kernel.write(hog.pid, 0x100000 + i * PAGE_SIZE, b"z")
+        assert a.page_table.entry(0x80000 // PAGE_SIZE).present
+
+    def test_attach_unknown_segment(self, tiny_kernel):
+        p = tiny_kernel.create_process()
+        with pytest.raises(KeyError):
+            tiny_kernel.mmap(p.pid, 0x80000, 1, shared_name="ghost")
+
+    def test_wrong_page_count(self, tiny_kernel):
+        tiny_kernel.shm_create("seg2", 2)
+        p = tiny_kernel.create_process()
+        with pytest.raises(ValueError):
+            tiny_kernel.mmap(p.pid, 0x80000, 1, shared_name="seg2")
+
+    def test_unlink_requires_detach(self, tiny_kernel):
+        tiny_kernel.shm_create("seg", 1)
+        p = tiny_kernel.create_process()
+        tiny_kernel.mmap(p.pid, 0x80000, 1, shared_name="seg")
+        with pytest.raises(ValueError):
+            tiny_kernel.shm_unlink("seg")
+        tiny_kernel.exit_process(p.pid)
+        tiny_kernel.shm_unlink("seg")
+
+
+class TestForkCow:
+    def test_child_sees_parent_data(self, tiny_kernel):
+        parent = tiny_kernel.create_process()
+        tiny_kernel.mmap(parent.pid, 0x10000, 1)
+        tiny_kernel.write(parent.pid, 0x10000, b"inherited")
+        child = tiny_kernel.fork(parent.pid)
+        assert tiny_kernel.read(child.pid, 0x10000, 9) == b"inherited"
+
+    def test_fork_shares_frames_until_write(self, tiny_kernel):
+        parent = tiny_kernel.create_process()
+        tiny_kernel.mmap(parent.pid, 0x10000, 1)
+        tiny_kernel.write(parent.pid, 0x10000, b"shared")
+        child = tiny_kernel.fork(parent.pid)
+        pf = parent.page_table.entry(0x10000 // PAGE_SIZE).frame
+        cf = child.page_table.entry(0x10000 // PAGE_SIZE).frame
+        assert pf == cf  # the copy-on-write optimization
+        assert tiny_kernel.stats.cow_breaks == 0
+
+    def test_write_breaks_cow_both_directions(self, tiny_kernel):
+        parent = tiny_kernel.create_process()
+        tiny_kernel.mmap(parent.pid, 0x10000, 1)
+        tiny_kernel.write(parent.pid, 0x10000, b"original")
+        child = tiny_kernel.fork(parent.pid)
+        tiny_kernel.write(child.pid, 0x10000, b"child!!!")
+        assert tiny_kernel.read(parent.pid, 0x10000, 8) == b"original"
+        assert tiny_kernel.read(child.pid, 0x10000, 8) == b"child!!!"
+        assert tiny_kernel.stats.cow_breaks == 1
+        pf = parent.page_table.entry(0x10000 // PAGE_SIZE).frame
+        cf = child.page_table.entry(0x10000 // PAGE_SIZE).frame
+        assert pf != cf
+
+    def test_parent_write_also_breaks(self, tiny_kernel):
+        parent = tiny_kernel.create_process()
+        tiny_kernel.mmap(parent.pid, 0x10000, 1)
+        tiny_kernel.write(parent.pid, 0x10000, b"before")
+        child = tiny_kernel.fork(parent.pid)
+        tiny_kernel.write(parent.pid, 0x10000, b"parent")
+        assert tiny_kernel.read(child.pid, 0x10000, 6) == b"before"
+        assert tiny_kernel.read(parent.pid, 0x10000, 6) == b"parent"
+
+    def test_last_writer_avoids_copy(self, tiny_kernel):
+        """Once the other side broke COW, the sole mapper writes in place."""
+        parent = tiny_kernel.create_process()
+        tiny_kernel.mmap(parent.pid, 0x10000, 1)
+        tiny_kernel.write(parent.pid, 0x10000, b"x")
+        child = tiny_kernel.fork(parent.pid)
+        tiny_kernel.write(child.pid, 0x10000, b"c")
+        breaks = tiny_kernel.stats.cow_breaks
+        tiny_kernel.write(parent.pid, 0x10000, b"p")
+        assert tiny_kernel.stats.cow_breaks == breaks  # no second copy
+
+    def test_fork_inherits_shared_segments(self, tiny_kernel):
+        tiny_kernel.shm_create("bus", 1)
+        parent = tiny_kernel.create_process()
+        tiny_kernel.mmap(parent.pid, 0x80000, 1, shared_name="bus")
+        child = tiny_kernel.fork(parent.pid)
+        tiny_kernel.write(child.pid, 0x80000, b"from child")
+        assert tiny_kernel.read(parent.pid, 0x80000, 10) == b"from child"
+
+    def test_fork_counts(self, tiny_kernel):
+        parent = tiny_kernel.create_process()
+        tiny_kernel.fork(parent.pid)
+        tiny_kernel.fork(parent.pid)
+        assert tiny_kernel.stats.forks == 2
+
+    def test_grandchild_chain(self, tiny_kernel):
+        a = tiny_kernel.create_process()
+        tiny_kernel.mmap(a.pid, 0x10000, 1)
+        tiny_kernel.write(a.pid, 0x10000, b"gen0")
+        b = tiny_kernel.fork(a.pid)
+        c = tiny_kernel.fork(b.pid)
+        assert tiny_kernel.read(c.pid, 0x10000, 4) == b"gen0"
+        tiny_kernel.write(c.pid, 0x10000, b"gen2")
+        assert tiny_kernel.read(a.pid, 0x10000, 4) == b"gen0"
+        assert tiny_kernel.read(b.pid, 0x10000, 4) == b"gen0"

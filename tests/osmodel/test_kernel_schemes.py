@@ -1,0 +1,154 @@
+"""Scheme-level system behaviour: the paper's Table-1 arguments, executed.
+
+* AISE swaps pages with zero re-encryption; the physical-address scheme
+  must decrypt + re-encrypt every block both ways.
+* The virtual-address scheme corrupts shared-memory IPC.
+* Swap tampering and swap replay are caught by the page-root directory.
+"""
+
+import pytest
+
+from repro.core.errors import IntegrityError
+from repro.mem.layout import BLOCKS_PER_PAGE, PAGE_SIZE
+
+
+def force_swap_roundtrip(kernel, pid, vaddr, hog_pages=20):
+    """Evict the page at vaddr (via memory pressure), then touch it back in."""
+    hog = kernel.create_process("hog")
+    kernel.mmap(hog.pid, 0x900000, hog_pages)
+    for i in range(hog_pages):
+        kernel.write(hog.pid, 0x900000 + i * PAGE_SIZE, b"\xee")
+    pte = kernel.processes[pid].page_table.lookup(vaddr)
+    assert not pte.present, "memory pressure failed to evict the page"
+    return pte
+
+
+class TestSwapReencryptionCost:
+    def test_aise_swaps_for_free(self, kernel_factory):
+        kernel = kernel_factory(encryption="aise", integrity="bonsai")
+        p = kernel.create_process()
+        kernel.mmap(p.pid, 0x10000, 1)
+        kernel.write(p.pid, 0x10000, b"cheap swap")
+        force_swap_roundtrip(kernel, p.pid, 0x10000)
+        assert kernel.read(p.pid, 0x10000, 10) == b"cheap swap"
+        assert kernel.stats.swap_reencrypted_blocks == 0
+
+    def test_phys_addr_pays_per_block(self, kernel_factory):
+        kernel = kernel_factory(encryption="phys_addr", integrity="bonsai")
+        p = kernel.create_process()
+        kernel.mmap(p.pid, 0x10000, 1)
+        kernel.write(p.pid, 0x10000, b"costly swap")
+        force_swap_roundtrip(kernel, p.pid, 0x10000)
+        assert kernel.read(p.pid, 0x10000, 11) == b"costly swap"
+        # At least one full page out (64 blocks) and back in (64 blocks);
+        # the hog's own churn adds more.
+        assert kernel.stats.swap_reencrypted_blocks >= 2 * BLOCKS_PER_PAGE
+
+    def test_phys_addr_data_survives_frame_change(self, kernel_factory):
+        """Correctness of the expensive path: the page usually returns to
+        a *different* frame and must be re-encrypted for it."""
+        kernel = kernel_factory(encryption="phys_addr", integrity="none")
+        p = kernel.create_process()
+        kernel.mmap(p.pid, 0x10000, 1)
+        kernel.write(p.pid, 0x10000, b"frame-mobile")
+        old_frame = p.page_table.lookup(0x10000).frame
+        force_swap_roundtrip(kernel, p.pid, 0x10000)
+        assert kernel.read(p.pid, 0x10000, 12) == b"frame-mobile"
+        new_frame = p.page_table.lookup(0x10000).frame
+        # (frames may coincide by luck; data correctness is the real assert)
+        assert isinstance(new_frame, int) and new_frame != old_frame or True
+
+
+class TestVirtualAddressSchemeBreaksIpc:
+    def test_shared_memory_reads_garbage(self, kernel_factory):
+        """Section 4.2: with (PID | virtual address) seeds, two processes
+        mapping the same frame at different addresses cannot exchange
+        data — the bytes decrypt to garbage for the reader."""
+        kernel = kernel_factory(encryption="virt_addr", integrity="none")
+        kernel.shm_create("chan", 1)
+        a = kernel.create_process()
+        b = kernel.create_process()
+        kernel.mmap(a.pid, 0x80000, 1, shared_name="chan")
+        kernel.mmap(b.pid, 0x90000, 1, shared_name="chan")
+        kernel.write(a.pid, 0x80000, b"ping over shm" + bytes(51))
+        assert kernel.read(a.pid, 0x80000, 13) == b"ping over shm"  # writer OK
+        assert kernel.read(b.pid, 0x90000, 13) != b"ping over shm"  # reader garbage
+
+    def test_aise_same_scenario_works(self, kernel_factory):
+        kernel = kernel_factory(encryption="aise", integrity="bonsai")
+        kernel.shm_create("chan", 1)
+        a = kernel.create_process()
+        b = kernel.create_process()
+        kernel.mmap(a.pid, 0x80000, 1, shared_name="chan")
+        kernel.mmap(b.pid, 0x90000, 1, shared_name="chan")
+        kernel.write(a.pid, 0x80000, b"ping over shm")
+        assert kernel.read(b.pid, 0x90000, 13) == b"ping over shm"
+
+    def test_virt_scheme_breaks_cow_reads(self, kernel_factory):
+        """Fork + COW: the child reads the parent-encrypted page through
+        its own (pid, vaddr) seeds — garbage under the virtual scheme."""
+        kernel = kernel_factory(encryption="virt_addr", integrity="none")
+        parent = kernel.create_process()
+        kernel.mmap(parent.pid, 0x10000, 1)
+        kernel.write(parent.pid, 0x10000, b"parent data" + bytes(53))
+        child = kernel.fork(parent.pid)
+        assert kernel.read(child.pid, 0x10000, 11) != b"parent data"
+
+
+class TestSwapIntegrity:
+    def test_swap_corruption_detected(self, kernel_factory):
+        kernel = kernel_factory(encryption="aise", integrity="bonsai")
+        p = kernel.create_process()
+        kernel.mmap(p.pid, 0x10000, 1)
+        kernel.write(p.pid, 0x10000, b"secret")
+        pte = force_swap_roundtrip(kernel, p.pid, 0x10000)
+        kernel.swap.corrupt_slot(pte.swap_slot, byte_offset=500)
+        with pytest.raises(IntegrityError) as err:
+            kernel.read(p.pid, 0x10000, 6)
+        assert err.value.kind == "swap"
+
+    def test_swap_counter_block_corruption_detected(self, kernel_factory):
+        """Tampering the *counter block* portion of the swapped image is
+        also caught — the page root covers counters too (section 5.2)."""
+        kernel = kernel_factory(encryption="aise", integrity="bonsai")
+        p = kernel.create_process()
+        kernel.mmap(p.pid, 0x10000, 1)
+        kernel.write(p.pid, 0x10000, b"secret")
+        pte = force_swap_roundtrip(kernel, p.pid, 0x10000)
+        kernel.swap.corrupt_slot(pte.swap_slot, byte_offset=8 + PAGE_SIZE)
+        with pytest.raises(IntegrityError):
+            kernel.read(p.pid, 0x10000, 6)
+
+    def test_swap_replay_detected(self, kernel_factory):
+        """Replay an older image of the same page into the same slot: the
+        page-root directory holds the fresh root, so the stale image is
+        rejected (section 5.1)."""
+        kernel = kernel_factory(encryption="aise", integrity="bonsai", frames=16, swap_slots=64)
+        p = kernel.create_process()
+        kernel.mmap(p.pid, 0x10000, 1)
+        kernel.write(p.pid, 0x10000, b"version-1")
+        pte = force_swap_roundtrip(kernel, p.pid, 0x10000)
+        old_image = kernel.swap.snapshot_slot(pte.swap_slot)
+        old_slot = pte.swap_slot
+        # Fault it back, update it, and force it out again.
+        kernel.write(p.pid, 0x10000, b"version-2")
+        hog2 = kernel.create_process("hog2")
+        kernel.mmap(hog2.pid, 0xA00000, 20)
+        for i in range(20):
+            kernel.write(hog2.pid, 0xA00000 + i * PAGE_SIZE, b"\xdd")
+        pte = kernel.processes[p.pid].page_table.lookup(0x10000)
+        assert not pte.present
+        if pte.swap_slot != old_slot:
+            pytest.skip("page landed in a different slot; replay needs same slot")
+        kernel.swap.replay_slot(pte.swap_slot, old_image)
+        with pytest.raises(IntegrityError):
+            kernel.read(p.pid, 0x10000, 9)
+
+    def test_unprotected_kernel_misses_swap_tamper(self, kernel_factory):
+        kernel = kernel_factory(encryption="aise", integrity="none")
+        p = kernel.create_process()
+        kernel.mmap(p.pid, 0x10000, 1)
+        kernel.write(p.pid, 0x10000, b"secret")
+        pte = force_swap_roundtrip(kernel, p.pid, 0x10000)
+        kernel.swap.corrupt_slot(pte.swap_slot, byte_offset=500)
+        kernel.read(p.pid, 0x10000, 6)  # silently wrong — no detection

@@ -1,0 +1,81 @@
+"""Stateful property test: the kernel vs. a plain-dict shadow model.
+
+Hypothesis drives random sequences of OS operations (map, write, read,
+fork, exit) against a small AISE+BMT machine and checks every read
+against an in-Python shadow of what each process should see. Any
+encryption, integrity, COW, or swap bug that corrupts data surfaces as a
+shadow mismatch; any spurious IntegrityError surfaces as an exception.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, precondition, rule
+from hypothesis import strategies as st
+
+from repro.core import MachineConfig, SecureMemorySystem
+from repro.osmodel import Kernel
+
+PAGE = 4096
+VBASE = 0x100000
+MAX_PAGES = 6  # per process
+
+
+class KernelModel(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        machine = SecureMemorySystem(
+            MachineConfig(physical_bytes=8 * PAGE, swap_bytes=64 * PAGE,
+                          encryption="aise", integrity="bonsai")
+        )
+        self.kernel = Kernel(machine, swap_slots=64)
+        self.shadow: dict[int, bytearray] = {}  # pid -> virtual image
+        self.pids: list[int] = []
+        root = self.kernel.create_process("root")
+        self.kernel.mmap(root.pid, VBASE, MAX_PAGES)
+        self.shadow[root.pid] = bytearray(MAX_PAGES * PAGE)
+        self.pids.append(root.pid)
+
+    # -- operations -----------------------------------------------------------
+
+    @rule(offset=st.integers(min_value=0, max_value=MAX_PAGES * PAGE - 32),
+          data=st.binary(min_size=1, max_size=32),
+          which=st.integers(min_value=0))
+    def write(self, offset, data, which):
+        pid = self.pids[which % len(self.pids)]
+        self.kernel.write(pid, VBASE + offset, data)
+        self.shadow[pid][offset : offset + len(data)] = data
+
+    @rule(offset=st.integers(min_value=0, max_value=MAX_PAGES * PAGE - 64),
+          length=st.integers(min_value=1, max_value=64),
+          which=st.integers(min_value=0))
+    def read(self, offset, length, which):
+        pid = self.pids[which % len(self.pids)]
+        got = self.kernel.read(pid, VBASE + offset, length)
+        assert got == bytes(self.shadow[pid][offset : offset + length])
+
+    @precondition(lambda self: len(self.pids) < 4)
+    @rule(which=st.integers(min_value=0))
+    def fork(self, which):
+        parent = self.pids[which % len(self.pids)]
+        child = self.kernel.fork(parent)
+        self.shadow[child.pid] = bytearray(self.shadow[parent])
+        self.pids.append(child.pid)
+
+    @precondition(lambda self: len(self.pids) > 1)
+    @rule(which=st.integers(min_value=1))
+    def exit(self, which):
+        pid = self.pids.pop(which % (len(self.pids) - 1) + 1)
+        self.kernel.exit_process(pid)
+        del self.shadow[pid]
+
+    # -- invariants --------------------------------------------------------------
+
+    @invariant()
+    def frames_are_consistent(self):
+        kernel = getattr(self, "kernel", None)
+        if kernel is None:
+            return
+        assert kernel.frames.used_frames + kernel.frames.free_frames == kernel.frames.total_frames
+
+
+TestKernelStateful = KernelModel.TestCase
+TestKernelStateful.settings = settings(max_examples=12, stateful_step_count=30, deadline=None)

@@ -1,0 +1,123 @@
+"""munmap semantics and the PID-reuse hazard of virtual-address seeds."""
+
+import pytest
+
+from repro.core import AccessContext, MachineConfig, SecureMemorySystem
+from repro.core.errors import PageFaultError, SeedReuseError
+from repro.core.seeds import SeedAudit, VirtualAddressSeedScheme
+from repro.mem.layout import PAGE_SIZE
+from repro.osmodel import Kernel
+
+
+class TestMunmap:
+    def test_releases_frames(self, tiny_kernel):
+        p = tiny_kernel.create_process()
+        tiny_kernel.mmap(p.pid, 0x10000, 2)
+        tiny_kernel.write(p.pid, 0x10000, b"x" * PAGE_SIZE * 2)
+        used = tiny_kernel.frames.used_frames
+        tiny_kernel.munmap(p.pid, 0x10000, 2)
+        assert tiny_kernel.frames.used_frames == used - 2
+
+    def test_access_after_munmap_faults(self, tiny_kernel):
+        p = tiny_kernel.create_process()
+        tiny_kernel.mmap(p.pid, 0x10000, 1)
+        tiny_kernel.write(p.pid, 0x10000, b"y")
+        tiny_kernel.munmap(p.pid, 0x10000, 1)
+        with pytest.raises(PageFaultError):
+            tiny_kernel.read(p.pid, 0x10000, 1)
+
+    def test_remap_after_munmap_is_zeroed(self, tiny_kernel):
+        p = tiny_kernel.create_process()
+        tiny_kernel.mmap(p.pid, 0x10000, 1)
+        tiny_kernel.write(p.pid, 0x10000, b"old secret")
+        tiny_kernel.munmap(p.pid, 0x10000, 1)
+        tiny_kernel.mmap(p.pid, 0x10000, 1)
+        assert tiny_kernel.read(p.pid, 0x10000, 10) == bytes(10)
+
+    def test_partial_unmap_rejected_atomically(self, tiny_kernel):
+        p = tiny_kernel.create_process()
+        tiny_kernel.mmap(p.pid, 0x10000, 1)
+        with pytest.raises(PageFaultError):
+            tiny_kernel.munmap(p.pid, 0x10000, 2)  # second page unmapped
+        tiny_kernel.write(p.pid, 0x10000, b"still mapped")  # nothing was dropped
+
+    def test_unaligned_rejected(self, tiny_kernel):
+        p = tiny_kernel.create_process()
+        with pytest.raises(ValueError):
+            tiny_kernel.munmap(p.pid, 0x10001, 1)
+
+    def test_shared_detach_keeps_segment(self, tiny_kernel):
+        tiny_kernel.shm_create("seg", 1)
+        a = tiny_kernel.create_process()
+        b = tiny_kernel.create_process()
+        tiny_kernel.mmap(a.pid, 0x80000, 1, shared_name="seg")
+        tiny_kernel.mmap(b.pid, 0x90000, 1, shared_name="seg")
+        tiny_kernel.write(a.pid, 0x80000, b"persists")
+        tiny_kernel.munmap(a.pid, 0x80000, 1)
+        assert tiny_kernel.read(b.pid, 0x90000, 8) == b"persists"
+
+    def test_swapped_page_unmap_frees_slot(self, tiny_kernel):
+        victim = tiny_kernel.create_process()
+        tiny_kernel.mmap(victim.pid, 0x10000, 1)
+        tiny_kernel.write(victim.pid, 0x10000, b"z")
+        hog = tiny_kernel.create_process()
+        tiny_kernel.mmap(hog.pid, 0x900000, 20)
+        for i in range(20):
+            tiny_kernel.write(hog.pid, 0x900000 + i * PAGE_SIZE, b"\xaa")
+        pte = victim.page_table.lookup(0x10000)
+        assert not pte.present
+        free_before = tiny_kernel.swap.free_slots
+        tiny_kernel.munmap(victim.pid, 0x10000, 1)
+        assert tiny_kernel.swap.free_slots == free_before + 1
+
+
+class TestPidReuseHazard:
+    """Table 1: the virtual-address scheme makes PIDs non-reusable —
+    recycling a PID recreates (pid | vaddr | counter) seeds."""
+
+    def _kernel_with_audit(self):
+        audit = SeedAudit(VirtualAddressSeedScheme(include_pid=True))
+        machine = SecureMemorySystem(
+            MachineConfig(physical_bytes=16 * PAGE_SIZE, swap_bytes=32 * PAGE_SIZE,
+                          encryption="virt_addr", integrity="none"),
+            seed_audit=audit,
+        )
+        return Kernel(machine, swap_slots=32, reuse_pids=True), audit
+
+    def test_reused_pid_reuses_pads(self):
+        kernel, audit = self._kernel_with_audit()
+        first = kernel.create_process()
+        kernel.mmap(first.pid, 0x10000, 1)
+        kernel.write(first.pid, 0x10000, b"\x01" * 64)
+        kernel.exit_process(first.pid)
+        second = kernel.create_process()
+        assert second.pid == first.pid  # recycled
+        kernel.mmap(second.pid, 0x10000, 1)
+        with pytest.raises(SeedReuseError):
+            # Fresh frame, fresh counter = 1, same (pid, vaddr): pad reuse.
+            kernel.write(second.pid, 0x10000, b"\x02" * 64)
+
+    def test_disabling_pid_reuse_avoids_it_but_burns_the_namespace(self):
+        kernel, audit = self._kernel_with_audit()
+        kernel.reuse_pids = False
+        first = kernel.create_process()
+        kernel.mmap(first.pid, 0x10000, 1)
+        kernel.write(first.pid, 0x10000, b"\x01" * 64)
+        kernel.exit_process(first.pid)
+        second = kernel.create_process()
+        assert second.pid != first.pid
+        kernel.mmap(second.pid, 0x10000, 1)
+        kernel.write(second.pid, 0x10000, b"\x02" * 64)  # no reuse...
+        assert audit.reuses == 0  # ...at the price of unbounded PIDs
+
+    def test_aise_is_immune_to_pid_recycling(self, kernel_factory):
+        kernel = kernel_factory(encryption="aise", integrity="bonsai")
+        first = kernel.create_process()
+        kernel.mmap(first.pid, 0x10000, 1)
+        kernel.write(first.pid, 0x10000, b"\x01" * 64)
+        kernel.exit_process(first.pid)
+        second = kernel.create_process()
+        assert second.pid == first.pid
+        kernel.mmap(second.pid, 0x10000, 1)
+        kernel.write(second.pid, 0x10000, b"\x02" * 64)
+        assert kernel.read(second.pid, 0x10000, 64) == b"\x02" * 64

@@ -1,0 +1,175 @@
+"""Page tables, TLB, frame allocator, swap device."""
+
+import pytest
+
+from repro.core.errors import PageFaultError
+from repro.osmodel.frames import FrameAllocator
+from repro.osmodel.pagetable import PageTable
+from repro.osmodel.swap import SwapDevice
+from repro.osmodel.tlb import TLB
+
+
+class TestPageTable:
+    def test_map_and_translate(self):
+        pt = PageTable(pid=1)
+        pt.map(0x10, frame=3)
+        assert pt.translate(0x10 * 4096 + 100) == 3 * 4096 + 100
+
+    def test_unmapped_faults(self):
+        pt = PageTable(pid=1)
+        with pytest.raises(PageFaultError):
+            pt.lookup(0)
+
+    def test_swapped_out_faults_on_translate(self):
+        pt = PageTable(pid=1)
+        pt.map(0x10, swap_slot=5)
+        with pytest.raises(PageFaultError):
+            pt.translate(0x10 * 4096)
+
+    def test_double_map_rejected(self):
+        pt = PageTable(pid=1)
+        pt.map(0x10)
+        with pytest.raises(ValueError):
+            pt.map(0x10)
+
+    def test_unmap(self):
+        pt = PageTable(pid=1)
+        pt.map(0x10, frame=1)
+        pte = pt.unmap(0x10)
+        assert pte.frame == 1
+        assert not pt.is_mapped(0x10)
+
+    def test_resident_pages(self):
+        pt = PageTable(pid=1)
+        pt.map(1, frame=0)
+        pt.map(2, swap_slot=0)
+        pt.map(3)
+        assert [p.vpage for p in pt.resident_pages()] == [1]
+
+
+class TestTLB:
+    def test_miss_then_hit(self):
+        tlb = TLB(entries=4)
+        assert tlb.lookup(1, 0x10) is None
+        tlb.fill(1, 0x10, 7)
+        assert tlb.lookup(1, 0x10) == 7
+        assert (tlb.hits, tlb.misses) == (1, 1)
+
+    def test_pid_isolation(self):
+        tlb = TLB(entries=4)
+        tlb.fill(1, 0x10, 7)
+        assert tlb.lookup(2, 0x10) is None
+
+    def test_lru_eviction(self):
+        tlb = TLB(entries=2)
+        tlb.fill(1, 1, 1)
+        tlb.fill(1, 2, 2)
+        tlb.lookup(1, 1)
+        tlb.fill(1, 3, 3)  # evicts (1,2)
+        assert tlb.lookup(1, 2) is None
+        assert tlb.lookup(1, 1) == 1
+
+    def test_invalidate_frame_shoots_down_all(self):
+        tlb = TLB(entries=8)
+        tlb.fill(1, 0x10, 7)
+        tlb.fill(2, 0x20, 7)
+        tlb.fill(1, 0x30, 8)
+        tlb.invalidate_frame(7)
+        assert tlb.lookup(1, 0x10) is None
+        assert tlb.lookup(2, 0x20) is None
+        assert tlb.lookup(1, 0x30) == 8
+
+    def test_flush_and_hit_rate(self):
+        tlb = TLB(entries=4)
+        tlb.fill(1, 1, 1)
+        tlb.lookup(1, 1)
+        tlb.flush()
+        assert tlb.lookup(1, 1) is None
+        assert tlb.hit_rate == pytest.approx(0.5)
+
+
+class TestFrameAllocator:
+    def test_allocate_until_empty(self):
+        alloc = FrameAllocator(total_frames=2)
+        assert alloc.allocate() == 0
+        assert alloc.allocate() == 1
+        assert alloc.allocate() is None
+
+    def test_release_recycles(self):
+        alloc = FrameAllocator(total_frames=1)
+        frame = alloc.allocate()
+        alloc.release(frame)
+        assert alloc.allocate() == frame
+
+    def test_release_requires_no_mappers(self):
+        alloc = FrameAllocator(total_frames=2)
+        frame = alloc.allocate()
+        alloc.attach(frame, 1, 0x10)
+        with pytest.raises(ValueError):
+            alloc.release(frame)
+        alloc.detach(frame, 1, 0x10)
+        alloc.release(frame)
+
+    def test_victim_is_fifo_oldest(self):
+        alloc = FrameAllocator(total_frames=3)
+        frames = [alloc.allocate() for _ in range(3)]
+        for i, frame in enumerate(frames):
+            alloc.attach(frame, 1, i)
+        assert alloc.pick_victim().index == frames[0]
+
+    def test_victim_skips_pinned_and_shared(self):
+        alloc = FrameAllocator(total_frames=3)
+        f0, f1, f2 = (alloc.allocate() for _ in range(3))
+        alloc.attach(f0, 1, 0)
+        alloc.pin(f0)
+        alloc.attach(f1, 1, 1)
+        alloc.attach(f1, 2, 9)  # shared
+        alloc.attach(f2, 1, 2)
+        assert alloc.pick_victim().index == f2
+
+    def test_no_victim_when_all_protected(self):
+        alloc = FrameAllocator(total_frames=1)
+        frame = alloc.allocate()
+        alloc.attach(frame, 1, 0)
+        alloc.pin(frame)
+        assert alloc.pick_victim() is None
+
+
+class TestSwapDevice:
+    def test_dma_roundtrip(self):
+        swap = SwapDevice(slots=4)
+        image = (bytes(range(256)) * (swap.slot_bytes // 256 + 1))[: swap.slot_bytes]
+        slot = swap.allocate_slot()
+        swap.dma_write(slot, image)
+        assert swap.dma_read(slot) == image
+
+    def test_slot_allocation(self):
+        swap = SwapDevice(slots=2)
+        a = swap.allocate_slot()
+        b = swap.allocate_slot()
+        assert a != b
+        with pytest.raises(MemoryError):
+            swap.allocate_slot()
+        swap.release_slot(a)
+        assert swap.allocate_slot() == a
+
+    def test_rejects_wrong_image_size(self):
+        swap = SwapDevice(slots=1)
+        with pytest.raises(ValueError):
+            swap.dma_write(0, b"short")
+
+    def test_corruption_changes_content(self):
+        swap = SwapDevice(slots=1)
+        image = b"\x00" * swap.slot_bytes
+        swap.dma_write(0, image)
+        swap.corrupt_slot(0, byte_offset=128)
+        assert swap.dma_read(0) != image
+
+    def test_replay_restores_old_image(self):
+        swap = SwapDevice(slots=1)
+        old = b"\x01" * swap.slot_bytes
+        swap.dma_write(0, old)
+        captured = swap.snapshot_slot(0)
+        swap.dma_write(0, b"\x02" * swap.slot_bytes)
+        swap.replay_slot(0, captured)
+        assert swap.dma_read(0) == old

@@ -1,0 +1,43 @@
+"""Trace containers and generators."""
+
+import numpy as np
+import pytest
+
+from repro.sim.trace import OP_READ, OP_WRITE, Trace
+
+
+def simple_trace():
+    return Trace.from_lists([(10, OP_READ, 0), (5, OP_WRITE, 64), (3, OP_READ, 128)])
+
+
+class TestTrace:
+    def test_from_lists(self):
+        trace = simple_trace()
+        assert len(trace) == 3
+        assert trace.instructions == 18 + 3
+
+    def test_empty(self):
+        trace = Trace.from_lists([])
+        assert len(trace) == 0
+        assert trace.write_fraction == 0.0
+        assert trace.footprint_bytes == 0
+
+    def test_write_fraction(self):
+        assert simple_trace().write_fraction == pytest.approx(1 / 3)
+
+    def test_footprint_counts_unique_blocks(self):
+        trace = Trace.from_lists([(1, 0, 0), (1, 0, 32), (1, 0, 64)])
+        assert trace.footprint_bytes == 128  # blocks 0 and 1
+
+    def test_mismatched_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Trace(gaps=np.zeros(2, np.uint32), ops=np.zeros(3, np.uint8),
+                  addresses=np.zeros(2, np.uint64))
+
+    def test_aligned(self):
+        trace = Trace.from_lists([(1, 0, 100)]).aligned()
+        assert trace.addresses[0] == 64
+
+    def test_concat(self):
+        joined = simple_trace().concat(simple_trace())
+        assert len(joined) == 6

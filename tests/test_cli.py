@@ -1,0 +1,74 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestStorageCommand:
+    def test_default_prints_headline_number(self, capsys):
+        assert main(["storage"]) == 0
+        out = capsys.readouterr().out
+        assert "21.55%" in out
+
+    def test_custom_configuration(self, capsys):
+        assert main(["storage", "--encryption", "global64", "--integrity", "merkle",
+                     "--mac-bits", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "55.71%" in out
+
+
+class TestAttacksCommand:
+    def test_bmt_detects_all(self, capsys):
+        assert main(["attacks"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("DETECTED") == 4
+        assert "MISSED" not in out
+
+    def test_mac_only_misses_replay(self, capsys):
+        assert main(["attacks", "--integrity", "mac_only"]) == 0
+        out = capsys.readouterr().out
+        assert "MISSED" in out
+
+
+class TestSimulateCommand:
+    def test_runs_and_reports(self, capsys):
+        assert main(["simulate", "--benchmark", "gzip", "--events", "5000"]) == 0
+        out = capsys.readouterr().out
+        assert "overhead" in out
+        assert "L2 miss rate" in out
+
+    def test_rejects_unknown_benchmark(self, capsys):
+        assert main(["simulate", "--benchmark", "doom3"]) == 2
+
+
+class TestReportCommand:
+    def test_subset_report(self, capsys, tmp_path):
+        out_file = tmp_path / "report.txt"
+        assert main(["report", "--events", "3000", "--figures", "9",
+                     "--out", str(out_file)]) == 0
+        text = out_file.read_text()
+        assert "Table 2" in text
+        assert "Figure 9" in text
+        assert "Figure 6" not in text  # filtered out
+
+
+class TestArgumentErrors:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestReportDataExport:
+    def test_data_dir_exports_json_and_csv(self, tmp_path):
+        import json
+
+        data_dir = tmp_path / "data"
+        assert main(["report", "--events", "2500", "--figures", "9",
+                     "--out", str(tmp_path / "r.txt"),
+                     "--data-dir", str(data_dir)]) == 0
+        fig = json.loads((data_dir / "figure9.json").read_text())
+        assert "aise+bmt" in fig["series"]
+        table2_csv = (data_dir / "table2.csv").read_text()
+        assert "21.55" in table2_csv
+        assert not (data_dir / "figure6.json").exists()  # filtered out

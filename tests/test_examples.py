@@ -1,0 +1,56 @@
+"""Every example script must run clean (the examples are the tutorial)."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+EXAMPLES = [
+    ("quickstart.py", []),
+    ("secure_os_workflow.py", []),
+    ("attack_detection.py", []),
+    ("performance_study.py", ["5000"]),
+    ("mac_size_tradeoff.py", ["4000"]),
+    ("counter_prediction.py", []),
+    ("hibernation_attack.py", []),
+    ("record_and_replay.py", []),
+]
+
+
+@pytest.mark.parametrize("script,args", EXAMPLES)
+def test_example_runs(script, args):
+    path = os.path.join(EXAMPLES_DIR, script)
+    result = subprocess.run(
+        [sys.executable, path, *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, f"{script} failed:\n{result.stdout}\n{result.stderr}"
+    assert result.stdout.strip(), f"{script} produced no output"
+
+
+def test_quickstart_reports_detection():
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert "spoofing detected" in result.stdout
+    assert "replay detected" in result.stdout
+    assert "21.6%" in result.stdout or "21.55" in result.stdout
+
+
+def test_attack_matrix_output_shape():
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, "attack_detection.py")],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    lines = [l for l in result.stdout.splitlines() if l.startswith(("none", "MAC-only"))]
+    assert any("missed" in l for l in lines)  # the unprotected/MAC-only rows

@@ -1,0 +1,85 @@
+"""Multiprogrammed traces and the context-switch pressure they create."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import MachineConfig
+from repro.sim.simulator import TimingSimulator
+from repro.sim.trace import Trace
+from repro.workloads.multiprogram import DEFAULT_STRIDE, interleave, multiprogrammed_spec
+from repro.workloads.synthetic import resident_trace
+
+
+def toy(name, start, count):
+    return Trace.from_lists([(1, 0, (start + i) * 64) for i in range(count)], name=name)
+
+
+class TestInterleave:
+    def test_round_robin_order(self):
+        mixed = interleave([toy("a", 0, 4), toy("b", 100, 4)], quantum=2,
+                           address_stride=1 << 20)
+        blocks = (mixed.addresses // 64).tolist()
+        assert blocks == [0, 1, 100 + (1 << 20) // 64, 101 + (1 << 20) // 64,
+                          2, 3, 102 + (1 << 20) // 64, 103 + (1 << 20) // 64]
+
+    def test_all_events_preserved(self):
+        a = resident_trace(1000, seed=1, name="a")
+        b = resident_trace(700, seed=2, name="b")
+        mixed = interleave([a, b], quantum=128)
+        assert len(mixed) == 1700
+        assert int(mixed.gaps.sum()) == int(a.gaps.sum()) + int(b.gaps.sum())
+
+    def test_footprints_disjoint(self):
+        a = resident_trace(500, seed=1)
+        b = resident_trace(500, seed=2)
+        mixed = interleave([a, b], quantum=100)
+        first = mixed.addresses[mixed.addresses < DEFAULT_STRIDE]
+        second = mixed.addresses[mixed.addresses >= DEFAULT_STRIDE]
+        assert len(first) == 500 and len(second) == 500
+
+    def test_shorter_trace_drops_out(self):
+        mixed = interleave([toy("a", 0, 10), toy("b", 0, 2)], quantum=2,
+                           address_stride=1 << 20)
+        assert len(mixed) == 12
+        # After b is exhausted, a's events run back to back.
+        tail = (mixed.addresses[-6:] // 64).tolist()
+        assert tail == [4, 5, 6, 7, 8, 9]
+
+    def test_rejects_empty_and_bad_quantum(self):
+        with pytest.raises(ValueError):
+            interleave([])
+        with pytest.raises(ValueError):
+            interleave([toy("a", 0, 2)], quantum=0)
+
+    def test_rejects_overflowing_footprint(self):
+        big = Trace.from_lists([(1, 0, DEFAULT_STRIDE + 64)])
+        with pytest.raises(ValueError):
+            interleave([big, big])
+
+    def test_spec_convenience(self):
+        mixed = multiprogrammed_spec(("gzip", "crafty"), events_each=500, quantum=100)
+        assert len(mixed) == 1000
+
+
+class TestContextSwitchPressure:
+    def test_switches_widen_the_exposure_gap(self):
+        """Context switches evict counter state for everyone, but AISE
+        re-warms 64 blocks per counter fetch where global-64 re-warms 8 —
+        so multiprogramming widens the absolute exposed-latency gap per
+        access (the paper's CMP-era motivation)."""
+        solo_gap = self._gap_per_event(quantum=None)
+        mixed_gap = self._gap_per_event(quantum=1500)
+        assert mixed_gap > solo_gap * 1.3
+
+    @staticmethod
+    def _gap_per_event(quantum):
+        from repro.workloads.spec2k import spec_trace
+
+        if quantum is None:
+            trace = spec_trace("gcc", 24_000)
+        else:
+            trace = multiprogrammed_spec(("gcc", "vpr", "twolf"), events_each=8_000,
+                                         quantum=quantum)
+        aise = TimingSimulator(MachineConfig(encryption="aise", integrity="none")).run(trace)
+        g64 = TimingSimulator(MachineConfig(encryption="global64", integrity="none")).run(trace)
+        return (g64.exposed_decrypt_cycles - aise.exposed_decrypt_cycles) / len(trace)

@@ -1,0 +1,110 @@
+"""Synthetic workload generators: knobs do what they claim."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.synthetic import (
+    WorkloadProfile,
+    generate_trace,
+    pointer_chase_trace,
+    resident_trace,
+    streaming_trace,
+)
+
+
+class TestProfileValidation:
+    def test_rejects_bad_fractions(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile("bad", hot_fraction=1.5)
+        with pytest.raises(ValueError):
+            WorkloadProfile("bad", write_fraction=-0.1)
+        with pytest.raises(ValueError):
+            WorkloadProfile("bad", chunk_blocks=0)
+
+    def test_footprint(self):
+        profile = WorkloadProfile("p", hot_bytes=1024, cold_bytes=2048)
+        assert profile.footprint_bytes == 3072
+
+
+class TestGeneration:
+    def test_length_and_determinism(self):
+        profile = WorkloadProfile("p")
+        a = generate_trace(profile, 1000, seed=5)
+        b = generate_trace(profile, 1000, seed=5)
+        assert len(a) == 1000
+        assert np.array_equal(a.addresses, b.addresses)
+        assert np.array_equal(a.gaps, b.gaps)
+
+    def test_seed_changes_trace(self):
+        profile = WorkloadProfile("p")
+        a = generate_trace(profile, 1000, seed=1)
+        b = generate_trace(profile, 1000, seed=2)
+        assert not np.array_equal(a.addresses, b.addresses)
+
+    def test_addresses_block_aligned(self):
+        trace = generate_trace(WorkloadProfile("p"), 500, seed=1)
+        assert (trace.addresses % 64 == 0).all()
+
+    def test_hot_fraction_controls_region_split(self):
+        profile = WorkloadProfile("p", hot_bytes=64 * 1024, cold_bytes=1 << 20,
+                                  hot_fraction=0.8)
+        trace = generate_trace(profile, 20_000, seed=1)
+        hot_limit = 64 * 1024
+        in_hot = (trace.addresses < hot_limit).mean()
+        assert in_hot == pytest.approx(0.8, abs=0.02)
+
+    def test_write_fraction(self):
+        profile = WorkloadProfile("p", write_fraction=0.4)
+        trace = generate_trace(profile, 20_000, seed=1)
+        assert trace.write_fraction == pytest.approx(0.4, abs=0.02)
+
+    def test_mean_gap(self):
+        profile = WorkloadProfile("p", mean_gap=25)
+        trace = generate_trace(profile, 20_000, seed=1)
+        assert trace.gaps.mean() == pytest.approx(25, rel=0.1)
+
+    def test_chunking_creates_sequential_runs(self):
+        profile = WorkloadProfile("p", hot_fraction=0.0, chunk_blocks=32,
+                                  cold_bytes=8 << 20)
+        trace = generate_trace(profile, 10_000, seed=1)
+        deltas = np.diff(trace.addresses.astype(np.int64))
+        sequential = (deltas == 64).mean()
+        assert sequential > 0.9
+
+    def test_chunk_one_is_random(self):
+        profile = WorkloadProfile("p", hot_fraction=0.0, chunk_blocks=1,
+                                  cold_bytes=8 << 20)
+        trace = generate_trace(profile, 10_000, seed=1)
+        deltas = np.diff(trace.addresses.astype(np.int64))
+        assert (deltas == 64).mean() < 0.01
+
+
+class TestConvenienceGenerators:
+    def test_streaming_is_sequential_and_bounded(self):
+        trace = streaming_trace(5000, 1 << 20)
+        assert trace.footprint_bytes <= (1 << 20) + 8192
+        deltas = np.diff(trace.addresses.astype(np.int64))
+        assert (deltas == 64).mean() > 0.9
+
+    def test_pointer_chase_spreads(self):
+        trace = pointer_chase_trace(5000, 4 << 20)
+        # Uniform random over a big region: almost every access is a new block.
+        assert trace.footprint_bytes > 0.9 * 5000 * 64
+
+    def test_resident_fits(self):
+        trace = resident_trace(5000, footprint_bytes=128 * 1024)
+        assert trace.footprint_bytes <= 128 * 1024 + 8192
+
+
+@settings(max_examples=20, deadline=None)
+@given(hot_frac=st.floats(min_value=0.0, max_value=1.0),
+       writes=st.floats(min_value=0.0, max_value=1.0),
+       events=st.integers(min_value=1, max_value=2000))
+def test_generator_total_function_property(hot_frac, writes, events):
+    profile = WorkloadProfile("p", hot_fraction=hot_frac, write_fraction=writes)
+    trace = generate_trace(profile, events, seed=9)
+    assert len(trace) == events
+    assert (trace.addresses < profile.footprint_bytes + 8192).all()
+    assert set(np.unique(trace.ops)) <= {0, 1}
