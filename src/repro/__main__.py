@@ -6,6 +6,7 @@ Commands:
 * ``simulate`` — run one benchmark trace against one configuration.
 * ``attacks``  — print the attack-detection matrix for a configuration.
 * ``storage``  — print the analytic storage breakdown (Table 2 model).
+* ``analyze``  — run the security-invariant linter (see docs/static-analysis.md).
 """
 
 from __future__ import annotations
@@ -85,8 +86,23 @@ def _cmd_storage(args) -> int:
     return 0
 
 
+def _cmd_analyze(args) -> int:
+    from .analysis.cli import main as analyze_main
+
+    return analyze_main(args.analyzer_args)
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point for ``python -m repro``; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "analyze":
+        # Dispatch before argparse: the analyzer owns its own option
+        # parsing, and argparse.REMAINDER chokes on a leading option
+        # token (``repro analyze --list-rules``).
+        from .analysis.cli import main as analyze_main
+
+        return analyze_main(argv[1:])
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -116,6 +132,12 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--mac-bits", type=int, default=128)
     p.add_argument("--data-mb", type=int, default=1024)
     p.set_defaults(func=_cmd_storage)
+
+    p = sub.add_parser("analyze", help="run the security-invariant linter",
+                       add_help=False)
+    p.add_argument("analyzer_args", nargs=argparse.REMAINDER,
+                   help="arguments forwarded to repro.analysis (see --list-rules)")
+    p.set_defaults(func=_cmd_analyze)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -1,0 +1,49 @@
+"""Security-invariant static analysis for the AISE/BMT reproduction.
+
+The paper's design (Rogers et al., MICRO 2007) is a bundle of invariants
+— seeds are never address-derived, counters only move forward, MACs are
+keyed and bind (ciphertext, counter, address), the bonsai tree anchors
+counter freshness — and this package is the tooling that keeps new code
+honest about them.  It provides:
+
+* an AST-based lint engine with a rule registry, per-rule severity,
+  ``# repro: allow(RULE-ID)`` suppressions and text/JSON reporters
+  (:mod:`repro.analysis.engine`, :mod:`repro.analysis.reporters`);
+* the domain rules themselves (:mod:`repro.analysis.rules`):
+  SEC001-SEC003 for the paper's security invariants, DET001 for
+  trace-run determinism, SIM001 for timing-model discipline, and the
+  generic GEN001/GEN002 hygiene rules;
+* a CLI: ``python -m repro.analysis src/repro`` (also installed as
+  ``repro-analyze`` and reachable via ``python -m repro analyze``).
+
+The static rules have a dynamic counterpart in
+:mod:`repro.core.sanitizer`, which arms cheap runtime assertions at the
+same seams the rules guard.
+"""
+
+from __future__ import annotations
+
+from .engine import (
+    FileContext,
+    Finding,
+    Rule,
+    all_rules,
+    analyze_paths,
+    analyze_source,
+    get_rules,
+    register,
+)
+from .reporters import render_json, render_text
+
+__all__ = [
+    "FileContext",
+    "Finding",
+    "Rule",
+    "all_rules",
+    "analyze_paths",
+    "analyze_source",
+    "get_rules",
+    "register",
+    "render_json",
+    "render_text",
+]

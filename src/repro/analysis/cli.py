@@ -1,0 +1,85 @@
+"""Command-line driver: ``python -m repro.analysis [paths...]``.
+
+Exit status is 0 when no (non-suppressed) findings remain, 1 otherwise —
+suitable for CI. Also installed as the ``repro-analyze`` console script
+and reachable as ``python -m repro analyze``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .engine import analyze_paths
+from .reporters import render_json, render_rule_list, render_text
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-analyze",
+        description="Security-invariant linter for the AISE/BMT reproduction.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        nargs="+",
+        metavar="RULE",
+        default=None,
+        help="run only these rule ids (e.g. SEC001 DET001)",
+    )
+    parser.add_argument(
+        "--ignore",
+        nargs="+",
+        metavar="RULE",
+        default=None,
+        help="skip these rule ids",
+    )
+    parser.add_argument(
+        "--no-suppressions",
+        action="store_true",
+        help="report findings even where '# repro: allow(...)' comments exist",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="append rule rationales to text output"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        print(render_rule_list())
+        return 0
+    try:
+        findings = analyze_paths(
+            args.paths,
+            select=args.select,
+            ignore=args.ignore,
+            respect_suppressions=not args.no_suppressions,
+        )
+    except (FileNotFoundError, KeyError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(render_json(findings))
+    else:
+        print(render_text(findings, verbose=args.verbose))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,250 @@
+"""The lint engine: rule registry, file contexts, suppressions, drivers.
+
+A *rule* is a class with an ``id`` (e.g. ``SEC003``), a ``severity``, a
+one-line ``title``, and a ``check(tree, ctx)`` generator yielding
+:class:`Finding` objects.  Rules register themselves with
+:func:`register`; the drivers (:func:`analyze_source`,
+:func:`analyze_paths`) run every selected rule over every file and
+filter the results through ``# repro: allow(RULE-ID)`` suppressions.
+
+Path scoping works on *logical paths*: the file's path relative to the
+``repro`` package (``core/seeds.py``, ``osmodel/swap.py``, ...).  Rules
+scope themselves with :meth:`FileContext.under` /
+:meth:`FileContext.is_file` so fixtures in the test suite can pretend to
+live anywhere in the tree.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import tokenize
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+SEVERITIES = ("error", "warning")
+
+# ``# repro: allow(SEC001)``, ``# repro: allow(SEC001, DET001)``, or the
+# escape hatch ``# repro: allow(*)``.
+_SUPPRESSION_RE = re.compile(r"#\s*repro:\s*allow\(\s*([A-Za-z0-9_,\-\s*]+?)\s*\)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    severity: str
+    message: str
+    path: str
+    line: int
+    col: int = 0
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+
+class FileContext:
+    """Everything a rule may want to know about the file under analysis."""
+
+    def __init__(self, path: str, source: str, logical_path: str | None = None):
+        self.path = path
+        self.source = source
+        self.logical = logical_path if logical_path is not None else logical_path_for(path)
+        self.suppressions = parse_suppressions(source)
+
+    # -- path scoping helpers ------------------------------------------------
+
+    def under(self, *prefixes: str) -> bool:
+        """True if the logical path sits under any of ``prefixes``."""
+        return any(
+            self.logical == p or self.logical.startswith(p.rstrip("/") + "/")
+            for p in prefixes
+        )
+
+    def is_file(self, *names: str) -> bool:
+        return self.logical in names
+
+    def suppressed(self, rule_id: str, line: int) -> bool:
+        allowed = self.suppressions.get(line)
+        return allowed is not None and (rule_id in allowed or "*" in allowed)
+
+
+def logical_path_for(path: str) -> str:
+    """Path relative to the ``repro`` package (or the bare filename).
+
+    ``src/repro/core/seeds.py`` -> ``core/seeds.py``;  a path with no
+    ``repro`` component maps to its final components unchanged so the
+    engine still works on loose files.
+    """
+    parts = Path(path).parts
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            return "/".join(parts[i + 1 :])
+    return Path(path).name
+
+
+def parse_suppressions(source: str) -> dict[int, set[str]]:
+    """Map line number -> rule ids allowed there.
+
+    A suppression comment applies to its own line; a comment that is the
+    only thing on its line also applies to the next line, so both styles
+    work::
+
+        latency = 28  # repro: allow(SIM001)
+
+        # repro: allow(SIM001)
+        latency = 28
+    """
+    allowed: dict[int, set[str]] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return allowed
+    lines = source.splitlines()
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESSION_RE.search(tok.string)
+        if match is None:
+            continue
+        ids = {part.strip() for part in match.group(1).split(",") if part.strip()}
+        line = tok.start[0]
+        allowed.setdefault(line, set()).update(ids)
+        before = lines[line - 1][: tok.start[1]] if line - 1 < len(lines) else ""
+        if not before.strip():  # comment-only line: cover the next line too
+            allowed.setdefault(line + 1, set()).update(ids)
+    return allowed
+
+
+class Rule:
+    """Base class for lint rules. Subclasses register with :func:`register`."""
+
+    id: str = "RULE000"
+    severity: str = "warning"
+    title: str = ""
+    rationale: str = ""  # the invariant this guards (shown by --list-rules)
+
+    def applies(self, ctx: FileContext) -> bool:
+        return True
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=self.id,
+            severity=self.severity,
+            message=message,
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+        )
+
+
+_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register(rule_cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if rule_cls.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule_cls.id}")
+    if rule_cls.severity not in SEVERITIES:
+        raise ValueError(f"rule {rule_cls.id}: unknown severity {rule_cls.severity!r}")
+    _REGISTRY[rule_cls.id] = rule_cls
+    return rule_cls
+
+
+def all_rules() -> dict[str, type[Rule]]:
+    from . import rules as _rules  # noqa: F401  (import registers the rules)
+
+    return dict(_REGISTRY)
+
+
+def get_rules(
+    select: Iterable[str] | None = None, ignore: Iterable[str] | None = None
+) -> list[Rule]:
+    """Instantiate the registered rules, honouring select/ignore lists."""
+    registry = all_rules()
+    chosen = list(select) if select else sorted(registry)
+    unknown = [rid for rid in chosen if rid not in registry]
+    if unknown:
+        raise KeyError(f"unknown rule id(s): {', '.join(unknown)}")
+    dropped = set(ignore or ())
+    return [registry[rid]() for rid in chosen if rid not in dropped]
+
+
+# -- drivers -----------------------------------------------------------------
+
+
+def analyze_source(
+    source: str,
+    path: str = "<string>",
+    logical_path: str | None = None,
+    rules: list[Rule] | None = None,
+    respect_suppressions: bool = True,
+) -> list[Finding]:
+    """Run the rules over one source string; returns surviving findings."""
+    ctx = FileContext(path, source, logical_path=logical_path)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as err:
+        return [
+            Finding(
+                rule="PARSE",
+                severity="error",
+                message=f"could not parse: {err.msg}",
+                path=path,
+                line=err.lineno or 1,
+                col=err.offset or 0,
+            )
+        ]
+    findings: list[Finding] = []
+    for rule in rules if rules is not None else get_rules():
+        if not rule.applies(ctx):
+            continue
+        for finding in rule.check(tree, ctx):
+            if respect_suppressions and ctx.suppressed(finding.rule, finding.line):
+                continue
+            findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[Path]:
+    """Expand files/directories into the .py files to analyze."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                if "egg-info" in sub.parts or ".egg-info" in str(sub.parent):
+                    continue
+                yield sub
+        elif path.suffix == ".py":
+            yield path
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {raw}")
+
+
+def analyze_paths(
+    paths: Iterable[str],
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+    respect_suppressions: bool = True,
+) -> list[Finding]:
+    """Analyze every .py file reachable from ``paths``."""
+    rules = get_rules(select=select, ignore=ignore)
+    findings: list[Finding] = []
+    for file_path in iter_python_files(paths):
+        source = file_path.read_text(encoding="utf-8")
+        findings.extend(
+            analyze_source(
+                source,
+                path=str(file_path),
+                rules=rules,
+                respect_suppressions=respect_suppressions,
+            )
+        )
+    return findings

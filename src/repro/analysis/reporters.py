@@ -1,0 +1,66 @@
+"""Render lint findings as human text or machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Iterable
+
+from .engine import Finding, all_rules
+
+
+def render_text(findings: Iterable[Finding], verbose: bool = False) -> str:
+    """One line per finding plus a per-rule summary."""
+    findings = list(findings)
+    lines = [
+        f"{f.location()}: {f.severity} {f.rule}: {f.message}" for f in findings
+    ]
+    if not findings:
+        lines.append("no findings")
+    else:
+        counts = Counter(f.rule for f in findings)
+        summary = ", ".join(f"{rule}={n}" for rule, n in sorted(counts.items()))
+        lines.append(f"{len(findings)} finding(s): {summary}")
+    if verbose:
+        registry = all_rules()
+        for rule_id in sorted({f.rule for f in findings}):
+            rule = registry.get(rule_id)
+            if rule is not None:
+                lines.append(f"  {rule_id}: {rule.rationale}")
+    return "\n".join(lines)
+
+
+def render_json(findings: Iterable[Finding]) -> str:
+    """Stable JSON document: findings plus per-rule/severity counts."""
+    findings = list(findings)
+    payload = {
+        "findings": [
+            {
+                "rule": f.rule,
+                "severity": f.severity,
+                "message": f.message,
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+            }
+            for f in findings
+        ],
+        "counts": {
+            "total": len(findings),
+            "by_rule": dict(sorted(Counter(f.rule for f in findings).items())),
+            "by_severity": dict(
+                sorted(Counter(f.severity for f in findings).items())
+            ),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_rule_list() -> str:
+    """The ``--list-rules`` catalogue."""
+    lines = []
+    for rule_id, rule_cls in sorted(all_rules().items()):
+        lines.append(f"{rule_id} [{rule_cls.severity}] {rule_cls.title}")
+        if rule_cls.rationale:
+            lines.append(f"    {rule_cls.rationale}")
+    return "\n".join(lines)

@@ -1,0 +1,530 @@
+"""Domain lint rules for the AISE/BMT reproduction.
+
+Every rule guards one invariant of the paper (Rogers et al., MICRO 2007)
+or one discipline of this repository:
+
+========  ==================================================================
+SEC001    Seed material must come from :mod:`repro.core.seeds` — no ad-hoc
+          address-derived seeds (paper section 4: AISE's security argument
+          is precisely that seeds are *not* address-derived; CROSSLINE
+          broke SEV by violating the equivalent assumption).
+SEC002    No unkeyed hash where a keyed MAC is required (paper section 5:
+          every authentication primitive is keyed with an on-chip secret).
+SEC003    Counter state only moves through the monotonic APIs in
+          :mod:`repro.core.counters` (paper sections 4.1/4.3: counter
+          reuse is pad reuse).
+DET001    No wall-clock or unseeded randomness in the library (trace-
+          driven runs must be bit-reproducible); ``evalx`` reporting is
+          exempt.
+SIM001    Timing costs come from :class:`repro.core.config.MachineConfig`,
+          not from literals sprinkled through the simulator (section 6's
+          parameters live in one place).
+GEN001    No bare ``except:``.
+GEN002    No mutable default arguments.
+========  ==================================================================
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from .engine import FileContext, Finding, Rule, register
+
+# -- shared AST helpers ------------------------------------------------------
+
+_ADDRESS_NAMES = {
+    "paddr",
+    "vaddr",
+    "addr",
+    "address",
+    "block_number",
+    "page_index",
+    "page_idx",
+    "frame_index",
+}
+_ADDRESS_SUFFIXES = ("_paddr", "_vaddr", "_addr", "_address")
+
+
+def _is_addressy(name: str) -> bool:
+    return name in _ADDRESS_NAMES or name.endswith(_ADDRESS_SUFFIXES)
+
+
+def _target_name(node: ast.AST) -> str | None:
+    """The terminal name of an assignment target (``x`` or ``obj.x``)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _dotted(node: ast.AST) -> str | None:
+    """``a.b.c`` for an attribute chain rooted at a Name, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _assign_targets(node: ast.AST) -> list[ast.expr]:
+    """Flattened assignment targets of an Assign/AnnAssign/AugAssign."""
+    if isinstance(node, ast.Assign):
+        targets: list[ast.expr] = []
+        for t in node.targets:
+            if isinstance(t, (ast.Tuple, ast.List)):
+                targets.extend(t.elts)
+            else:
+                targets.append(t)
+        return targets
+    if isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+        return [node.target]
+    return []
+
+
+def _contains_address_bitop(expr: ast.AST) -> bool:
+    """True if ``expr`` mixes an address-derived name into a ``<<``/``|``."""
+    for sub in ast.walk(expr):
+        if isinstance(sub, ast.BinOp) and isinstance(sub.op, (ast.LShift, ast.BitOr)):
+            for leaf in ast.walk(sub):
+                name = None
+                if isinstance(leaf, ast.Name):
+                    name = leaf.id
+                elif isinstance(leaf, ast.Attribute):
+                    name = leaf.attr
+                if name is not None and _is_addressy(name):
+                    return True
+    return False
+
+
+def _has_literal_at_least(expr: ast.AST, minimum: int) -> ast.Constant | None:
+    for sub in ast.walk(expr):
+        if (
+            isinstance(sub, ast.Constant)
+            and isinstance(sub.value, (int, float))
+            and not isinstance(sub.value, bool)
+            and sub.value >= minimum
+        ):
+            return sub
+    return None
+
+
+# -- SEC001: seed construction goes through core.seeds -----------------------
+
+
+@register
+class SeedProvenanceRule(Rule):
+    id = "SEC001"
+    severity = "error"
+    title = "seed construction must go through repro.core.seeds"
+    rationale = (
+        "AISE's security argument (paper section 4) is that encryption "
+        "seeds are address-independent and globally unique; composing "
+        "seed material ad hoc — especially from addresses — reintroduces "
+        "the pad-reuse bugs of the baseline schemes."
+    )
+
+    WATCHED = ("core", "crypto", "integrity")
+    HOME = "core/seeds.py"
+
+    def applies(self, ctx: FileContext) -> bool:
+        return ctx.under(*self.WATCHED) and not ctx.is_file(self.HOME)
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        return_owner = self._return_owners(tree)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                if node.name.endswith("SeedScheme"):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"seed scheme {node.name!r} defined outside core/seeds.py; "
+                        "add it to the registry in repro.core.seeds instead",
+                    )
+                    continue
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)) and (
+                        item.name in ("seed", "seeds_for_block")
+                    ):
+                        yield self.finding(
+                            ctx,
+                            item,
+                            f"method {item.name!r} defines seed composition outside "
+                            "core/seeds.py; use a SeedScheme from repro.core.seeds",
+                        )
+            elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                for target in _assign_targets(node):
+                    name = _target_name(target)
+                    if name is None or "seed" not in name.lower() or "audit" in name.lower():
+                        continue
+                    value = getattr(node, "value", None)
+                    if value is not None and _contains_address_bitop(value):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"{name!r} is composed from address-derived material; "
+                            "seeds must come from a repro.core.seeds SeedScheme",
+                        )
+            elif isinstance(node, ast.Return) and node.value is not None:
+                # Only flag returns from functions that are seed factories.
+                parent = return_owner.get(id(node))
+                if (
+                    parent is not None
+                    and "seed" in parent.lower()
+                    and _contains_address_bitop(node.value)
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"function {parent!r} returns address-derived seed material; "
+                        "seeds must come from a repro.core.seeds SeedScheme",
+                    )
+
+    @staticmethod
+    def _return_owners(tree: ast.Module) -> dict[int, str]:
+        """Map each Return node to its innermost enclosing function name."""
+        owners: dict[int, str] = {}
+        for fn in ast.walk(tree):
+            if isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for sub in ast.walk(fn):
+                    if isinstance(sub, ast.Return):
+                        owners[id(sub)] = fn.name  # innermost visited last (walk order)
+        return owners
+
+
+# -- SEC002: keyed MACs only -------------------------------------------------
+
+
+@register
+class UnkeyedHashRule(Rule):
+    id = "SEC002"
+    severity = "error"
+    title = "no unkeyed hash where a keyed MAC is required"
+    rationale = (
+        "Every authentication primitive in the design is keyed with an "
+        "on-chip secret (paper section 5); an unkeyed digest is forgeable "
+        "by the memory adversary."
+    )
+
+    EXEMPT_DIRS = ("crypto",)
+    EXEMPT_FILES = ("integrity/merkle.py",)
+    UNKEYED = {"sha1", "sha256", "sha384", "sha512", "md5"}
+    BLAKE = {"blake2s", "blake2b"}
+    KEYING_KWARGS = {"key", "person", "salt"}
+
+    def applies(self, ctx: FileContext) -> bool:
+        return not (ctx.under(*self.EXEMPT_DIRS) or ctx.is_file(*self.EXEMPT_FILES))
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = func.attr if isinstance(func, ast.Attribute) else (
+                func.id if isinstance(func, ast.Name) else None
+            )
+            if name is None:
+                continue
+            if name in self.UNKEYED:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"unkeyed digest {name!r}; use a keyed MAC from repro.crypto.mac "
+                    "(make_mac / Blake2Mac) instead",
+                )
+            elif name in self.BLAKE:
+                kwargs = {kw.arg for kw in node.keywords}
+                if not (kwargs & self.KEYING_KWARGS):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{name!r} without key=/person=/salt= is an unkeyed hash; "
+                        "bind it to an on-chip secret or domain-separate it",
+                    )
+
+
+# -- SEC003: counters move only through the monotonic APIs -------------------
+
+
+@register
+class CounterMutationRule(Rule):
+    id = "SEC003"
+    severity = "error"
+    title = "counter fields mutate only via repro.core.counters APIs"
+    rationale = (
+        "A counter that can be rolled back or skipped is a reused pad "
+        "(paper sections 4.1/4.3) and a replay hole (section 5.2); all "
+        "mutation goes through the increment/overflow APIs so "
+        "monotonicity is auditable in one file."
+    )
+
+    HOME = "core/counters.py"
+    FIELDS = {"minors", "major", "lpid"}
+
+    def applies(self, ctx: FileContext) -> bool:
+        return not ctx.is_file(self.HOME)
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                continue
+            for target in _assign_targets(node):
+                field = None
+                if isinstance(target, ast.Attribute) and target.attr in self.FIELDS:
+                    field = target.attr
+                elif (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Attribute)
+                    and target.value.attr in self.FIELDS
+                ):
+                    field = target.value.attr
+                if field is not None:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"raw write to counter field {field!r}; use the monotonic "
+                        "APIs in repro.core.counters (increment/fresh/from_bytes)",
+                    )
+
+
+# -- DET001: determinism of trace-driven runs --------------------------------
+
+
+@register
+class DeterminismRule(Rule):
+    id = "DET001"
+    severity = "error"
+    title = "no wall-clock time or unseeded randomness in the library"
+    rationale = (
+        "Trace-driven evaluation must be bit-reproducible run to run; "
+        "wall-clock reads and unseeded RNGs make results (and test "
+        "failures) irreproducible. Reporting code in evalx/ is exempt "
+        "(it may time itself with perf_counter)."
+    )
+
+    EXEMPT_DIRS = ("evalx",)
+    WALL_CLOCK = {
+        "time.time",
+        "time.time_ns",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+    }
+    RANDOM_FNS = {
+        "random",
+        "randint",
+        "randrange",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "uniform",
+        "getrandbits",
+        "randbytes",
+        "gauss",
+    }
+    NP_ALIASES = {"np", "numpy"}
+    NP_SEEDED_FACTORIES = {"default_rng", "RandomState", "SeedSequence", "Generator"}
+
+    def applies(self, ctx: FileContext) -> bool:
+        return not ctx.under(*self.EXEMPT_DIRS)
+
+    def _banned_bare_names(self, tree: ast.Module) -> dict[str, str]:
+        """Names imported from time/random that are banned when called bare."""
+        banned: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ImportFrom):
+                continue
+            if node.module == "time":
+                for alias in node.names:
+                    if alias.name in ("time", "time_ns"):
+                        banned[alias.asname or alias.name] = f"time.{alias.name}"
+            elif node.module == "random":
+                for alias in node.names:
+                    if alias.name in self.RANDOM_FNS:
+                        banned[alias.asname or alias.name] = f"random.{alias.name}"
+        return banned
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        bare = self._banned_bare_names(tree)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            dotted = _dotted(func)
+            if dotted in self.WALL_CLOCK:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"wall-clock call {dotted}(); use time.perf_counter() for "
+                    "intervals (evalx only) or pass timestamps in explicitly",
+                )
+                continue
+            if isinstance(func, ast.Name) and func.id in bare:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"call to {bare[func.id]} via bare import; wall-clock and "
+                    "module-level randomness are banned outside evalx",
+                )
+                continue
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "random"
+                and func.attr in self.RANDOM_FNS
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"random.{func.attr}() uses the unseeded global RNG; create "
+                    "a seeded generator instead",
+                )
+                continue
+            # numpy: np.random.<fn>(...) — only seeded generator factories pass.
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Attribute)
+                and func.value.attr == "random"
+                and isinstance(func.value.value, ast.Name)
+                and func.value.value.id in self.NP_ALIASES
+            ):
+                fn = func.attr
+                if fn in self.NP_SEEDED_FACTORIES:
+                    if not node.args and not node.keywords:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"np.random.{fn}() without a seed is nondeterministic; "
+                            "pass an explicit seed",
+                        )
+                else:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"np.random.{fn}() uses numpy's global RNG; use "
+                        "np.random.default_rng(seed) instead",
+                    )
+
+
+# -- SIM001: timing parameters live in core/config.py ------------------------
+
+
+@register
+class LatencyLiteralRule(Rule):
+    id = "SIM001"
+    severity = "warning"
+    title = "latency/cycle costs come from MachineConfig, not literals"
+    rationale = (
+        "The paper's timing parameters (section 6) are modelled in one "
+        "place — repro.core.config.MachineConfig — so sweeps and ablations "
+        "change them consistently; a literal latency in the simulator "
+        "silently escapes every sweep."
+    )
+
+    WATCHED = ("sim", "mem")
+    NAME_RE = re.compile(r"latency|cycle|_ready|stall", re.IGNORECASE)
+    MINIMUM = 2  # 0/1 resets and rounding guards are fine
+
+    def applies(self, ctx: FileContext) -> bool:
+        return ctx.under(*self.WATCHED)
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                value = getattr(node, "value", None)
+                if value is None:
+                    continue
+                for target in _assign_targets(node):
+                    name = _target_name(target)
+                    if name is None or not self.NAME_RE.search(name):
+                        continue
+                    literal = _has_literal_at_least(value, self.MINIMUM)
+                    if literal is not None:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"literal {literal.value!r} assigned to timing field "
+                            f"{name!r}; route it through MachineConfig",
+                        )
+            elif isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+                sides = (node.left, node.right)
+                latencyish = any(
+                    (n := _target_name(s)) is not None and self.NAME_RE.search(n)
+                    for s in sides
+                )
+                if not latencyish:
+                    continue
+                for side in sides:
+                    if isinstance(side, ast.Constant) and isinstance(
+                        side.value, (int, float)
+                    ) and not isinstance(side.value, bool) and side.value >= self.MINIMUM:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"literal {side.value!r} added to a cycle count; "
+                            "route timing costs through MachineConfig",
+                        )
+                        break
+
+
+# -- GEN001/GEN002: general hygiene ------------------------------------------
+
+
+@register
+class BareExceptRule(Rule):
+    id = "GEN001"
+    severity = "warning"
+    title = "no bare except clauses"
+    rationale = (
+        "A bare except swallows IntegrityError and SanitizerError alike, "
+        "turning a detected attack into silence; catch specific exceptions."
+    )
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(
+                    ctx, node, "bare 'except:'; name the exception types to catch"
+                )
+
+
+@register
+class MutableDefaultRule(Rule):
+    id = "GEN002"
+    severity = "warning"
+    title = "no mutable default arguments"
+    rationale = (
+        "A mutable default is shared across calls — for stateful machine "
+        "models that means state leaking between supposedly independent "
+        "simulations."
+    )
+
+    MUTABLE_CALLS = {"list", "dict", "set", "OrderedDict", "defaultdict", "deque"}
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                bad = isinstance(default, (ast.List, ast.Dict, ast.Set)) or (
+                    isinstance(default, ast.Call)
+                    and isinstance(default.func, ast.Name)
+                    and default.func.id in self.MUTABLE_CALLS
+                )
+                if bad:
+                    yield self.finding(
+                        ctx,
+                        default,
+                        f"mutable default argument in {node.name!r}; default to "
+                        "None and create the object inside the function",
+                    )

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..mem.layout import BLOCK_SIZE, BLOCKS_PER_PAGE
+from . import sanitizer
 from .errors import CounterOverflowError
 
 LPID_BITS = 64
@@ -54,6 +55,8 @@ class GlobalPageCounter:
             raise CounterOverflowError("global page counter exhausted")
         lpid = self._value
         self._value += 1
+        if sanitizer.enabled("counter_monotonicity"):
+            sanitizer.check(lpid >= 1, f"GPC issued LPID {lpid}; 0 is reserved for 'never assigned'")
         return lpid
 
     @property
@@ -64,6 +67,8 @@ class GlobalPageCounter:
         return self._value
 
     def restore_state(self, state: int) -> None:
+        if sanitizer.enabled("counter_monotonicity"):
+            sanitizer.check(state >= 1, "GPC state must be positive (LPID 0 is reserved)")
         self._value = state
 
 
@@ -103,7 +108,15 @@ class PageCounterBlock:
         On overflow the caller must assign a fresh LPID and re-encrypt the
         page (paper section 4.3); the minor is reset to 0 here.
         """
-        value = self.minors[block_in_page] + 1
+        old = self.minors[block_in_page]
+        if sanitizer.enabled("counter_monotonicity"):
+            # A minor outside its 7-bit range means something wrote the
+            # counter behind this API's back — pad reuse waiting to happen.
+            sanitizer.check(
+                0 <= old <= MINOR_MAX,
+                f"minor counter {old} out of {MINOR_BITS}-bit range before increment",
+            )
+        value = old + 1
         if value > MINOR_MAX:
             self.minors[block_in_page] = 0
             return True
@@ -129,7 +142,13 @@ class SplitCounterBlock:
         return cls(major=0, minors=[0] * BLOCKS_PER_PAGE)
 
     def increment(self, block_in_page: int) -> bool:
-        value = self.minors[block_in_page] + 1
+        old = self.minors[block_in_page]
+        if sanitizer.enabled("counter_monotonicity"):
+            sanitizer.check(
+                0 <= old <= MINOR_MAX,
+                f"minor counter {old} out of {MINOR_BITS}-bit range before increment",
+            )
+        value = old + 1
         if value > MINOR_MAX:
             self.minors[block_in_page] = 0
             self.major += 1
@@ -178,7 +197,13 @@ class FlatCounterStore:
 
     def increment(self, block_index: int) -> bool:
         """Bump a per-block counter; True if it wrapped to 0."""
-        value = self._values.get(block_index, 0) + 1
+        old = self._values.get(block_index, 0)
+        if sanitizer.enabled("counter_monotonicity"):
+            sanitizer.check(
+                0 <= old <= self._max,
+                f"{self.counter_bits}-bit block counter held {old} before increment",
+            )
+        value = old + 1
         if value > self._max:
             self._values[block_index] = 0
             self.wraps += 1
@@ -208,10 +233,20 @@ class MonotonicGlobalCounter:
 
     def next_value(self) -> int:
         """Value to stamp on the block being written; advances the counter."""
+        previous = self._value
         self._value += 1
         if self._value > self._max:
             self._value = 1
             self.wraps += 1
+        if sanitizer.enabled("counter_monotonicity"):
+            sanitizer.check(
+                0 <= previous <= self._max,
+                f"global counter held {previous}, outside its {self.bits}-bit range",
+            )
+            sanitizer.check(
+                self._value == previous + 1 or (previous == self._max and self._value == 1),
+                "global counter stepped non-monotonically",
+            )
         return self._value
 
     @property

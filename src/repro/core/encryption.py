@@ -242,7 +242,7 @@ class AiseEncryption(EncryptionEngine):
         if counters.minors[bip] >= MINOR_MAX:
             self._reencrypt_page(page_idx, skip_block=bip)
             counters = self._load(page_idx)
-        counters.minors[bip] += 1
+        counters.increment(bip)  # cannot wrap: overflow handled above
         self._store(page_idx, counters)
         ctx_input = self._seed_input(paddr, counters)
         seeds = (
@@ -419,7 +419,9 @@ class GlobalCounterEncryption(EncryptionEngine):
         # Derive a new key; real hardware would generate a random one.
         import hashlib
 
-        self._key = hashlib.blake2s(self._key, digest_size=32).digest()[: len(self._key)]
+        self._key = hashlib.blake2s(
+            self._key, person=b"key-wrap", digest_size=32
+        ).digest()[: len(self._key)]
         self._cipher = CounterModeCipher(self._key, fast=self._fast)
         for paddr in sorted(self._written):
             stamp = self._read_stamp(paddr)

@@ -96,10 +96,10 @@ def generate_report(
     for fig_id, builder in ALL_FIGURES.items():
         if figures and fig_id not in figures:
             continue
-        start = time.time()
+        start = time.perf_counter()
         fig = builder(runner)
         emit(render_figure(fig))
-        emit(f"  [{time.time() - start:.1f}s]")
+        emit(f"  [{time.perf_counter() - start:.1f}s]")
         emit("")
         export(f"figure{fig_id}", figure_to_json(fig), figure_to_csv(fig))
     return "\n".join(out)

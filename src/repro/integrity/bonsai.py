@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from ..crypto.mac import MacFunction
 from ..mem.dram import BlockMemory
+from ..core import sanitizer
 from ..core.errors import IntegrityError
 from .macs import MacStore
 from .merkle import MerkleTree
@@ -38,6 +39,7 @@ class BonsaiMerkleIntegrity:
         self.tree = tree  # covers counter region (+ page root directory)
         self.mac = mac
         self.verifications = 0
+        self._updates_since_root_check = 0
 
     def _compute(self, address: int, cipher: bytes, counter: int) -> bytes:
         message = cipher + counter.to_bytes(16, "big") + address.to_bytes(8, "big")
@@ -69,6 +71,18 @@ class BonsaiMerkleIntegrity:
 
     def update_metadata(self, address: int, raw: bytes) -> None:
         self.tree.update(address, raw)
+        if sanitizer.enabled("bmt_root_spot_check"):
+            # Every Nth metadata update, re-check that the on-chip root
+            # register still matches the top node the update chain left in
+            # memory — the drift the Freij et al. update-ordering bugs
+            # produce. Divergence here is indistinguishable from tampering,
+            # so it raises IntegrityError, not SanitizerError. Counting up
+            # (not down) makes a lowered spot_check_interval take effect on
+            # the very next update.
+            self._updates_since_root_check += 1
+            if self._updates_since_root_check >= max(1, sanitizer.spot_interval()):
+                self._updates_since_root_check = 0
+                self.tree.verify_root()
 
 
 class StandardMerkleIntegrity:

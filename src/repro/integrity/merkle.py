@@ -139,6 +139,27 @@ class MerkleTree:
         self.root.store(self._mac_top(child_reader(0)))
         self._trusted.clear()
 
+    # -- spot checks -----------------------------------------------------------
+
+    def verify_root(self) -> None:
+        """Check the top node in memory still matches the root register.
+
+        One block read plus one MAC — cheap enough for the runtime
+        sanitizer to call periodically. Reads via ``raw_read`` so the
+        check itself neither consumes pending bus intercepts nor shows up
+        in the access log (it models on-chip logic, not a bus transaction).
+        """
+        if self.root.value is None:
+            raise IntegrityError("tree has no root; call build() first", kind="root")
+        top_address = self.geometry.level_bases[-1]
+        raw = self.memory.raw_read(top_address)
+        if self._mac_top(raw) != self.root.value:
+            raise IntegrityError(
+                f"root register does not match top node at {top_address:#x}",
+                address=top_address,
+                kind="root",
+            )
+
     # -- verification ------------------------------------------------------------
 
     def _trusted_node(self, level: int, index: int) -> bytes:

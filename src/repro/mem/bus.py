@@ -12,7 +12,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-DEFAULT_CYCLES_PER_BLOCK = 28  # 64B over a ~4.6GB/s FSB seen from a 2GHz core
+# The paper's FSB figure (64B over ~4.6GB/s seen from a 2GHz core); the
+# simulator always passes MachineConfig.bus_cycles_per_block — this default
+# only serves standalone bus experiments.
+DEFAULT_CYCLES_PER_BLOCK = 28  # repro: allow(SIM001)
 
 
 @dataclass

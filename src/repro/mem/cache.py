@@ -11,6 +11,8 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
+from ..core import sanitizer
+
 # Content classes for cache lines.
 DATA = "data"
 CODE = "code"
@@ -80,6 +82,7 @@ class SetAssociativeCache:
         # LRU order with the most recently used entry last.
         self._sets: list[OrderedDict] = [OrderedDict() for _ in range(self.num_sets)]
         self._class_lines: dict[str, int] = {}
+        self._inserts_since_recount = 0
         self.stats = CacheStats()
 
     # -- internal helpers ---------------------------------------------------
@@ -134,7 +137,33 @@ class SetAssociativeCache:
             victim = Eviction(block=vblock, dirty=vdirty, line_class=vclass)
         cache_set[block] = (dirty, line_class)
         self._class_lines[line_class] = self._class_lines.get(line_class, 0) + 1
+        if sanitizer.enabled("cache_inclusion"):
+            self._sanitize_insert(cache_set)
         return victim
+
+    def _sanitize_insert(self, cache_set: OrderedDict) -> None:
+        """Armed-only bookkeeping checks after a fill (see repro.core.sanitizer).
+
+        The set-size check runs on every insert; the full class-tally
+        recount (which Figure 9's occupancy fractions depend on) only
+        every Nth insert — it walks the whole cache.
+        """
+        sanitizer.check(
+            len(cache_set) <= self.assoc,
+            f"{self.name}: set holds {len(cache_set)} lines, associativity is {self.assoc}",
+        )
+        self._inserts_since_recount += 1
+        if self._inserts_since_recount >= max(1, sanitizer.spot_interval()):
+            self._inserts_since_recount = 0
+            recount: dict[str, int] = {}
+            for other_set in self._sets:
+                for _, line_class in other_set.values():
+                    recount[line_class] = recount.get(line_class, 0) + 1
+            tallies = {k: v for k, v in self._class_lines.items() if v}
+            sanitizer.check(
+                recount == tallies,
+                f"{self.name}: class tallies {tallies} disagree with recount {recount}",
+            )
 
     def contains(self, address: int) -> bool:
         """Presence test without touching recency or stats."""

@@ -21,7 +21,9 @@ from .layout import BLOCK_SIZE, block_address
 class DramTiming:
     """Fixed-latency DRAM: the timing simulator's view of main memory."""
 
-    access_latency: int = 200  # processor cycles (paper section 6)
+    # Paper section 6's 200-cycle DRAM; the timing simulator overrides this
+    # with MachineConfig.memory_latency — the default is for standalone use.
+    access_latency: int = 200  # repro: allow(SIM001)
     reads: int = 0
     writes: int = 0
 

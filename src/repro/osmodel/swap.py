@@ -9,9 +9,10 @@ the page-root directory in tree-covered physical memory (section 5.1).
 
 from __future__ import annotations
 
+from ..core import sanitizer
+from ..core.machine import IMAGE_BLOCKS
 from ..mem.dram import BlockMemory
 from ..mem.layout import BLOCK_SIZE
-from ..core.machine import IMAGE_BLOCKS
 
 
 class SwapDevice:
@@ -50,24 +51,43 @@ class SwapDevice:
             raise IndexError(f"swap slot {slot} out of range")
         return slot * self.slot_bytes
 
-    def dma_write(self, slot: int, image: bytes) -> None:
-        """Store a page image (no processor involvement, no checks)."""
+    def _validate_image(self, image: bytes) -> None:
         if len(image) != self.slot_bytes:
             raise ValueError(f"image must be {self.slot_bytes} bytes, got {len(image)}")
+
+    def _store_image(self, slot: int, image: bytes) -> None:
         base = self._base(slot)
         for offset in range(0, self.slot_bytes, BLOCK_SIZE):
             self.storage.write_block(base + offset, image[offset : offset + BLOCK_SIZE])
-        self.writes += 1
 
-    def dma_read(self, slot: int) -> bytes:
+    def _load_image(self, slot: int) -> bytes:
         base = self._base(slot)
-        self.reads += 1
         return b"".join(
             self.storage.read_block(base + offset)
             for offset in range(0, self.slot_bytes, BLOCK_SIZE)
         )
 
+    def dma_write(self, slot: int, image: bytes) -> None:
+        """Store a page image (no processor involvement, no checks)."""
+        self._validate_image(image)
+        if sanitizer.enabled("swap_ownership"):
+            # Kernel DMA to a slot the allocator doesn't consider in use
+            # breaks section 5.1's assumption that slot identity is stable
+            # while the page is out.
+            sanitizer.check(slot in self._used, f"kernel DMA write to unallocated swap slot {slot}")
+        self._store_image(slot, image)
+        self.writes += 1
+
+    def dma_read(self, slot: int) -> bytes:
+        if sanitizer.enabled("swap_ownership"):
+            sanitizer.check(slot in self._used, f"kernel DMA read from unallocated swap slot {slot}")
+        self.reads += 1
+        return self._load_image(slot)
+
     # -- adversary interface -------------------------------------------------
+    # These model a physical attacker touching the platters directly, so
+    # they deliberately bypass the kernel DMA paths (and their armed
+    # ownership checks) as well as the read/write accounting.
 
     def corrupt_slot(self, slot: int, byte_offset: int = 0) -> None:
         """Flip bytes of a stored image (physical attack on the disk)."""
@@ -75,9 +95,9 @@ class SwapDevice:
         self.storage.corrupt(base)
 
     def snapshot_slot(self, slot: int) -> bytes:
-        return self.dma_read(slot)
+        return self._load_image(slot)
 
     def replay_slot(self, slot: int, old_image: bytes) -> None:
         """Put back a previously captured image (replay attack on swap)."""
-        self.dma_write(slot, old_image)
-        self.writes -= 1  # adversary action, not a kernel DMA
+        self._validate_image(old_image)
+        self._store_image(slot, old_image)

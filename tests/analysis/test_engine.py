@@ -1,0 +1,132 @@
+"""Engine mechanics: suppressions, rule selection, reporters, CLI exit codes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import analyze_source, get_rules, render_json, render_text
+from repro.analysis.cli import main as cli_main
+from repro.analysis.engine import all_rules, logical_path_for, parse_suppressions
+
+BARE_EXCEPT = "try:\n    pass\nexcept:\n    pass\n"
+
+
+def run(source, rule_id="GEN001", logical="core/fixture.py", **kwargs):
+    return analyze_source(
+        source,
+        path="fixture.py",
+        logical_path=logical,
+        rules=get_rules(select=[rule_id]),
+        **kwargs,
+    )
+
+
+class TestLogicalPaths:
+    def test_relative_to_repro_package(self):
+        assert logical_path_for("src/repro/core/seeds.py") == "core/seeds.py"
+        assert logical_path_for("/abs/src/repro/osmodel/swap.py") == "osmodel/swap.py"
+
+    def test_loose_file_falls_back_to_name(self):
+        assert logical_path_for("/tmp/scratch.py") == "scratch.py"
+
+
+class TestSuppressions:
+    def test_same_line_suppression(self):
+        source = "try:\n    pass\nexcept:  # repro: allow(GEN001)\n    pass\n"
+        assert run(source) == []
+
+    def test_comment_only_line_covers_next_line(self):
+        source = "try:\n    pass\n# repro: allow(GEN001)\nexcept:\n    pass\n"
+        assert run(source) == []
+
+    def test_wrong_rule_id_does_not_suppress(self):
+        source = "try:\n    pass\nexcept:  # repro: allow(SEC001)\n    pass\n"
+        assert [f.rule for f in run(source)] == ["GEN001"]
+
+    def test_multiple_ids_and_wildcard(self):
+        multi = parse_suppressions("x = 1  # repro: allow(SEC001, GEN001)\n")
+        assert multi[1] == {"SEC001", "GEN001"}
+        source = "try:\n    pass\nexcept:  # repro: allow(*)\n    pass\n"
+        assert run(source) == []
+
+    def test_no_suppressions_flag_reports_anyway(self):
+        source = "try:\n    pass\nexcept:  # repro: allow(GEN001)\n    pass\n"
+        findings = run(source, respect_suppressions=False)
+        assert [f.rule for f in findings] == ["GEN001"]
+
+
+class TestRuleSelection:
+    def test_registry_has_the_domain_rules(self):
+        ids = set(all_rules())
+        assert {"SEC001", "SEC002", "SEC003", "DET001", "SIM001"} <= ids
+
+    def test_select_and_ignore(self):
+        only = get_rules(select=["GEN001"])
+        assert [r.id for r in only] == ["GEN001"]
+        without = get_rules(ignore=["GEN001"])
+        assert "GEN001" not in [r.id for r in without]
+
+    def test_unknown_rule_id_raises(self):
+        with pytest.raises(KeyError):
+            get_rules(select=["NOPE999"])
+
+    def test_syntax_error_becomes_parse_finding(self):
+        findings = analyze_source("def broken(:\n", path="bad.py")
+        assert [f.rule for f in findings] == ["PARSE"]
+        assert findings[0].severity == "error"
+
+
+class TestReporters:
+    def test_text_mentions_location_and_summary(self):
+        findings = run(BARE_EXCEPT)
+        text = render_text(findings)
+        assert "fixture.py:3" in text
+        assert "GEN001" in text
+        assert "1 finding" in text
+
+    def test_text_clean(self):
+        assert "no findings" in render_text([])
+
+    def test_json_counts(self):
+        findings = run(BARE_EXCEPT)
+        payload = json.loads(render_json(findings))
+        assert payload["counts"]["total"] == 1
+        assert payload["counts"]["by_rule"] == {"GEN001": 1}
+        assert payload["counts"]["by_severity"] == {"warning": 1}
+        assert payload["findings"][0]["line"] == 3
+
+
+class TestCli:
+    def test_exit_zero_on_clean_file(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert cli_main([str(clean)]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_exit_one_on_findings(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text(BARE_EXCEPT)
+        assert cli_main([str(dirty)]) == 1
+        assert "GEN001" in capsys.readouterr().out
+
+    def test_exit_two_on_bad_rule_or_path(self, tmp_path, capsys):
+        assert cli_main([str(tmp_path / "missing.txt")]) == 2
+        some = tmp_path / "a.py"
+        some.write_text("x = 1\n")
+        assert cli_main([str(some), "--select", "NOPE999"]) == 2
+        capsys.readouterr()
+
+    def test_json_format_parses(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text(BARE_EXCEPT)
+        assert cli_main([str(dirty), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"]["total"] == 1
+
+    def test_list_rules(self, capsys):
+        assert cli_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("SEC001", "SEC002", "SEC003", "DET001", "SIM001"):
+            assert rule_id in out

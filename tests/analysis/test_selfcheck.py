@@ -1,0 +1,43 @@
+"""The linter must run clean over the library it ships with."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis.cli import main as cli_main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+LIBRARY = REPO_ROOT / "src" / "repro"
+
+
+def test_library_is_clean_in_process(capsys):
+    assert cli_main([str(LIBRARY)]) == 0
+    assert "no findings" in capsys.readouterr().out
+
+
+def test_module_entry_point_exits_zero():
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", str(LIBRARY), "--format", "json"],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert '"total": 0' in proc.stdout
+
+
+def test_repro_analyze_subcommand_exits_zero():
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "analyze", str(LIBRARY)],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr

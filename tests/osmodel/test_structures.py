@@ -161,15 +161,17 @@ class TestSwapDevice:
     def test_corruption_changes_content(self):
         swap = SwapDevice(slots=1)
         image = b"\x00" * swap.slot_bytes
-        swap.dma_write(0, image)
-        swap.corrupt_slot(0, byte_offset=128)
-        assert swap.dma_read(0) != image
+        slot = swap.allocate_slot()
+        swap.dma_write(slot, image)
+        swap.corrupt_slot(slot, byte_offset=128)
+        assert swap.dma_read(slot) != image
 
     def test_replay_restores_old_image(self):
         swap = SwapDevice(slots=1)
         old = b"\x01" * swap.slot_bytes
-        swap.dma_write(0, old)
-        captured = swap.snapshot_slot(0)
-        swap.dma_write(0, b"\x02" * swap.slot_bytes)
-        swap.replay_slot(0, captured)
-        assert swap.dma_read(0) == old
+        slot = swap.allocate_slot()
+        swap.dma_write(slot, old)
+        captured = swap.snapshot_slot(slot)
+        swap.dma_write(slot, b"\x02" * swap.slot_bytes)
+        swap.replay_slot(slot, captured)
+        assert swap.dma_read(slot) == old
