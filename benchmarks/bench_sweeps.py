@@ -5,18 +5,24 @@ latency, counter-cache size) to show the BMT/AISE conclusions are not
 artifacts of the single design point the paper simulates.
 """
 
+from repro.evalx.parallel import ResultCache
 from repro.evalx.report import render_figure
 from repro.evalx.sweeps import counter_cache_sweep, l2_size_sweep, memory_latency_sweep
 
-from conftest import save_artifact
+from conftest import CACHE_DIR, WORKERS, save_artifact
 
 BENCHES = ("art", "mcf", "swim", "gcc")
 EVENTS = 30_000
 
+# The machine sweeps ride the same engine knobs as the figure grid.
+ENGINE = dict(workers=WORKERS,
+              cache=ResultCache(CACHE_DIR) if CACHE_DIR is not None else None)
+
 
 def test_sweep_l2_size(benchmark, results_dir):
     fig = benchmark.pedantic(
-        l2_size_sweep, kwargs=dict(benches=BENCHES, events=EVENTS), rounds=1, iterations=1
+        l2_size_sweep, kwargs=dict(benches=BENCHES, events=EVENTS, **ENGINE),
+        rounds=1, iterations=1
     )
     text = render_figure(fig)
     save_artifact(results_dir, "sweep_l2_size.txt", text)
@@ -30,7 +36,7 @@ def test_sweep_l2_size(benchmark, results_dir):
 
 def test_sweep_memory_latency(benchmark, results_dir):
     fig = benchmark.pedantic(
-        memory_latency_sweep, kwargs=dict(benches=BENCHES, events=EVENTS),
+        memory_latency_sweep, kwargs=dict(benches=BENCHES, events=EVENTS, **ENGINE),
         rounds=1, iterations=1,
     )
     text = render_figure(fig)
@@ -42,7 +48,7 @@ def test_sweep_memory_latency(benchmark, results_dir):
 
 def test_sweep_counter_cache(benchmark, results_dir):
     fig = benchmark.pedantic(
-        counter_cache_sweep, kwargs=dict(benches=BENCHES, events=EVENTS),
+        counter_cache_sweep, kwargs=dict(benches=BENCHES, events=EVENTS, **ENGINE),
         rounds=1, iterations=1,
     )
     text = render_figure(fig)

@@ -4,6 +4,17 @@ One session-scoped :class:`~repro.evalx.runner.Runner` memoizes the
 (21 benchmark x configuration) sweep so every figure bench draws from a
 single simulation pass. Each bench also writes its regenerated rows to
 ``benchmarks/results/`` — the artifacts EXPERIMENTS.md is built from.
+
+The runner rides the parallel engine (:mod:`repro.evalx.parallel`):
+
+* ``REPRO_BENCH_WORKERS`` — process-pool width for the sweep (default 1
+  = serial; 0 = one worker per core). The figure benches prefetch the
+  whole grid through the pool before the first figure builds.
+* ``REPRO_BENCH_CACHE`` — persistent result-cache directory (default
+  ``benchmarks/results/cache``; set to ``off`` to disable). Cached cells
+  make a re-run after an unrelated edit near-free; the cache keys on the
+  timing model's source fingerprint, so simulator changes invalidate it
+  automatically.
 """
 
 from __future__ import annotations
@@ -12,6 +23,7 @@ import os
 
 import pytest
 
+from repro.evalx.figures import prefetch_figures
 from repro.evalx.runner import Runner
 
 # Trace length per benchmark. 60k keeps the full sweep to a few minutes
@@ -19,12 +31,22 @@ from repro.evalx.runner import Runner
 # a higher-fidelity run (EXPERIMENTS.md used 120k).
 EVENTS = int(os.environ.get("REPRO_BENCH_EVENTS", "60000"))
 
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+_cache_env = os.environ.get("REPRO_BENCH_CACHE", os.path.join(RESULTS_DIR, "cache"))
+CACHE_DIR = None if _cache_env.lower() in ("", "off", "0", "none") else _cache_env
 
 
 @pytest.fixture(scope="session")
 def runner() -> Runner:
-    return Runner(events=EVENTS)
+    runner = Runner(events=EVENTS, workers=WORKERS, cache_dir=CACHE_DIR)
+    if WORKERS != 1 or CACHE_DIR is not None:
+        # One fan-out serves every figure bench; with a warm cache this
+        # costs only the cache reads.
+        prefetch_figures(runner)
+    return runner
 
 
 @pytest.fixture(scope="session")

@@ -3,6 +3,9 @@
 Commands:
 
 * ``report``   — regenerate the paper's tables and figures (text).
+* ``sweep``    — simulate the (benchmark x configuration) grid, optionally in
+  parallel (``--workers``) and against a persistent result cache
+  (``--cache``); emits deterministic per-cell JSON.
 * ``simulate`` — run one benchmark trace against one configuration.
 * ``attacks``  — print the attack-detection matrix for a configuration.
 * ``storage``  — print the analytic storage breakdown (Table 2 model).
@@ -18,14 +21,73 @@ import sys
 def _cmd_report(args) -> int:
     from .evalx.report import main as report_main
 
-    forwarded = ["--events", str(args.events)]
+    forwarded = ["--events", str(args.events), "--workers", str(args.workers)]
     if args.figures:
         forwarded += ["--figures", *args.figures]
     if args.out:
         forwarded += ["--out", args.out]
     if args.data_dir:
         forwarded += ["--data-dir", args.data_dir]
+    if args.cache:
+        forwarded += ["--cache", args.cache]
     return report_main(forwarded)
+
+
+def _cmd_sweep(args) -> int:
+    import json
+    import logging
+
+    from .evalx.report import render_table
+    from .evalx.runner import CONFIGS, Runner
+    from .evalx.tables import results_table
+    from .workloads.spec2k import SPEC2K_BENCHMARKS
+
+    logging.basicConfig(stream=sys.stderr, level=logging.INFO,
+                        format="%(message)s")
+    labels = args.configs or list(CONFIGS)
+    unknown = [label for label in labels if label not in CONFIGS]
+    if unknown:
+        print(f"unknown configs {unknown}; choose from {', '.join(CONFIGS)}",
+              file=sys.stderr)
+        return 2
+    benchmarks = tuple(args.benchmarks) if args.benchmarks else SPEC2K_BENCHMARKS
+    unknown = [b for b in benchmarks if b not in SPEC2K_BENCHMARKS]
+    if unknown:
+        print(f"unknown benchmarks {unknown}; choose from {', '.join(SPEC2K_BENCHMARKS)}",
+              file=sys.stderr)
+        return 2
+    mac_bits = tuple(args.mac_bits) if args.mac_bits else (None,)
+
+    runner = Runner(events=args.events, benchmarks=benchmarks,
+                    workers=args.workers, cache_dir=args.cache)
+    grid = runner.run_grid(labels=labels, mac_bits=mac_bits)
+    # Deterministic payload: sorted keys, lossless floats — two sweeps of
+    # the same grid (serial or parallel, cached or cold) diff byte-equal.
+    payload = {
+        "events": args.events,
+        "benchmarks": list(benchmarks),
+        "configs": list(labels),
+        "cells": {
+            f"{bench}/{label}/{bits if bits is not None else 'default'}": result.to_dict()
+            for (bench, label, bits), result in grid.items()
+        },
+    }
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(text + "\n")
+        print(f"{len(grid)} cells written to {args.out}", file=sys.stderr)
+    else:
+        print(text)
+    if runner.cache is not None:
+        c = runner.cache
+        print(f"cache {c.root}: {c.hits} hits, {c.misses} misses, "
+              f"{c.writes} writes, {c.corrupt} corrupt", file=sys.stderr)
+    if args.summary:
+        summary_labels = [label for label in labels if label != "base"]
+        if "base" in labels and summary_labels:
+            print(render_table(results_table(runner, summary_labels)), file=sys.stderr)
+    return 0
 
 
 def _cmd_simulate(args) -> int:
@@ -111,7 +173,27 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--figures", nargs="*", default=None)
     p.add_argument("--out", default=None)
     p.add_argument("--data-dir", default=None)
+    p.add_argument("--workers", type=int, default=1)
+    p.add_argument("--cache", default=None, metavar="DIR")
     p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("sweep", help="simulate the benchmark x configuration grid")
+    p.add_argument("--workers", type=int, default=1,
+                   help="process-pool width (1 = serial, 0 = one per core)")
+    p.add_argument("--cache", default=None, metavar="DIR",
+                   help="persistent result-cache directory "
+                        "(e.g. benchmarks/results/cache)")
+    p.add_argument("--events", type=int, default=120_000)
+    p.add_argument("--benchmarks", nargs="*", default=None,
+                   help="subset of benchmarks (default: all 21)")
+    p.add_argument("--configs", nargs="*", default=None,
+                   help="subset of registry configs (default: all)")
+    p.add_argument("--mac-bits", type=int, nargs="*", default=None,
+                   help="MAC-size overrides (default: each config's own)")
+    p.add_argument("--out", default=None, help="write per-cell JSON here")
+    p.add_argument("--summary", action="store_true",
+                   help="also print a measured-averages table (stderr)")
+    p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("simulate", help="simulate one benchmark/configuration")
     p.add_argument("--benchmark", default="art")

@@ -26,6 +26,51 @@ from .runner import Runner
 
 MAC_SIZES = (32, 64, 128, 256)
 
+# The registry labels each figure simulates ("base" included whenever the
+# figure normalizes against it). Figure 11 additionally spans MAC_SIZES.
+# prefetch_figures() uses this map to warm a Runner's memo with one pool
+# fan-out before any figure builder runs.
+FIGURE_LABELS: dict[str, tuple] = {
+    "6": ("base", "global64+mt", "aise+bmt"),
+    "7": ("base", "global32", "global64", "aise"),
+    "8": ("base", "aise", "aise+mt", "aise+bmt"),
+    "9": ("base", "aise+mt", "aise+bmt"),
+    "10a": ("base", "aise+mt", "aise+bmt"),
+    "10b": ("base", "aise+mt", "aise+bmt"),
+    "11a": ("base", "aise+mt", "aise+bmt"),
+    "11b": ("base", "aise+mt", "aise+bmt"),
+}
+_MAC_SWEEP_FIGURES = ("11a", "11b")
+
+
+def prefetch_figures(runner: Runner, figures=None, workers: int | None = None) -> int:
+    """Simulate every cell the requested figures need, in one grid run.
+
+    Returns the number of grid cells resolved. With ``figures=None`` the
+    whole evaluation (every figure) is prefetched.
+    """
+    wanted = tuple(figures) if figures is not None else tuple(FIGURE_LABELS)
+    labels: list = []
+    mac_sweep = False
+    for fig_id in wanted:
+        for label in FIGURE_LABELS.get(fig_id, ()):
+            if label not in labels:
+                labels.append(label)
+        mac_sweep = mac_sweep or fig_id in _MAC_SWEEP_FIGURES
+    if not labels:
+        return 0
+    cells = runner.prefetch(labels=labels, workers=workers)
+    if mac_sweep:
+        # Figure 11 sweeps MAC sizes for the two tree schemes. mac_bits=None
+        # rides along so the default-size results are memoized under both
+        # keys (the figures index them as None, not 128).
+        cells += runner.prefetch(
+            labels=("aise+mt", "aise+bmt"),
+            mac_bits=(None, *MAC_SIZES),
+            workers=workers,
+        )
+    return cells
+
 
 @dataclass
 class FigureData:

@@ -1,0 +1,350 @@
+"""Parallel, disk-cached evaluation engine.
+
+The paper's evaluation is one (21 benchmarks x 7 configurations) grid,
+and every cell is independent: each simulates a deterministic trace on a
+fresh :class:`~repro.sim.simulator.TimingSimulator`. This module fans
+that grid out across CPU cores with a :class:`ProcessPoolExecutor` and
+backs it with a persistent on-disk result cache, so
+
+* a full sweep costs wall-clock roughly ``serial / workers``,
+* worker results are **bit-identical** to serial ones (same trace, same
+  model, and every value survives the JSON round-trip losslessly — a
+  repo invariant the determinism tests enforce), and
+* regenerating figures after an unrelated edit is near-free: the cache
+  is keyed by trace digest + machine-config fingerprint + a fingerprint
+  of the timing-critical source modules, so it invalidates itself
+  exactly when a result could change.
+
+Degradation is graceful: a crashed worker (or a broken pool) causes the
+affected cells to be re-simulated serially in the parent; a corrupt
+cache record is dropped, recomputed, and rewritten.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass
+
+from ..core.config import CacheConfig, MachineConfig
+from ..sim.results import SimResult
+from ..sim.simulator import MODEL_VERSION, TimingSimulator
+from ..sim.trace import Trace
+from ..workloads.spec2k import spec_trace
+
+log = logging.getLogger("repro.evalx.parallel")
+
+# Default location of the shared result cache (gitignored).
+DEFAULT_CACHE_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))),
+    "benchmarks", "results", "cache",
+)
+
+
+def default_workers() -> int:
+    """Worker count for ``workers=0`` ("use the machine"): one per core."""
+    return os.cpu_count() or 1
+
+
+# -- machine-config serialization ---------------------------------------------
+
+
+def config_to_dict(config: MachineConfig) -> dict:
+    """Plain-data form of a MachineConfig (JSON-ready, nested caches too)."""
+    return asdict(config)
+
+
+def config_from_dict(data: dict) -> MachineConfig:
+    """Rebuild a MachineConfig from :func:`config_to_dict` output."""
+    data = dict(data)
+    for key in ("l1d", "l1i", "l2", "counter_cache"):
+        if isinstance(data.get(key), dict):
+            data[key] = CacheConfig(**data[key])
+    if isinstance(data.get("node_cache"), dict):
+        data["node_cache"] = CacheConfig(**data["node_cache"])
+    return MachineConfig(**data)
+
+
+def config_fingerprint(config: MachineConfig) -> str:
+    """Stable digest of every field of a MachineConfig."""
+    payload = json.dumps(config_to_dict(config), sort_keys=True)
+    # Cache keying, not an integrity guarantee — unkeyed is fine here.
+    return hashlib.sha256(payload.encode()).hexdigest()  # repro: allow(SEC002)
+
+
+# -- model fingerprint (cache invalidation on code change) --------------------
+
+_model_fingerprint: str | None = None
+
+# Modules whose source can change a SimResult for a fixed (trace, config):
+# the simulator and everything it simulates with, plus trace generation.
+_TIMING_MODULES = (
+    "repro.core.config",
+    "repro.core.machine",
+    "repro.integrity.geometry",
+    "repro.mem.bus",
+    "repro.mem.cache",
+    "repro.mem.layout",
+    "repro.sim.results",
+    "repro.sim.simulator",
+    "repro.sim.trace",
+    "repro.workloads.spec2k",
+    "repro.workloads.synthetic",
+)
+
+
+def model_fingerprint() -> str:
+    """Digest of the timing model: MODEL_VERSION + timing-critical sources.
+
+    Any edit to the modules above changes the fingerprint and thereby
+    invalidates every cached result — conservative (comment edits also
+    invalidate) but safe: a stale cache can never masquerade as a fresh
+    simulation.
+    """
+    global _model_fingerprint
+    if _model_fingerprint is None:
+        import importlib
+
+        h = hashlib.sha256(MODEL_VERSION.encode())  # repro: allow(SEC002)
+        for name in _TIMING_MODULES:
+            module = importlib.import_module(name)
+            with open(module.__file__, "rb") as f:
+                h.update(f.read())
+        _model_fingerprint = h.hexdigest()[:20]
+    return _model_fingerprint
+
+
+# -- the grid -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One point of the evaluation grid: a benchmark under a configuration.
+
+    ``label`` and ``mac_bits`` are reporting keys (what the figures index
+    by); ``config`` is the fully-resolved machine the cell simulates —
+    two cells with the same label but different configs (as in the
+    sensitivity sweeps) are distinct grid points.
+    """
+
+    bench: str
+    label: str
+    config: MachineConfig
+    mac_bits: int | None = None
+
+    @property
+    def key(self) -> tuple:
+        return (self.bench, self.label, self.mac_bits)
+
+
+def _simulate_cell(payload: tuple) -> dict:
+    """Worker entry point: simulate one cell, return the result as a dict.
+
+    Module-level (picklable under both fork and spawn); regenerates the
+    trace locally from (bench, events) — trace generation is seeded by
+    benchmark name, so every process sees the identical event stream.
+    """
+    bench, events, config, label, overlap, warmup = payload
+    trace = spec_trace(bench, events)
+    result = TimingSimulator(config, overlap=overlap).run(trace, label=label, warmup=warmup)
+    return result.to_dict()
+
+
+# -- the persistent cache -----------------------------------------------------
+
+
+class ResultCache:
+    """A directory of JSON records, one per simulated grid cell.
+
+    Records are written atomically (temp file + rename) so concurrent
+    sweeps can share one cache directory; a corrupt or stale record is
+    deleted and treated as a miss. Keys fold in everything a result
+    depends on: the trace's content digest, the full machine config, the
+    runner knobs (overlap, warmup), and the model fingerprint.
+    """
+
+    def __init__(self, root: str = DEFAULT_CACHE_DIR):
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self.corrupt = 0
+
+    def key_for(self, trace_digest: str, config: MachineConfig,
+                overlap: float, warmup: float) -> str:
+        payload = json.dumps(
+            {
+                "trace": trace_digest,
+                "config": config_to_dict(config),
+                "overlap": overlap,
+                "warmup": warmup,
+                "model": model_fingerprint(),
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()[:40]  # repro: allow(SEC002)
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, f"{key}.json")
+
+    def get(self, key: str) -> SimResult | None:
+        path = self._path(key)
+        try:
+            with open(path) as f:
+                record = json.load(f)
+            result = SimResult.from_dict(record["result"])
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            # Corrupt record: drop it and recompute (it will be rewritten).
+            self.corrupt += 1
+            self.misses += 1
+            log.warning("dropping corrupt cache record %s (%s)", path, exc)
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: SimResult, cell: Cell | None = None) -> None:
+        record = {"key": key, "result": result.to_dict()}
+        if cell is not None:
+            # Human-readable provenance; not part of the key.
+            record["cell"] = {"bench": cell.bench, "label": cell.label,
+                              "mac_bits": cell.mac_bits}
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as f:
+                json.dump(record, f, sort_keys=True)
+            os.replace(tmp, self._path(key))
+        except OSError:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            raise
+        self.writes += 1
+
+    def __len__(self) -> int:
+        return sum(1 for name in os.listdir(self.root) if name.endswith(".json"))
+
+
+# -- the engine ---------------------------------------------------------------
+
+
+def run_cells(
+    cells,
+    events: int,
+    workers: int = 1,
+    cache: ResultCache | None = None,
+    overlap: float = 0.7,
+    warmup: float = 0.25,
+    trace_provider=None,
+    progress=None,
+) -> dict[Cell, SimResult]:
+    """Simulate every cell, fanning out across ``workers`` processes.
+
+    * ``workers <= 1`` runs serially in this process (no pool, no IPC) —
+      the reference the determinism tests compare the pool against;
+      ``workers == 0`` means "one per core".
+    * ``cache`` short-circuits cells whose results are already on disk
+      and persists fresh ones.
+    * ``trace_provider`` (bench -> Trace) supplies traces for digest
+      computation; defaults to regenerating via ``spec_trace``. Callers
+      with memoized traces (the Runner) pass theirs to avoid regeneration.
+    * ``progress`` (done, total, cell) is called after each cell resolves.
+
+    Returns {cell: SimResult}, one entry per *distinct* cell. Cells that
+    simulate the same (bench, config, label) — e.g. mac_bits=None and an
+    explicit override equal to the default — share one simulation. Cells
+    that crash a worker are retried serially in the parent, so one bad
+    cell degrades throughput, not coverage.
+    """
+    distinct: list[Cell] = list(dict.fromkeys(cells))
+    if workers == 0:
+        workers = default_workers()
+    provider = trace_provider or (lambda bench: spec_trace(bench, events))
+    # Collapse cells that would run the identical simulation.
+    twins: dict[tuple, list[Cell]] = {}
+    for cell in distinct:
+        twins.setdefault((cell.bench, cell.config, cell.label), []).append(cell)
+    unique = [group[0] for group in twins.values()]
+    results: dict[Cell, SimResult] = {}
+    keys: dict[Cell, str] = {}
+    digests: dict[str, str] = {}
+    pending: list[Cell] = []
+
+    for cell in unique:
+        if cache is None:
+            pending.append(cell)
+            continue
+        digest = digests.get(cell.bench)
+        if digest is None:
+            digest = digests[cell.bench] = provider(cell.bench).digest()
+        key = keys[cell] = cache.key_for(digest, cell.config, overlap, warmup)
+        hit = cache.get(key)
+        if hit is not None:
+            results[cell] = hit
+        else:
+            pending.append(cell)
+
+    total = len(unique)
+    done = total - len(pending)
+    if cache is not None and done:
+        log.info("result cache: %d/%d cells already on disk", done, total)
+
+    def finish(cell: Cell, result: SimResult) -> None:
+        nonlocal done
+        results[cell] = result
+        if cache is not None:
+            cache.put(keys[cell], result, cell)
+        done += 1
+        log.info("cell %d/%d: %s/%s done", done, total, cell.bench, cell.label)
+        if progress is not None:
+            progress(done, total, cell)
+
+    def serial(cell: Cell) -> SimResult:
+        trace = provider(cell.bench)
+        sim = TimingSimulator(cell.config, overlap=overlap)
+        return sim.run(trace, label=cell.label, warmup=warmup)
+
+    def spread() -> dict[Cell, SimResult]:
+        """Fan each group's one result back out to its twin cells."""
+        for group in twins.values():
+            for twin in group[1:]:
+                results[twin] = results[group[0]]
+        return {cell: results[cell] for cell in distinct}
+
+    if not pending:
+        return spread()
+
+    if workers <= 1:
+        for cell in pending:
+            finish(cell, serial(cell))
+        return spread()
+
+    payloads = {
+        cell: (cell.bench, events, cell.config, cell.label, overlap, warmup)
+        for cell in pending
+    }
+    retry: list[Cell] = []
+    with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
+        futures = {pool.submit(_simulate_cell, payloads[cell]): cell for cell in pending}
+        for future, cell in futures.items():
+            try:
+                finish(cell, SimResult.from_dict(future.result()))
+            except Exception as exc:  # worker crash / broken pool
+                log.warning("worker failed on %s/%s (%s); retrying serially",
+                            cell.bench, cell.label, exc)
+                retry.append(cell)
+    for cell in retry:
+        finish(cell, serial(cell))
+    return spread()

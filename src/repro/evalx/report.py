@@ -57,11 +57,16 @@ def generate_report(
     figures: list[str] | None = None,
     stream=None,
     data_dir: str | None = None,
+    workers: int = 1,
+    cache_dir: str | None = None,
 ) -> str:
     """Run the whole evaluation and return the rendered report.
 
     With ``data_dir`` set, every table and figure is also exported as
-    machine-readable JSON and CSV into that directory.
+    machine-readable JSON and CSV into that directory. ``workers`` > 1
+    (or 0 for one-per-core) prefetches the full simulation grid through
+    the process pool before any figure renders; ``cache_dir`` persists
+    results on disk so the next report is near-free.
     """
     from .export import figure_to_csv, figure_to_json, table_to_csv, table_to_json
 
@@ -92,7 +97,15 @@ def generate_report(
         emit(render_table(table))
         emit("")
         export(f"table{table.table}", table_to_json(table), table_to_csv(table))
-    runner = Runner(events=events)
+    runner = Runner(events=events, workers=workers, cache_dir=cache_dir)
+    if workers != 1 or cache_dir is not None:
+        from .figures import prefetch_figures
+
+        start = time.perf_counter()
+        cells = prefetch_figures(runner, figures)
+        pool = "1 worker" if workers == 1 else f"{workers or 'auto'} workers"
+        emit(f"[prefetched {cells} grid cells in {time.perf_counter() - start:.1f}s ({pool})]")
+        emit("")
     for fig_id, builder in ALL_FIGURES.items():
         if figures and fig_id not in figures:
             continue
@@ -115,10 +128,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--out", default=None, help="write report to file")
     parser.add_argument("--data-dir", default=None,
                         help="also export each table/figure as JSON + CSV here")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="process-pool width for the simulation grid (0 = per core)")
+    parser.add_argument("--cache", default=None, metavar="DIR",
+                        help="persistent result-cache directory")
     args = parser.parse_args(argv)
     report = generate_report(args.events, args.figures,
                              stream=sys.stdout if not args.out else None,
-                             data_dir=args.data_dir)
+                             data_dir=args.data_dir,
+                             workers=args.workers, cache_dir=args.cache)
     if args.out:
         with open(args.out, "w") as f:
             f.write(report + "\n")

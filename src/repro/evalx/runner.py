@@ -2,8 +2,10 @@
 
 Every figure in the paper draws from the same small set of protection
 configurations over the same 21 benchmarks. The runner simulates each
-pair once per process and memoizes the :class:`SimResult`, so generating
-all six figures costs one sweep.
+pair once per process and memoizes the :class:`SimResult`; with
+``workers > 1`` it fans the grid out over a process pool, and with a
+``cache_dir`` it shares a persistent on-disk result cache with every
+other process using the same directory (see :mod:`repro.evalx.parallel`).
 """
 
 from __future__ import annotations
@@ -12,9 +14,9 @@ from dataclasses import dataclass, field
 
 from ..core.config import MachineConfig, aise_bmt_config, baseline_config, global64_mt_config
 from ..sim.results import SimResult
-from ..sim.simulator import TimingSimulator
 from ..sim.trace import Trace
 from ..workloads.spec2k import SPEC2K_BENCHMARKS, spec_trace
+from .parallel import Cell, ResultCache, run_cells
 
 # The named configurations the evaluation uses. MAC-size variants are
 # derived on demand (figure 11).
@@ -41,14 +43,33 @@ def config_named(label: str, mac_bits: int | None = None) -> MachineConfig:
 
 @dataclass
 class Runner:
-    """Memoizing simulation driver."""
+    """Memoizing simulation driver over the registry configurations.
+
+    ``workers`` and ``cache_dir`` turn on the parallel engine: grid-wide
+    entry points (:meth:`run_grid`, :meth:`prefetch`) fan out across a
+    process pool, and individual :meth:`result` calls consult the disk
+    cache before simulating. ``workers=1`` (the default) is the serial
+    reference path; ``workers=0`` means one worker per core.
+    """
 
     events: int = 120_000
     benchmarks: tuple = SPEC2K_BENCHMARKS
     overlap: float = 0.7
     warmup: float = 0.25
+    workers: int = 1
+    cache_dir: str | None = None
     _traces: dict = field(default_factory=dict, repr=False)
     _results: dict = field(default_factory=dict, repr=False)
+    _cache: ResultCache | None = field(default=None, repr=False)
+
+    def __post_init__(self):
+        if self.cache_dir is not None:
+            self._cache = ResultCache(self.cache_dir)
+
+    @property
+    def cache(self) -> ResultCache | None:
+        """The disk result cache, if one is configured."""
+        return self._cache
 
     def trace(self, bench: str) -> Trace:
         """The (memoized) trace for a benchmark."""
@@ -57,16 +78,73 @@ class Runner:
             cached = self._traces[bench] = spec_trace(bench, self.events)
         return cached
 
+    def _cell(self, bench: str, label: str, mac_bits: int | None = None) -> Cell:
+        return Cell(bench=bench, label=label, mac_bits=mac_bits,
+                    config=config_named(label, mac_bits))
+
     def result(self, bench: str, label: str, mac_bits: int | None = None) -> SimResult:
         """Simulate (benchmark, configuration) once; memoized thereafter."""
         key = (bench, label, mac_bits)
         cached = self._results.get(key)
         if cached is None:
-            config = config_named(label, mac_bits)
-            sim = TimingSimulator(config, overlap=self.overlap)
-            cached = sim.run(self.trace(bench), label=label, warmup=self.warmup)
-            self._results[key] = cached
+            computed = run_cells(
+                [self._cell(bench, label, mac_bits)],
+                events=self.events,
+                workers=1,  # a single cell gains nothing from a pool
+                cache=self._cache,
+                overlap=self.overlap,
+                warmup=self.warmup,
+                trace_provider=self.trace,
+            )
+            cached = self._results[key] = next(iter(computed.values()))
         return cached
+
+    # -- grid-wide entry points (the parallel engine) -----------------------
+
+    def run_grid(
+        self,
+        labels=None,
+        mac_bits=(None,),
+        benchmarks=None,
+        workers: int | None = None,
+    ) -> dict[tuple, SimResult]:
+        """Simulate a (benchmark x label x mac_bits) grid, parallel if asked.
+
+        Returns {(bench, label, mac_bits): SimResult} and populates the
+        in-memory memo, so subsequent :meth:`result`/:meth:`overhead`
+        calls are free. Results are identical to the serial path cell by
+        cell (a repo invariant; see tests/evalx/test_parallel.py).
+        """
+        labels = tuple(labels) if labels is not None else tuple(CONFIGS)
+        benchmarks = tuple(benchmarks) if benchmarks is not None else self.benchmarks
+        cells = [
+            self._cell(bench, label, bits)
+            for label in labels
+            for bits in mac_bits
+            for bench in benchmarks
+        ]
+        computed = run_cells(
+            cells,
+            events=self.events,
+            workers=self.workers if workers is None else workers,
+            cache=self._cache,
+            overlap=self.overlap,
+            warmup=self.warmup,
+            trace_provider=self.trace,
+        )
+        grid = {cell.key: result for cell, result in computed.items()}
+        self._results.update(grid)
+        return grid
+
+    def prefetch(self, labels=None, mac_bits=(None,), workers: int | None = None) -> int:
+        """Warm the in-memory memo for a label set; returns cells resolved.
+
+        Figure builders then hit only the memo — one pool fan-out serves
+        every figure drawn from the same sweep.
+        """
+        return len(self.run_grid(labels=labels, mac_bits=mac_bits, workers=workers))
+
+    # -- per-cell conveniences ----------------------------------------------
 
     def overhead(self, bench: str, label: str, mac_bits: int | None = None) -> float:
         """Normalized execution-time overhead of a configuration vs base."""

@@ -4,6 +4,11 @@ The paper fixes one machine (1MB L2, 200-cycle memory, 32KB counter
 cache). These sweeps vary the machine instead of the protection scheme,
 checking that the BMT conclusion is not an artifact of that one design
 point — the robustness study a reviewer would ask for.
+
+Every sweep builds its full (design point x benchmark x {base, protected})
+cell list up front and hands it to :func:`repro.evalx.parallel.run_cells`,
+so ``workers``/``cache`` parallelize and persist the whole sweep exactly
+like the paper-figure grid.
 """
 
 from __future__ import annotations
@@ -11,30 +16,58 @@ from __future__ import annotations
 from dataclasses import replace
 
 from ..core.config import MachineConfig, baseline_config
-from ..sim.simulator import TimingSimulator
-from ..workloads.spec2k import spec_trace
 from .figures import FigureData
+from .parallel import Cell, ResultCache, run_cells
 
 DEFAULT_BENCHES = ("art", "mcf", "swim", "gcc")
 
 
-def _avg_overhead(config: MachineConfig, benches, events: int) -> float:
-    total = 0.0
-    for bench in benches:
-        trace = spec_trace(bench, events)
-        base_config = replace(baseline_config(), l2=config.l2,
-                              memory_latency=config.memory_latency,
-                              bus_cycles_per_block=config.bus_cycles_per_block)
-        base = TimingSimulator(base_config).run(trace)
-        result = TimingSimulator(config).run(trace)
-        total += result.overhead_vs(base)
-    return total / len(benches)
+def _base_for(config: MachineConfig) -> MachineConfig:
+    """The unprotected machine sharing a config's non-crypto design point."""
+    return replace(baseline_config(), l2=config.l2,
+                   memory_latency=config.memory_latency,
+                   bus_cycles_per_block=config.bus_cycles_per_block)
+
+
+def _sweep_overheads(
+    points: dict[str, dict[str, MachineConfig]],
+    benches,
+    events: int,
+    workers: int = 1,
+    cache: ResultCache | None = None,
+) -> dict[str, dict[str, float]]:
+    """Run {series: {x: config}} in one grid; returns averaged overheads.
+
+    Each (series, x, bench) cell is paired with a baseline cell on the
+    same design point; the result is the mean overhead across benches.
+    """
+    cells = []
+    for series, xs in points.items():
+        for x, config in xs.items():
+            for bench in benches:
+                cells.append(Cell(bench=bench, label=f"{series}@{x}", config=config))
+                cells.append(Cell(bench=bench, label=f"base@{x}",
+                                  config=_base_for(config)))
+    computed = run_cells(cells, events=events, workers=workers, cache=cache)
+    by_key = {(c.bench, c.label): r for c, r in computed.items()}
+    overheads: dict[str, dict[str, float]] = {}
+    for series, xs in points.items():
+        overheads[series] = {}
+        for x, config in xs.items():
+            total = 0.0
+            for bench in benches:
+                base = by_key[(bench, f"base@{x}")]
+                total += by_key[(bench, f"{series}@{x}")].overhead_vs(base)
+            overheads[series][x] = total / len(benches)
+    return overheads
 
 
 def l2_size_sweep(
     sizes_kb=(512, 1024, 2048, 4096),
     benches=DEFAULT_BENCHES,
     events: int = 30_000,
+    workers: int = 1,
+    cache: ResultCache | None = None,
 ) -> FigureData:
     """MT vs BMT overhead across L2 capacities.
 
@@ -43,12 +76,14 @@ def l2_size_sweep(
     BMT's advantage is largest exactly where caches are precious.
     """
     fig = FigureData("S1", "Average overhead vs L2 size", "%", shown=())
+    points = {}
     for label, integrity in (("aise+mt", "merkle"), ("aise+bmt", "bonsai")):
-        series = {}
+        points[label] = {}
         for kb in sizes_kb:
             config = MachineConfig(encryption="aise", integrity=integrity)
             config = replace(config, l2=replace(config.l2, size_bytes=kb * 1024))
-            series[f"{kb}KB"] = _avg_overhead(config, benches, events)
+            points[label][f"{kb}KB"] = config
+    for label, series in _sweep_overheads(points, benches, events, workers, cache).items():
         fig.add(label, series)
     return fig
 
@@ -57,15 +92,20 @@ def memory_latency_sweep(
     latencies=(100, 200, 400),
     benches=DEFAULT_BENCHES,
     events: int = 30_000,
+    workers: int = 1,
+    cache: ResultCache | None = None,
 ) -> FigureData:
     """MT vs BMT overhead across DRAM latencies (faster/slower memory)."""
     fig = FigureData("S2", "Average overhead vs memory latency", "%", shown=())
-    for label, integrity in (("aise+mt", "merkle"), ("aise+bmt", "bonsai")):
-        series = {}
-        for latency in latencies:
-            config = MachineConfig(encryption="aise", integrity=integrity,
-                                   memory_latency=latency)
-            series[f"{latency}cy"] = _avg_overhead(config, benches, events)
+    points = {
+        label: {
+            f"{latency}cy": MachineConfig(encryption="aise", integrity=integrity,
+                                          memory_latency=latency)
+            for latency in latencies
+        }
+        for label, integrity in (("aise+mt", "merkle"), ("aise+bmt", "bonsai"))
+    }
+    for label, series in _sweep_overheads(points, benches, events, workers, cache).items():
         fig.add(label, series)
     return fig
 
@@ -74,6 +114,8 @@ def counter_cache_sweep(
     sizes_kb=(8, 32, 128),
     benches=DEFAULT_BENCHES,
     events: int = 30_000,
+    workers: int = 1,
+    cache: ResultCache | None = None,
 ) -> FigureData:
     """AISE vs global-64 encryption overhead across counter-cache sizes.
 
@@ -81,14 +123,16 @@ def counter_cache_sweep(
     global-64 chases the cache size — reach, not capacity, is the story.
     """
     fig = FigureData("S3", "Encryption overhead vs counter cache size", "%", shown=())
+    points = {}
     for enc in ("aise", "global64"):
-        series = {}
+        points[enc] = {}
         for kb in sizes_kb:
             config = MachineConfig(encryption=enc, integrity="none")
             config = replace(config,
                              counter_cache=replace(config.counter_cache, size_bytes=kb * 1024))
-            series[f"{kb}KB"] = _avg_overhead(config, benches, events)
-        fig.add(enc, series)
+            points[enc][f"{kb}KB"] = config
+    for label, series in _sweep_overheads(points, benches, events, workers, cache).items():
+        fig.add(label, series)
     return fig
 
 

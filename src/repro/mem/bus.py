@@ -6,6 +6,12 @@ bus serializes transfers: a request issued while the bus is busy queues
 behind earlier traffic, which is how integrity-verification traffic slows
 down demand fetches in the timing model (Figure 10b measures the
 resulting utilization).
+
+Time on the bus is a **float**, matching the simulator's clock (which
+advances by fractional instruction gaps): request timestamps, busy and
+queue cycles are all float-valued. Transfer *durations* stay integral
+(``round(cycles_per_block * fraction)``) so sub-block transfers quantize
+deterministically.
 """
 
 from __future__ import annotations
@@ -23,11 +29,11 @@ class BusStats:
     """Aggregate bus activity: transfer counts, busy and queue cycles."""
 
     transfers: int = 0
-    busy_cycles: int = 0
-    queue_cycles: int = 0
+    busy_cycles: float = 0.0
+    queue_cycles: float = 0.0
     transfers_by_kind: dict = field(default_factory=dict)
 
-    def utilization(self, total_cycles: int) -> float:
+    def utilization(self, total_cycles: float) -> float:
         """Fraction of ``total_cycles`` the bus was busy (clamped to 1)."""
         if total_cycles <= 0:
             return 0.0
@@ -39,10 +45,10 @@ class MemoryBus:
 
     def __init__(self, cycles_per_block: int = DEFAULT_CYCLES_PER_BLOCK):
         self.cycles_per_block = cycles_per_block
-        self._free_at = 0
+        self._free_at = 0.0
         self.stats = BusStats()
 
-    def request(self, cycle: int, kind: str = "data", fraction: float = 1.0) -> tuple[int, int]:
+    def request(self, cycle: float, kind: str = "data", fraction: float = 1.0) -> tuple[float, float]:
         """Schedule one transfer wishing to start at ``cycle``.
 
         ``fraction`` scales the occupancy for sub-block transfers (e.g. a
@@ -62,9 +68,19 @@ class MemoryBus:
         return start, end
 
     @property
-    def free_at(self) -> int:
+    def free_at(self) -> float:
         return self._free_at
 
+    def rebase(self, cycle: float = 0.0) -> None:
+        """Re-anchor bus time at ``cycle``, keeping accumulated statistics.
+
+        A :class:`~repro.sim.simulator.TimingSimulator` restarts its clock
+        at 0.0 on every ``run()``; without rebasing, ``_free_at`` would
+        still hold the previous trace's final timestamp and every early
+        transfer of the new run would queue behind phantom traffic.
+        """
+        self._free_at = cycle
+
     def reset(self) -> None:
-        self._free_at = 0
+        self._free_at = 0.0
         self.stats = BusStats()

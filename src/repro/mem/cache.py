@@ -195,13 +195,19 @@ class SetAssociativeCache:
         return dropped
 
     def flush(self) -> list[Eviction]:
-        """Empty the cache, returning dirty victims in no particular order."""
+        """Empty the cache, returning dirty victims in no particular order.
+
+        Dirty victims count toward ``stats.writebacks``, exactly as LRU
+        evictions on the ``insert`` path do — a flush pushes the same
+        lines off-chip.
+        """
         dirty = []
         for cache_set in self._sets:
             for block, (is_dirty, line_class) in cache_set.items():
                 if is_dirty:
                     dirty.append(Eviction(block=block, dirty=True, line_class=line_class))
             cache_set.clear()
+        self.stats.writebacks += len(dirty)
         self._class_lines.clear()
         return dirty
 

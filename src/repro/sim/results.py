@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 
 
 @dataclass
@@ -48,3 +48,22 @@ class SimResult:
         if base.cycles <= 0:
             return 0.0
         return self.cycles / base.cycles - 1.0
+
+    # -- JSON round-trip (disk result cache + process-pool IPC) -------------
+
+    def to_dict(self) -> dict:
+        """Plain-data form; ``from_dict(to_dict(r)) == r`` exactly.
+
+        Every field is an int, float, str, or str->int dict, so the JSON
+        round-trip is lossless (Python serializes floats via repr).
+        """
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimResult":
+        """Rebuild from :meth:`to_dict` output (unknown keys rejected)."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown SimResult fields: {sorted(unknown)}")
+        return cls(**data)

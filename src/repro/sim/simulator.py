@@ -44,6 +44,13 @@ from .trace import Trace
 
 _OCCUPANCY_SAMPLE_PERIOD = 64  # events between L2 occupancy samples
 
+# Version tag of the timing model, keyed into the evaluation's on-disk
+# result cache (repro.evalx.parallel). Bump on any change that can alter
+# a SimResult for an unchanged (trace, MachineConfig) pair — the cache
+# also fingerprints the source of the timing-critical modules, so this
+# tag mainly documents intentional model revisions.
+MODEL_VERSION = "2"
+
 
 class TimingSimulator:
     """Runs traces against one machine configuration."""
@@ -263,6 +270,8 @@ class TimingSimulator:
 
         self.l2.stats = CacheStats()
         self.counter_cache.stats = CacheStats()
+        if self.node_cache is not None:
+            self.node_cache.stats = CacheStats()
         self.bus.stats = BusStats()
         self.demand_accesses = 0
         self.demand_misses = 0
@@ -273,7 +282,14 @@ class TimingSimulator:
     def run(self, trace: Trace, label: str | None = None, warmup: float = 0.25) -> SimResult:
         """Simulate the trace; the first ``warmup`` fraction of events warms
         the caches (the paper fast-forwards 5B instructions) and is excluded
-        from every reported statistic, including cycle counts."""
+        from every reported statistic, including cycle counts.
+
+        A simulator can ``run()`` several traces back to back to model warm
+        reuse (e.g. context switches): caches stay warm across runs, but
+        the clock restarts at 0.0 — so bus time is rebased to match, lest
+        every early transfer queue behind the previous trace's phantom
+        traffic, and all statistics restart from zero.
+        """
         gaps = trace.gaps.tolist()
         ops = trace.ops.tolist()
         addresses = ((trace.addresses // BLOCK_SIZE) * BLOCK_SIZE).tolist()
@@ -283,6 +299,8 @@ class TimingSimulator:
         hit_latency = self.l2_hit_latency
         overlap = self.overlap
         now = 0.0
+        self.bus.rebase(now)
+        self._reset_stats()
         sample_countdown = _OCCUPANCY_SAMPLE_PERIOD
         warm_events = int(len(addresses) * warmup)
         measured_from = 0.0
@@ -327,7 +345,7 @@ class TimingSimulator:
             l2_merkle_fraction=stats.occupancy_fraction(MERKLE) + stats.occupancy_fraction(MAC),
             counter_accesses=self.counter_accesses,
             counter_misses=self.counter_misses,
-            bus_utilization=self.bus.stats.utilization(int(measured_cycles)),
+            bus_utilization=self.bus.stats.utilization(measured_cycles),
             bus_transfers_by_kind=dict(self.bus.stats.transfers_by_kind),
             exposed_decrypt_cycles=self.exposed_cycles,
         )

@@ -52,6 +52,24 @@ class Trace:
         unique_blocks = np.unique(self.addresses // BLOCK_SIZE)
         return int(len(unique_blocks)) * BLOCK_SIZE
 
+    def digest(self) -> str:
+        """Content digest of the trace (hex), for result-cache keying.
+
+        Covers the three event columns (as little-endian fixed-width
+        bytes, so the digest is platform-independent) and the name; two
+        traces with the same digest produce identical simulations.
+        """
+        import hashlib
+
+        # Cache keying, not an integrity guarantee — unkeyed is fine here.
+        h = hashlib.sha256()  # repro: allow(SEC002)
+        h.update(self.name.encode())
+        h.update(len(self).to_bytes(8, "little"))
+        h.update(np.ascontiguousarray(self.gaps, dtype="<u4").tobytes())
+        h.update(np.ascontiguousarray(self.ops, dtype="<u1").tobytes())
+        h.update(np.ascontiguousarray(self.addresses, dtype="<u8").tobytes())
+        return h.hexdigest()
+
     def aligned(self) -> "Trace":
         """Return a copy with block-aligned addresses."""
         return Trace(

@@ -1,0 +1,173 @@
+"""The parallel sweep engine: determinism, disk cache, degradation.
+
+The repo invariant under test: ``run_cells``/``run_grid`` with a process
+pool produce :class:`SimResult`s identical — field for field, including
+after a JSON round-trip — to the serial reference path, and the on-disk
+cache turns an immediate re-run into zero simulations.
+"""
+
+import json
+import os
+from concurrent.futures import Future
+
+import pytest
+
+from repro.core.config import CacheConfig, MachineConfig, aise_bmt_config
+from repro.evalx import parallel
+from repro.evalx.parallel import (
+    Cell,
+    ResultCache,
+    config_fingerprint,
+    config_from_dict,
+    config_to_dict,
+    model_fingerprint,
+    run_cells,
+)
+from repro.evalx.runner import Runner
+from repro.sim.results import SimResult
+from repro.workloads.spec2k import spec_trace
+
+EVENTS = 3_000
+BENCHES = ("art", "gcc")
+
+
+def small_grid(**kwargs) -> dict:
+    runner = Runner(events=EVENTS, benchmarks=BENCHES, **kwargs)
+    return runner.run_grid(labels=("base", "aise+bmt"))
+
+
+class TestSerialization:
+    def test_simresult_json_roundtrip_is_lossless(self):
+        result = Runner(events=EVENTS, benchmarks=BENCHES).result("art", "aise+bmt")
+        clone = SimResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert clone == result
+
+    def test_simresult_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown"):
+            SimResult.from_dict({"name": "x", "config_label": "y", "cycles": 1.0,
+                                 "instructions": 1, "bogus": 3})
+
+    def test_config_roundtrip(self):
+        config = MachineConfig(encryption="aise", integrity="merkle",
+                               node_cache=CacheConfig(64 * 1024, 8, 10))
+        assert config_from_dict(config_to_dict(config)) == config
+        assert config_fingerprint(config) == config_fingerprint(
+            config_from_dict(config_to_dict(config)))
+
+    def test_fingerprint_distinguishes_configs(self):
+        assert config_fingerprint(aise_bmt_config()) != config_fingerprint(
+            MachineConfig(encryption="aise", integrity="merkle"))
+
+    def test_trace_digest_tracks_content(self):
+        a = spec_trace("art", EVENTS)
+        assert a.digest() == spec_trace("art", EVENTS).digest()
+        assert a.digest() != spec_trace("gcc", EVENTS).digest()
+        assert a.digest() != spec_trace("art", EVENTS + 1).digest()
+
+
+class TestDeterminism:
+    def test_pool_matches_serial_runner(self):
+        """The acceptance invariant: run_grid(workers=...) returns results
+        identical to the serial Runner, cell for cell."""
+        serial = small_grid()
+        pooled = small_grid(workers=4)
+        assert serial.keys() == pooled.keys()
+        for key in serial:
+            assert pooled[key] == serial[key], key
+
+    def test_pool_plus_cache_matches_serial(self, tmp_path):
+        serial = small_grid()
+        cached = small_grid(workers=2, cache_dir=str(tmp_path))
+        for key in serial:
+            assert cached[key] == serial[key], key
+
+    def test_twin_cells_share_one_simulation(self, tmp_path):
+        """mac_bits=None and an explicit default-size override describe
+        the same machine; the engine simulates it once."""
+        cache = ResultCache(str(tmp_path))
+        config = aise_bmt_config()
+        cells = [
+            Cell(bench="art", label="aise+bmt", config=config),
+            Cell(bench="art", label="aise+bmt", config=config, mac_bits=128),
+        ]
+        results = run_cells(cells, events=EVENTS, cache=cache)
+        assert len(results) == 2
+        assert cache.writes == 1
+        assert results[cells[0]] == results[cells[1]]
+
+
+class TestDiskCache:
+    def test_warm_rerun_simulates_nothing(self, tmp_path, monkeypatch):
+        cold = Runner(events=EVENTS, benchmarks=BENCHES, cache_dir=str(tmp_path))
+        grid = cold.run_grid(labels=("base", "aise+bmt"))
+        assert cold.cache.writes == len(grid)
+
+        # A fresh process (modelled by a fresh Runner) with the same cache
+        # dir must not simulate at all: forbid the simulator outright.
+        def boom(*args, **kwargs):
+            raise AssertionError("cache miss: TimingSimulator invoked on a warm cache")
+
+        monkeypatch.setattr(parallel.TimingSimulator, "run", boom)
+        warm = Runner(events=EVENTS, benchmarks=BENCHES, cache_dir=str(tmp_path))
+        regrid = warm.run_grid(labels=("base", "aise+bmt"))
+        assert warm.cache.hits == len(grid)
+        assert warm.cache.misses == 0
+        assert regrid == grid
+
+    def test_corrupt_record_is_recomputed_and_rewritten(self, tmp_path):
+        cache_dir = str(tmp_path)
+        grid = small_grid(cache_dir=cache_dir)
+        records = sorted(os.listdir(cache_dir))
+        with open(os.path.join(cache_dir, records[0]), "w") as f:
+            f.write("{ not json")
+        rerun = Runner(events=EVENTS, benchmarks=BENCHES, cache_dir=cache_dir)
+        regrid = rerun.run_grid(labels=("base", "aise+bmt"))
+        assert regrid == grid
+        assert rerun.cache.corrupt == 1
+        assert rerun.cache.writes == 1  # the dropped record was rewritten
+        assert sorted(os.listdir(cache_dir)) == records
+
+    def test_key_depends_on_trace_config_and_model(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        digest = spec_trace("art", EVENTS).digest()
+        key = cache.key_for(digest, aise_bmt_config(), 0.7, 0.25)
+        assert key == cache.key_for(digest, aise_bmt_config(), 0.7, 0.25)
+        assert key != cache.key_for(
+            digest, MachineConfig(encryption="aise", integrity="merkle"), 0.7, 0.25)
+        assert key != cache.key_for(digest, aise_bmt_config(), 0.8, 0.25)
+        assert key != cache.key_for("0" * 64, aise_bmt_config(), 0.7, 0.25)
+
+    def test_model_fingerprint_is_stable_in_process(self):
+        assert model_fingerprint() == model_fingerprint()
+
+
+class _BrokenPool:
+    """A ProcessPoolExecutor stand-in whose every future fails."""
+
+    def __init__(self, max_workers=None):
+        pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def submit(self, fn, *args, **kwargs):
+        future = Future()
+        future.set_exception(RuntimeError("worker died"))
+        return future
+
+
+class TestDegradation:
+    def test_worker_crash_falls_back_to_serial(self, monkeypatch):
+        """Every cell whose worker dies is recomputed in-process, so a
+        broken pool degrades throughput, never coverage or results."""
+        serial = run_cells(
+            [Cell(bench="art", label="aise+bmt", config=aise_bmt_config())],
+            events=EVENTS)
+        monkeypatch.setattr(parallel, "ProcessPoolExecutor", _BrokenPool)
+        degraded = run_cells(
+            [Cell(bench="art", label="aise+bmt", config=aise_bmt_config())],
+            events=EVENTS, workers=2)
+        assert degraded == serial

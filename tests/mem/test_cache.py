@@ -124,6 +124,22 @@ class TestInvalidate:
         assert [e.block for e in dirty] == [0]
         assert cache.occupied_lines == 0
 
+    def test_flush_counts_writebacks(self):
+        """Dirty flush victims hit stats.writebacks exactly like dirty
+        LRU evictions on the insert path (regression: flush used to
+        return victims without counting them)."""
+        cache = two_way()
+        cache.insert(0, dirty=True)
+        cache.insert(64, dirty=True)
+        cache.insert(128, dirty=False)
+        assert cache.stats.writebacks == 0
+        dirty = cache.flush()
+        assert len(dirty) == 2
+        assert cache.stats.writebacks == 2
+        # A second flush of the now-empty cache adds nothing.
+        assert cache.flush() == []
+        assert cache.stats.writebacks == 2
+
 
 class TestClasses:
     def test_class_line_counts(self):

@@ -31,6 +31,39 @@ class TestAttacksCommand:
         assert "MISSED" in out
 
 
+class TestSweepCommand:
+    ARGS = ["sweep", "--events", "2000", "--benchmarks", "gzip", "eon",
+            "--configs", "base", "aise+bmt"]
+
+    def test_writes_deterministic_json(self, tmp_path):
+        serial = tmp_path / "serial.json"
+        pooled = tmp_path / "pooled.json"
+        assert main([*self.ARGS, "--out", str(serial)]) == 0
+        assert main([*self.ARGS, "--workers", "2",
+                     "--cache", str(tmp_path / "cache"), "--out", str(pooled)]) == 0
+        # The whole point: parallel output byte-equals serial output.
+        assert pooled.read_text() == serial.read_text()
+        import json
+
+        cells = json.loads(serial.read_text())["cells"]
+        assert len(cells) == 4
+        assert "gzip/aise+bmt/default" in cells
+
+    def test_cached_rerun_matches(self, tmp_path):
+        out1 = tmp_path / "one.json"
+        out2 = tmp_path / "two.json"
+        cache = str(tmp_path / "cache")
+        assert main([*self.ARGS, "--cache", cache, "--out", str(out1)]) == 0
+        assert main([*self.ARGS, "--cache", cache, "--out", str(out2)]) == 0
+        assert out1.read_text() == out2.read_text()
+
+    def test_rejects_unknown_config(self, capsys):
+        assert main(["sweep", "--configs", "quantum"]) == 2
+
+    def test_rejects_unknown_benchmark(self, capsys):
+        assert main(["sweep", "--benchmarks", "doom3"]) == 2
+
+
 class TestSimulateCommand:
     def test_runs_and_reports(self, capsys):
         assert main(["simulate", "--benchmark", "gzip", "--events", "5000"]) == 0
