@@ -7,9 +7,16 @@ Commands:
   parallel (``--workers``) and against a persistent result cache
   (``--cache``); emits deterministic per-cell JSON.
 * ``simulate`` — run one benchmark trace against one configuration.
+* ``trace``    — run one workload under full observability: Chrome trace-event
+  JSON (Perfetto-loadable), optional JSONL event stream and interval
+  snapshots (see docs/observability.md).
 * ``attacks``  — print the attack-detection matrix for a configuration.
 * ``storage``  — print the analytic storage breakdown (Table 2 model).
 * ``analyze``  — run the security-invariant linter (see docs/static-analysis.md).
+
+Global flags: ``--log-level {debug,info,warning,error}`` (or ``-v`` for
+debug) tune the stderr diagnostics every command routes through
+:mod:`repro.obs.log`.
 """
 
 from __future__ import annotations
@@ -35,31 +42,30 @@ def _cmd_report(args) -> int:
 
 def _cmd_sweep(args) -> int:
     import json
-    import logging
 
     from .evalx.report import render_table
     from .evalx.runner import CONFIGS, Runner
     from .evalx.tables import results_table
+    from .obs.log import get_logger
     from .workloads.spec2k import SPEC2K_BENCHMARKS
 
-    logging.basicConfig(stream=sys.stderr, level=logging.INFO,
-                        format="%(message)s")
+    log = get_logger("cli")
     labels = args.configs or list(CONFIGS)
     unknown = [label for label in labels if label not in CONFIGS]
     if unknown:
-        print(f"unknown configs {unknown}; choose from {', '.join(CONFIGS)}",
-              file=sys.stderr)
+        log.error("unknown configs %s; choose from %s", unknown, ", ".join(CONFIGS))
         return 2
     benchmarks = tuple(args.benchmarks) if args.benchmarks else SPEC2K_BENCHMARKS
     unknown = [b for b in benchmarks if b not in SPEC2K_BENCHMARKS]
     if unknown:
-        print(f"unknown benchmarks {unknown}; choose from {', '.join(SPEC2K_BENCHMARKS)}",
-              file=sys.stderr)
+        log.error("unknown benchmarks %s; choose from %s", unknown,
+                  ", ".join(SPEC2K_BENCHMARKS))
         return 2
     mac_bits = tuple(args.mac_bits) if args.mac_bits else (None,)
 
     runner = Runner(events=args.events, benchmarks=benchmarks,
-                    workers=args.workers, cache_dir=args.cache)
+                    workers=args.workers, cache_dir=args.cache,
+                    metrics=args.metrics)
     grid = runner.run_grid(labels=labels, mac_bits=mac_bits)
     # Deterministic payload: sorted keys, lossless floats — two sweeps of
     # the same grid (serial or parallel, cached or cold) diff byte-equal.
@@ -76,13 +82,13 @@ def _cmd_sweep(args) -> int:
     if args.out:
         with open(args.out, "w") as f:
             f.write(text + "\n")
-        print(f"{len(grid)} cells written to {args.out}", file=sys.stderr)
+        log.info("%d cells written to %s", len(grid), args.out)
     else:
         print(text)
     if runner.cache is not None:
         c = runner.cache
-        print(f"cache {c.root}: {c.hits} hits, {c.misses} misses, "
-              f"{c.writes} writes, {c.corrupt} corrupt", file=sys.stderr)
+        log.info("cache %s: %d hits, %d misses, %d writes, %d corrupt",
+                 c.root, c.hits, c.misses, c.writes, c.corrupt)
     if args.summary:
         summary_labels = [label for label in labels if label != "base"]
         if "base" in labels and summary_labels:
@@ -92,11 +98,13 @@ def _cmd_sweep(args) -> int:
 
 def _cmd_simulate(args) -> int:
     from .core.config import MachineConfig, baseline_config
+    from .obs.log import get_logger
     from .sim.simulator import TimingSimulator
     from .workloads.spec2k import SPEC2K_BENCHMARKS, spec_trace
 
     if args.benchmark not in SPEC2K_BENCHMARKS:
-        print(f"unknown benchmark {args.benchmark!r}; choose from {', '.join(SPEC2K_BENCHMARKS)}")
+        get_logger("cli").error("unknown benchmark %r; choose from %s",
+                                args.benchmark, ", ".join(SPEC2K_BENCHMARKS))
         return 2
     trace = spec_trace(args.benchmark, args.events)
     config = MachineConfig(encryption=args.encryption, integrity=args.integrity,
@@ -114,6 +122,98 @@ def _cmd_simulate(args) -> int:
     if result.counter_accesses:
         print(f"counter miss rate: {result.counter_miss_rate:.1%}")
         print(f"exposed AES      : {result.exposed_decrypt_cycles:,.0f} cycles")
+    return 0
+
+
+def _workload_trace(name: str, events: int):
+    """Resolve a ``repro trace`` workload: a SPEC benchmark name or one of
+    the synthetic generators (stream / chase / resident)."""
+    from .workloads import synthetic
+    from .workloads.spec2k import SPEC2K_BENCHMARKS, spec_trace
+
+    if name in SPEC2K_BENCHMARKS:
+        return spec_trace(name, events)
+    if name == "stream":
+        return synthetic.streaming_trace(events, footprint_bytes=8 << 20)
+    if name == "chase":
+        return synthetic.pointer_chase_trace(events, footprint_bytes=8 << 20)
+    if name == "resident":
+        return synthetic.resident_trace(events)
+    return None
+
+
+def _cmd_trace(args) -> int:
+    import json
+
+    from . import obs
+    from .evalx.runner import CONFIGS, config_named
+    from .obs import chrome
+    from .obs.log import get_logger
+    from .obs.tracer import EventTracer, JsonlSink, ListSink, TeeSink
+    from .sim.simulator import TimingSimulator
+    from .workloads.spec2k import SPEC2K_BENCHMARKS
+
+    log = get_logger("cli")
+    if args.config not in CONFIGS:
+        log.error("unknown config %r; choose from %s", args.config,
+                  ", ".join(CONFIGS))
+        return 2
+    trace = _workload_trace(args.workload, args.events)
+    if trace is None:
+        log.error("unknown workload %r; choose a SPEC benchmark (%s) or "
+                  "stream/chase/resident", args.workload,
+                  ", ".join(SPEC2K_BENCHMARKS))
+        return 2
+
+    list_sink = ListSink()
+    sink = list_sink
+    jsonl_file = None
+    if args.jsonl:
+        jsonl_file = open(args.jsonl, "w")
+        sink = TeeSink([list_sink, JsonlSink(jsonl_file)])
+    try:
+        with obs.observed(tracer=EventTracer(sink),
+                          interval=args.interval) as session:
+            sim = TimingSimulator(config_named(args.config))
+            result = sim.run(trace, label=args.config, warmup=args.warmup,
+                             collect_metrics=True)
+    finally:
+        if jsonl_file is not None:
+            jsonl_file.close()
+
+    phases = session.profiler.snapshot()
+    doc = chrome.chrome_trace(list_sink.events, session.samples, phases,
+                              label=f"{args.workload}/{args.config}")
+    problems = chrome.validate_chrome_trace(doc)
+    if problems:
+        for problem in problems[:20]:
+            log.error("invalid chrome trace: %s", problem)
+        return 1
+    with open(args.out, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+    if args.snapshots:
+        payload = {
+            "workload": args.workload,
+            "config": args.config,
+            "events": args.events,
+            "interval": args.interval,
+            "samples": session.samples,
+            "phases": phases,
+            "result": result.to_dict(),
+        }
+        with open(args.snapshots, "w") as f:
+            json.dump(payload, f, indent=2, sort_keys=True)
+            f.write("\n")
+        log.info("%d interval snapshots written to %s",
+                 len(session.samples), args.snapshots)
+    if args.jsonl:
+        log.info("%d events streamed to %s", len(list_sink.events), args.jsonl)
+    print(f"workload      : {trace.name} ({args.events} L2 accesses)")
+    print(f"configuration : {args.config}")
+    print(f"cycles        : {result.cycles:,.0f} (IPC {result.ipc:.2f})")
+    print(f"trace         : {args.out} ({len(doc['traceEvents'])} records, "
+          f"{len(list_sink.events)} events, {len(session.samples)} samples)")
     return 0
 
 
@@ -166,6 +266,12 @@ def main(argv: list[str] | None = None) -> int:
 
         return analyze_main(argv[1:])
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    parser.add_argument("--log-level", default=None,
+                        choices=["debug", "info", "warning", "error"],
+                        help="stderr diagnostic verbosity (default: info, "
+                             "or $REPRO_LOG_LEVEL)")
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="shorthand for --log-level debug")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("report", help="regenerate the paper's tables and figures")
@@ -193,6 +299,9 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--out", default=None, help="write per-cell JSON here")
     p.add_argument("--summary", action="store_true",
                    help="also print a measured-averages table (stderr)")
+    p.add_argument("--metrics", action="store_true",
+                   help="attach per-cell metrics-registry snapshots to the "
+                        "JSON results")
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("simulate", help="simulate one benchmark/configuration")
@@ -202,6 +311,23 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--mac-bits", type=int, default=128)
     p.add_argument("--events", type=int, default=60_000)
     p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("trace", help="run one workload under full observability")
+    p.add_argument("workload",
+                   help="a SPEC benchmark name, or stream/chase/resident")
+    p.add_argument("--config", default="aise+bmt",
+                   help="registry configuration label (default: aise+bmt)")
+    p.add_argument("--events", type=int, default=60_000)
+    p.add_argument("--interval", type=int, default=1024,
+                   help="measured events between metric snapshots")
+    p.add_argument("--warmup", type=float, default=0.25)
+    p.add_argument("--out", default="trace.json",
+                   help="Chrome trace-event JSON output (Perfetto-loadable)")
+    p.add_argument("--jsonl", default=None, metavar="FILE",
+                   help="also stream raw events as JSON Lines")
+    p.add_argument("--snapshots", default=None, metavar="FILE",
+                   help="also write interval snapshots + final result JSON")
+    p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser("attacks", help="run the attack-detection matrix")
     p.add_argument("--encryption", default="aise")
@@ -222,6 +348,9 @@ def main(argv: list[str] | None = None) -> int:
     p.set_defaults(func=_cmd_analyze)
 
     args = parser.parse_args(argv)
+    from .obs.log import configure, verbosity_to_level
+
+    configure(args.log_level or verbosity_to_level(args.verbose))
     return args.func(args)
 
 

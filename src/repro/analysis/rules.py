@@ -19,6 +19,10 @@ DET001    No wall-clock or unseeded randomness in the library (trace-
 SIM001    Timing costs come from :class:`repro.core.config.MachineConfig`,
           not from literals sprinkled through the simulator (section 6's
           parameters live in one place).
+OBS001    Statistics objects mutate only inside their owning component;
+          everyone else observes them through the pull-model adapters in
+          :mod:`repro.obs.adapters` (and resets via ``reset_stats()``),
+          so reported numbers have exactly one source of truth.
 GEN001    No bare ``except:``.
 GEN002    No mutable default arguments.
 ========  ==================================================================
@@ -472,6 +476,61 @@ class LatencyLiteralRule(Rule):
                             "route timing costs through MachineConfig",
                         )
                         break
+
+
+# -- OBS001: stats objects mutate only inside their owners -------------------
+
+
+def _passes_through_stats(node: ast.AST) -> bool:
+    """True if an assignment target is, or dereferences, a ``stats`` attr."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        if isinstance(node, ast.Attribute) and node.attr == "stats":
+            return True
+        node = node.value
+    return False
+
+
+@register
+class StatsMutationRule(Rule):
+    id = "OBS001"
+    severity = "warning"
+    title = "stats objects mutate only inside their owning component"
+    rationale = (
+        "The observability registry (repro.obs) binds pull-model gauges "
+        "over each component's stats object; a foreign write — replacing "
+        "a cache's stats wholesale, or bumping another object's counters "
+        "— bypasses the owner's accounting and can diverge from what the "
+        "registry (and thus every figure and trace) reports. Owners "
+        "expose reset_stats() for the one legitimate foreign operation."
+    )
+
+    # Modules that define and therefore own a *Stats object. The obs
+    # package itself only ever reads stats through bound gauges.
+    OWNERS = (
+        "mem/bus.py",
+        "mem/cache.py",
+        "osmodel/kernel.py",
+        "core/prediction.py",
+    )
+
+    def applies(self, ctx: FileContext) -> bool:
+        return not (ctx.under("obs") or ctx.is_file(*self.OWNERS))
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                continue
+            for target in _assign_targets(node):
+                if _passes_through_stats(target):
+                    dotted = _dotted(target)
+                    shown = dotted if dotted is not None else "a stats field"
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"direct mutation of {shown!r} outside the owning "
+                        "component; call the owner's reset_stats() or read "
+                        "values through repro.obs.adapters bindings",
+                    )
 
 
 # -- GEN001/GEN002: general hygiene ------------------------------------------

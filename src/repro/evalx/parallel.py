@@ -24,19 +24,19 @@ from __future__ import annotations
 
 import hashlib
 import json
-import logging
 import os
 import tempfile
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass
 
 from ..core.config import CacheConfig, MachineConfig
+from ..obs.log import get_logger
 from ..sim.results import SimResult
 from ..sim.simulator import MODEL_VERSION, TimingSimulator
 from ..sim.trace import Trace
 from ..workloads.spec2k import spec_trace
 
-log = logging.getLogger("repro.evalx.parallel")
+log = get_logger("evalx.parallel")
 
 # Default location of the shared result cache (gitignored).
 DEFAULT_CACHE_DIR = os.path.join(
@@ -89,6 +89,8 @@ _TIMING_MODULES = (
     "repro.mem.bus",
     "repro.mem.cache",
     "repro.mem.layout",
+    "repro.obs.adapters",
+    "repro.obs.registry",
     "repro.sim.results",
     "repro.sim.simulator",
     "repro.sim.trace",
@@ -148,9 +150,11 @@ def _simulate_cell(payload: tuple) -> dict:
     trace locally from (bench, events) — trace generation is seeded by
     benchmark name, so every process sees the identical event stream.
     """
-    bench, events, config, label, overlap, warmup = payload
+    bench, events, config, label, overlap, warmup, metrics = payload
     trace = spec_trace(bench, events)
-    result = TimingSimulator(config, overlap=overlap).run(trace, label=label, warmup=warmup)
+    result = TimingSimulator(config, overlap=overlap).run(
+        trace, label=label, warmup=warmup, collect_metrics=metrics
+    )
     return result.to_dict()
 
 
@@ -176,18 +180,20 @@ class ResultCache:
         self.corrupt = 0
 
     def key_for(self, trace_digest: str, config: MachineConfig,
-                overlap: float, warmup: float) -> str:
-        payload = json.dumps(
-            {
-                "trace": trace_digest,
-                "config": config_to_dict(config),
-                "overlap": overlap,
-                "warmup": warmup,
-                "model": model_fingerprint(),
-            },
-            sort_keys=True,
-        )
-        return hashlib.sha256(payload.encode()).hexdigest()[:40]  # repro: allow(SEC002)
+                overlap: float, warmup: float, metrics: bool = False) -> str:
+        payload = {
+            "trace": trace_digest,
+            "config": config_to_dict(config),
+            "overlap": overlap,
+            "warmup": warmup,
+            "model": model_fingerprint(),
+        }
+        if metrics:
+            # Only metric-carrying records get the extra key component, so
+            # every pre-existing cache key (and record) stays valid.
+            payload["metrics"] = True
+        blob = json.dumps(payload, sort_keys=True)
+        return hashlib.sha256(blob.encode()).hexdigest()[:40]  # repro: allow(SEC002)
 
     def _path(self, key: str) -> str:
         return os.path.join(self.root, f"{key}.json")
@@ -249,6 +255,7 @@ def run_cells(
     warmup: float = 0.25,
     trace_provider=None,
     progress=None,
+    metrics: bool = False,
 ) -> dict[Cell, SimResult]:
     """Simulate every cell, fanning out across ``workers`` processes.
 
@@ -261,6 +268,9 @@ def run_cells(
       computation; defaults to regenerating via ``spec_trace``. Callers
       with memoized traces (the Runner) pass theirs to avoid regeneration.
     * ``progress`` (done, total, cell) is called after each cell resolves.
+    * ``metrics`` attaches each cell's metrics-registry snapshot to its
+      ``SimResult.metrics`` (cached under distinct keys, so metric-free
+      and metric-carrying sweeps never serve each other stale records).
 
     Returns {cell: SimResult}, one entry per *distinct* cell. Cells that
     simulate the same (bench, config, label) — e.g. mac_bits=None and an
@@ -289,7 +299,8 @@ def run_cells(
         digest = digests.get(cell.bench)
         if digest is None:
             digest = digests[cell.bench] = provider(cell.bench).digest()
-        key = keys[cell] = cache.key_for(digest, cell.config, overlap, warmup)
+        key = keys[cell] = cache.key_for(digest, cell.config, overlap, warmup,
+                                         metrics=metrics)
         hit = cache.get(key)
         if hit is not None:
             results[cell] = hit
@@ -314,7 +325,8 @@ def run_cells(
     def serial(cell: Cell) -> SimResult:
         trace = provider(cell.bench)
         sim = TimingSimulator(cell.config, overlap=overlap)
-        return sim.run(trace, label=cell.label, warmup=warmup)
+        return sim.run(trace, label=cell.label, warmup=warmup,
+                       collect_metrics=metrics)
 
     def spread() -> dict[Cell, SimResult]:
         """Fan each group's one result back out to its twin cells."""
@@ -332,7 +344,7 @@ def run_cells(
         return spread()
 
     payloads = {
-        cell: (cell.bench, events, cell.config, cell.label, overlap, warmup)
+        cell: (cell.bench, events, cell.config, cell.label, overlap, warmup, metrics)
         for cell in pending
     }
     retry: list[Cell] = []

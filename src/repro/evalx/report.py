@@ -133,14 +133,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--cache", default=None, metavar="DIR",
                         help="persistent result-cache directory")
     args = parser.parse_args(argv)
+    from ..obs.log import configure
+
+    configure()  # no-op refinement when the repro CLI already configured
     report = generate_report(args.events, args.figures,
                              stream=sys.stdout if not args.out else None,
                              data_dir=args.data_dir,
                              workers=args.workers, cache_dir=args.cache)
     if args.out:
+        from ..obs.log import get_logger
+
         with open(args.out, "w") as f:
             f.write(report + "\n")
-        print(f"report written to {args.out}")
+        get_logger("evalx.report").info("report written to %s", args.out)
     return 0
 
 

@@ -58,6 +58,9 @@ class Runner:
     warmup: float = 0.25
     workers: int = 1
     cache_dir: str | None = None
+    # Attach per-cell metrics-registry snapshots to SimResult.metrics
+    # (repro.obs); metric-carrying results cache under their own keys.
+    metrics: bool = False
     _traces: dict = field(default_factory=dict, repr=False)
     _results: dict = field(default_factory=dict, repr=False)
     _cache: ResultCache | None = field(default=None, repr=False)
@@ -95,6 +98,7 @@ class Runner:
                 overlap=self.overlap,
                 warmup=self.warmup,
                 trace_provider=self.trace,
+                metrics=self.metrics,
             )
             cached = self._results[key] = next(iter(computed.values()))
         return cached
@@ -131,6 +135,7 @@ class Runner:
             overlap=self.overlap,
             warmup=self.warmup,
             trace_provider=self.trace,
+            metrics=self.metrics,
         )
         grid = {cell.key: result for cell, result in computed.items()}
         self._results.update(grid)

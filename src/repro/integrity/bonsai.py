@@ -19,6 +19,7 @@ page root covers data + counters + per-block MACs.
 
 from __future__ import annotations
 
+from .. import obs
 from ..crypto.mac import MacFunction
 from ..mem.dram import BlockMemory
 from ..core import sanitizer
@@ -67,7 +68,8 @@ class BonsaiMerkleIntegrity:
     # -- counter blocks (and page-root directory): bonsai tree --------------
 
     def verify_metadata(self, address: int, raw: bytes) -> None:
-        self.tree.verify(address, raw)
+        with obs.span("verify_bmt"):
+            self.tree.verify(address, raw)
 
     def update_metadata(self, address: int, raw: bytes) -> None:
         self.tree.update(address, raw)

@@ -1,0 +1,155 @@
+"""repro.obs — unified observability for the AISE/BMT stack.
+
+Three layers, one ambient switch:
+
+* :mod:`repro.obs.registry` — hierarchical metrics (counters, pull-model
+  gauges, fixed-edge histograms) that every component registers into;
+* :mod:`repro.obs.tracer` — structured, model-time event tracing with
+  ring/list/JSONL sinks, spans, and per-phase cycle attribution;
+* :mod:`repro.obs.chrome` — Chrome trace-event (Perfetto) export and
+  schema validation;
+* :mod:`repro.obs.log` — the project logging hierarchy.
+
+The ambient API mirrors :mod:`repro.core.sanitizer`: a module-level
+session that instrumented code consults through ``obs.enabled()``,
+``obs.emit(...)``, and ``obs.span(...)``. When no session is active
+(the default) every hook is a near-free early return — results are
+bit-identical to an uninstrumented build. Enable per-process with
+``REPRO_OBS=1`` in the environment, or per-block with::
+
+    with obs.observed(interval=512) as session:
+        sim.run(trace)
+    doc = chrome.chrome_trace(session.tracer.events(), session.samples,
+                              session.profiler.snapshot())
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+from .registry import Counter, Gauge, Histogram, MetricsRegistry, Scope
+from .tracer import (
+    NULL_SPAN,
+    Event,
+    EventTracer,
+    JsonlSink,
+    ListSink,
+    NullSpan,
+    PhaseProfiler,
+    RingSink,
+    SpanHandle,
+    TeeSink,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Scope",
+    "Event",
+    "EventTracer",
+    "RingSink",
+    "ListSink",
+    "JsonlSink",
+    "TeeSink",
+    "PhaseProfiler",
+    "SpanHandle",
+    "NullSpan",
+    "NULL_SPAN",
+    "ObsSession",
+    "enabled",
+    "session",
+    "enable",
+    "disable",
+    "observed",
+    "emit",
+    "span",
+]
+
+
+class ObsSession:
+    """Everything one observed run collects: tracer, registry for
+    ambient (non-simulator) metrics, phase profiler, and the interval
+    snapshots the simulator's hooks append."""
+
+    def __init__(self, tracer: EventTracer | None = None,
+                 registry: MetricsRegistry | None = None,
+                 interval: int = 1024,
+                 ring_capacity: int = 65536):
+        if tracer is None:
+            tracer = EventTracer(RingSink(ring_capacity))
+        self.tracer = tracer
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.profiler = PhaseProfiler()
+        self.interval = interval
+        self.samples: list[dict] = []
+
+
+_session: ObsSession | None = None
+
+
+def enabled() -> bool:
+    """Whether an observability session is active in this process."""
+    return _session is not None
+
+
+def session() -> ObsSession | None:
+    """The active session, or ``None``."""
+    return _session
+
+
+def enable(active: ObsSession | None = None) -> ObsSession:
+    """Activate observability (idempotent if passed the current session)."""
+    global _session
+    _session = active if active is not None else ObsSession()
+    return _session
+
+
+def disable() -> None:
+    """Deactivate observability; hooks return to their no-op path."""
+    global _session
+    _session = None
+
+
+@contextmanager
+def observed(tracer: EventTracer | None = None,
+             registry: MetricsRegistry | None = None,
+             interval: int = 1024,
+             ring_capacity: int = 65536):
+    """Scoped enablement: build a session, activate it for the block,
+    restore the previous state after."""
+    previous = _session
+    active = ObsSession(tracer=tracer, registry=registry, interval=interval,
+                        ring_capacity=ring_capacity)
+    enable(active)
+    try:
+        yield active
+    finally:
+        if previous is None:
+            disable()
+        else:
+            enable(previous)
+
+
+def emit(event: str, ts: float | None = None, **fields) -> None:
+    """Record one trace event if observability is on; no-op otherwise.
+
+    This is the hook functional-model code (the kernel, integrity
+    verifiers) calls directly — timing code goes through
+    :class:`~repro.obs.adapters.SimHooks` instead.
+    """
+    if _session is not None:
+        _session.tracer.emit(event, ts=ts, **fields)
+
+
+def span(name: str):
+    """A phase-span context manager; the shared ``NULL_SPAN`` when off."""
+    if _session is None:
+        return NULL_SPAN
+    return SpanHandle(_session.tracer, _session.profiler, name)
+
+
+if os.environ.get("REPRO_OBS", "") not in ("", "0"):
+    enable()

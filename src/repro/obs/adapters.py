@@ -1,0 +1,190 @@
+"""Registry adapters: bind existing stats objects into a MetricsRegistry.
+
+The hot paths keep mutating their own cheap dataclass counters
+(:class:`~repro.mem.cache.CacheStats`, :class:`~repro.mem.bus.BusStats`,
+:class:`~repro.osmodel.kernel.KernelStats`, ...) exactly as before —
+these adapters register *pull-model* gauges over them, so registration
+costs nothing per simulated event and a snapshot reads the live values.
+This is the one sanctioned route from a ``*Stats`` object into reported
+numbers; the OBS001 lint rule flags direct stats mutation anywhere else.
+
+``sim_result_fields`` derives every statistics field of a
+:class:`~repro.sim.results.SimResult` from a registry snapshot — the
+simulator builds its results *through* the registry, so the aggregate a
+figure plots and the interval samples a timeline plots can never
+disagree.
+"""
+
+from __future__ import annotations
+
+from ..mem.cache import CODE, COUNTER, DATA, MAC, MERKLE
+
+# Fixed bucket edges (cycles) for the demand-miss latency histogram:
+# deterministic across runs and machines by construction.
+MISS_LATENCY_EDGES = (50, 100, 150, 200, 300, 400, 600, 800, 1200, 1600)
+
+_LINE_CLASSES = (DATA, CODE, COUNTER, MERKLE, MAC)
+
+
+def register_cache(registry, cache, prefix: str):
+    """Bind a :class:`SetAssociativeCache`'s stats and occupancy."""
+    scope = registry.scoped(prefix)
+    scope.bind("hits", lambda: cache.stats.hits)
+    scope.bind("misses", lambda: cache.stats.misses)
+    scope.bind("writebacks", lambda: cache.stats.writebacks)
+    scope.bind("miss_rate", lambda: cache.stats.miss_rate)
+    for cls in _LINE_CLASSES:
+        scope.bind(f"occupancy.{cls}",
+                   lambda c=cls: cache.stats.occupancy_fraction(c))
+        scope.bind(f"lines.{cls}", lambda c=cls: cache.lines_of_class(c))
+    scope.bind("lines.free", lambda: cache.num_lines - cache.occupied_lines)
+    return scope
+
+
+def register_bus(registry, bus, prefix: str = "bus"):
+    """Bind a :class:`MemoryBus`'s transfer and occupancy statistics."""
+    scope = registry.scoped(prefix)
+    scope.bind("transfers", lambda: bus.stats.transfers)
+    scope.bind("busy_cycles", lambda: bus.stats.busy_cycles)
+    scope.bind("queue_cycles", lambda: bus.stats.queue_cycles)
+    scope.bind("transfers_by_kind", lambda: bus.stats.transfers_by_kind)
+    return scope
+
+
+def register_simulator(registry, sim):
+    """Wire a :class:`TimingSimulator`'s structures into its registry.
+
+    Gauges close over the *owning objects* (cache, bus, simulator), not
+    their stats instances — ``reset_stats`` swaps the stats objects out
+    and the bindings must follow.
+    """
+    scope = registry.scoped("sim")
+    scope.bind("demand_accesses", lambda: sim.demand_accesses)
+    scope.bind("demand_misses", lambda: sim.demand_misses)
+    scope.bind("exposed_decrypt_cycles", lambda: sim.exposed_cycles)
+    scope.bind("counter_accesses", lambda: sim.counter_accesses)
+    scope.bind("counter_misses", lambda: sim.counter_misses)
+    registry.histogram("sim.miss_latency", MISS_LATENCY_EDGES)
+    register_cache(registry, sim.l2, "l2")
+    register_cache(registry, sim.counter_cache, "counter_cache")
+    if sim.node_cache is not None:
+        register_cache(registry, sim.node_cache, "node_cache")
+    register_bus(registry, sim.bus)
+    return registry
+
+
+def register_kernel(registry, kernel, prefix: str = "kernel"):
+    """Bind an :class:`~repro.osmodel.kernel.Kernel`'s paging stats."""
+    scope = registry.scoped(prefix)
+    for name in ("page_faults", "demand_zero_fills", "swap_ins", "swap_outs",
+                 "cow_breaks", "forks", "swap_reencrypted_blocks"):
+        scope.bind(name, lambda n=name: getattr(kernel.stats, n))
+    return scope
+
+
+def register_engine(registry, engine, prefix: str):
+    """Bind a :class:`~repro.crypto.engine.PipelinedEngine`'s op count."""
+    scope = registry.scoped(prefix)
+    scope.bind("operations", lambda: engine.operations)
+    return scope
+
+
+def register_integrity(registry, integrity, prefix: str = "integrity"):
+    """Bind an integrity verifier's verification count."""
+    scope = registry.scoped(prefix)
+    scope.bind("verifications", lambda: integrity.verifications)
+    return scope
+
+
+def register_predictor(registry, predictor, prefix: str = "prediction"):
+    """Bind a :class:`~repro.core.prediction.CounterPredictor`'s stats."""
+    scope = registry.scoped(prefix)
+    for name in ("attempts", "hits", "candidate_trials", "fallbacks"):
+        scope.bind(name, lambda n=name: getattr(predictor.stats, n))
+    scope.bind("hit_rate", lambda: predictor.stats.hit_rate)
+    return scope
+
+
+# -- SimResult derivation -----------------------------------------------------
+
+
+def bus_utilization_from(snapshot: dict, total_cycles: float) -> float:
+    """Utilization from a snapshot, bit-for-bit matching
+    :meth:`~repro.mem.bus.BusStats.utilization`."""
+    if total_cycles <= 0:
+        return 0.0
+    return min(1.0, snapshot["bus.busy_cycles"] / total_cycles)
+
+
+def sim_result_fields(snapshot: dict, measured_cycles: float) -> dict:
+    """The statistics fields of a SimResult, derived from a registry
+    snapshot (identical values to the stats objects the gauges wrap)."""
+    return {
+        "l2_accesses": snapshot["sim.demand_accesses"],
+        "l2_misses": snapshot["sim.demand_misses"],
+        "l2_data_fraction": snapshot["l2.occupancy.data"],
+        "l2_merkle_fraction": snapshot["l2.occupancy.merkle"] + snapshot["l2.occupancy.mac"],
+        "counter_accesses": snapshot["sim.counter_accesses"],
+        "counter_misses": snapshot["sim.counter_misses"],
+        "bus_utilization": bus_utilization_from(snapshot, measured_cycles),
+        "bus_transfers_by_kind": dict(snapshot["bus.transfers_by_kind"]),
+        "exposed_decrypt_cycles": snapshot["sim.exposed_decrypt_cycles"],
+    }
+
+
+# -- live tracing hooks (installed by TimingSimulator.run) --------------------
+
+
+class SimHooks:
+    """The per-run bridge between a simulator and an ambient obs session.
+
+    Created at ``run()`` entry when observability is enabled, armed only
+    at the warmup boundary — so warmup events can never leak into the
+    measured event stream or interval samples. When disabled, none of
+    this exists and the simulator's hot path sees only ``None`` checks.
+    """
+
+    def __init__(self, sim, session):
+        self.sim = sim
+        self.tracer = session.tracer
+        self.profiler = session.profiler
+        self.samples = session.samples
+        self.interval = max(1, int(session.interval))
+        self.miss_latency = sim.registry.get("sim.miss_latency")
+        self._countdown = self.interval
+        self._events = 0
+
+    def begin(self, now: float) -> None:
+        """Arm at the warmup boundary: rebase trace time to the start of
+        the measured interval and take the t=0 sample."""
+        self.tracer.rebase(now)
+        self.sim.bus.tracer = self.tracer
+        self._countdown = self.interval
+        self._events = 0
+        self.sample(now)
+
+    def emit(self, event: str, ts: float, **fields) -> None:
+        self.tracer.emit(event, ts=ts, **fields)
+
+    def account(self, phase: str, cycles: float) -> None:
+        self.profiler.add(phase, cycles)
+
+    def event_tick(self, now: float) -> None:
+        """Once per measured demand access: drive interval sampling."""
+        self._events += 1
+        self._countdown -= 1
+        if self._countdown == 0:
+            self._countdown = self.interval
+            self.sample(now)
+
+    def sample(self, now: float) -> None:
+        snap = self.sim.registry.snapshot()
+        snap["ts"] = self.tracer.to_trace_time(now)
+        snap["events"] = self._events
+        self.samples.append(snap)
+
+    def finish(self, now: float) -> None:
+        """End of run: final sample (so cumulative reconstruction is
+        exact) and detach from the bus."""
+        self.sample(now)
+        self.sim.bus.tracer = None

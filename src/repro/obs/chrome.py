@@ -1,0 +1,219 @@
+"""Chrome trace-event export and schema validation.
+
+Converts an observability session (events + interval snapshots + phase
+totals) into the Chrome trace-event JSON format, loadable in
+``chrome://tracing`` or https://ui.perfetto.dev. Mapping:
+
+* events carrying a ``dur`` field (``bus_grant``, ``l2_miss``, spans)
+  become *complete* events (``ph: "X"``) with that duration;
+* other events become *instant* events (``ph: "i"``);
+* interval snapshots become *counter* events (``ph: "C"``) — the L2
+  data/Merkle occupancy split as a timeline (Figure 9 over time), the
+  cumulative miss counts, and bus busy cycles;
+* phase totals are appended as one summarising instant event per phase.
+
+Timestamps are simulator cycles reported in the ``ts`` microsecond
+field (1 cycle := 1 us for display purposes — only relative spacing
+matters). The emitted document is deterministic: event order follows
+emission order and JSON keys are sorted by the writers.
+
+``validate_chrome_trace`` checks a document against the subset of the
+trace-event schema this exporter produces (and Perfetto requires);
+``python -m repro.obs.chrome trace.json`` runs it from the command line
+(the CI traced-sim job does exactly that).
+"""
+
+from __future__ import annotations
+
+import json
+
+from .tracer import Event
+
+# Pseudo-threads the exporter lays events out on.
+TID_CORE = 0
+TID_BUS = 1
+TID_PHASES = 2
+
+_PHASES = ("X", "i", "C", "M")
+
+# Counter tracks exported from interval snapshots: (track name, metric
+# prefix -> args mapping builder is inline below).
+_OCCUPANCY_CLASSES = ("data", "merkle", "mac", "counter", "code")
+
+
+def _thread_meta(pid: int, tid: int, name: str) -> dict:
+    return {
+        "ph": "M",
+        "name": "thread_name",
+        "pid": pid,
+        "tid": tid,
+        "args": {"name": name},
+    }
+
+
+def _event_record(event: Event, pid: int) -> dict:
+    fields = dict(event.fields)
+    tid = TID_BUS if event.name == "bus_grant" else TID_CORE
+    name = event.name
+    if name == "span" and "span" in fields:
+        name = str(fields.pop("span"))
+    dur = fields.pop("dur", None)
+    if dur is None and "latency" in fields:
+        dur = fields["latency"]
+    record = {
+        "name": name,
+        "pid": pid,
+        "tid": tid,
+        "ts": event.ts,
+        "args": fields,
+    }
+    if dur is not None:
+        record["ph"] = "X"
+        record["dur"] = max(0.0, float(dur))
+    else:
+        record["ph"] = "i"
+        record["s"] = "t"
+    return record
+
+
+def _counter_records(sample: dict, pid: int) -> list[dict]:
+    ts = sample.get("ts", 0.0)
+    records = []
+    occupancy = {
+        cls: sample[f"l2.lines.{cls}"]
+        for cls in _OCCUPANCY_CLASSES
+        if f"l2.lines.{cls}" in sample
+    }
+    if "l2.lines.free" in sample:
+        occupancy["free"] = sample["l2.lines.free"]
+    if occupancy:
+        records.append({"ph": "C", "name": "l2_occupancy", "pid": pid,
+                        "tid": TID_CORE, "ts": ts, "args": occupancy})
+    misses = {}
+    for key, label in (("sim.demand_misses", "l2_misses"),
+                       ("sim.counter_misses", "counter_misses")):
+        if key in sample:
+            misses[label] = sample[key]
+    if misses:
+        records.append({"ph": "C", "name": "misses", "pid": pid,
+                        "tid": TID_CORE, "ts": ts, "args": misses})
+    if "bus.busy_cycles" in sample:
+        records.append({"ph": "C", "name": "bus_busy_cycles", "pid": pid,
+                        "tid": TID_BUS, "ts": ts,
+                        "args": {"busy": sample["bus.busy_cycles"]}})
+    return records
+
+
+def chrome_trace(events, samples=None, phases=None, label: str = "repro",
+                 pid: int = 0) -> dict:
+    """Build a Chrome trace-event document from a traced run.
+
+    ``events`` is an iterable of :class:`~repro.obs.tracer.Event`;
+    ``samples`` the interval snapshots (flat metric dicts with ``ts``);
+    ``phases`` a :meth:`PhaseProfiler.snapshot` dict.
+    """
+    trace_events: list[dict] = [
+        {"ph": "M", "name": "process_name", "pid": pid, "tid": TID_CORE,
+         "args": {"name": label}},
+        _thread_meta(pid, TID_CORE, "core/memory"),
+        _thread_meta(pid, TID_BUS, "memory bus"),
+        _thread_meta(pid, TID_PHASES, "phases"),
+    ]
+    for event in events:
+        trace_events.append(_event_record(event, pid))
+    for sample in samples or ():
+        trace_events.extend(_counter_records(sample, pid))
+    end_ts = max((e["ts"] for e in trace_events if "ts" in e), default=0.0)
+    for name, data in (phases or {}).items():
+        trace_events.append({
+            "ph": "i", "s": "t", "name": f"phase:{name}", "pid": pid,
+            "tid": TID_PHASES, "ts": end_ts,
+            "args": {"count": data["count"], "total": data["total"]},
+        })
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+# -- validation ---------------------------------------------------------------
+
+
+def validate_chrome_trace(doc) -> list[str]:
+    """Check a document against the trace-event schema subset we emit.
+
+    Returns a list of problems (empty = valid). Checked: top-level
+    shape, per-event required keys by phase, numeric timestamps and
+    non-negative durations, and JSON-representable args.
+    """
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-list 'traceEvents'"]
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in _PHASES:
+            problems.append(f"{where}: unknown phase {ph!r}")
+            continue
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            problems.append(f"{where}: missing event name")
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                problems.append(f"{where}: missing integer {key!r}")
+        if ph != "M":
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)) or isinstance(ts, bool):
+                problems.append(f"{where}: missing numeric ts")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or isinstance(dur, bool) or dur < 0:
+                problems.append(f"{where}: 'X' event needs dur >= 0")
+        if ph == "i" and event.get("s") not in ("t", "p", "g"):
+            problems.append(f"{where}: 'i' event needs scope s in t/p/g")
+        if ph == "C":
+            args = event.get("args")
+            if not isinstance(args, dict) or not args:
+                problems.append(f"{where}: 'C' event needs non-empty args")
+            elif any(
+                not isinstance(v, (int, float)) or isinstance(v, bool)
+                for v in args.values()
+            ):
+                problems.append(f"{where}: 'C' args must be numeric")
+        if "args" in event and not isinstance(event["args"], dict):
+            problems.append(f"{where}: args must be an object")
+    return problems
+
+
+def main(argv=None) -> int:
+    """Validate chrome-trace files: ``python -m repro.obs.chrome f.json``."""
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(description="validate Chrome trace-event JSON")
+    parser.add_argument("files", nargs="+", help="trace files to validate")
+    args = parser.parse_args(argv)
+    failed = False
+    for path in args.files:
+        with open(path) as f:
+            try:
+                doc = json.load(f)
+            except ValueError as exc:
+                print(f"{path}: invalid JSON ({exc})", file=sys.stderr)
+                failed = True
+                continue
+        problems = validate_chrome_trace(doc)
+        for problem in problems:
+            print(f"{path}: {problem}", file=sys.stderr)
+        if problems:
+            failed = True
+        else:
+            count = len(doc["traceEvents"])
+            print(f"{path}: valid ({count} trace events)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,75 @@
+"""Project-wide logging: one configured hierarchy under ``repro``.
+
+Every CLI entry point and library module routes its diagnostics through
+here instead of bare ``print()`` — so parallel sweep workers do not
+interleave raw stdout, verbosity is controlled in one place
+(``--log-level`` / ``-v`` on the ``repro`` CLI, or ``REPRO_LOG_LEVEL``
+in the environment), and primary command *output* (report text, JSON
+payloads) stays clean on stdout while diagnostics go to stderr.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+
+ROOT = "repro"
+
+LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+_FORMAT = "%(levelname)s %(name)s: %(message)s"
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """The logger for a dotted sub-name under the ``repro`` hierarchy."""
+    return logging.getLogger(f"{ROOT}.{name}" if name else ROOT)
+
+
+def configure(level: str | int | None = None, stream=None) -> logging.Logger:
+    """Install (or retune) the single stderr handler on the root logger.
+
+    Idempotent: repeated calls adjust the level and stream in place
+    rather than stacking handlers. ``level`` defaults to
+    ``REPRO_LOG_LEVEL`` from the environment, then ``info`` — but a
+    defaulted (``level=None``) call never *overrides* a level chosen by
+    an earlier explicit call, so nested entry points (``repro report``
+    invoking the report module's own ``main``) preserve ``--log-level``.
+    """
+    explicit = level is not None
+    if level is None:
+        level = os.environ.get("REPRO_LOG_LEVEL", "info")
+    if isinstance(level, str):
+        try:
+            level = LEVELS[level.lower()]
+        except KeyError:
+            raise ValueError(
+                f"unknown log level {level!r}; choose from {', '.join(LEVELS)}"
+            ) from None
+    root = logging.getLogger(ROOT)
+    handler = next(
+        (h for h in root.handlers if getattr(h, "_repro_obs", False)), None
+    )
+    if handler is not None and not explicit:
+        level = root.level or level
+    root.setLevel(level)
+    if handler is None:
+        handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+        handler._repro_obs = True
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        root.addHandler(handler)
+        root.propagate = False
+    elif stream is not None:
+        handler.setStream(stream)
+    handler.setLevel(level)
+    return root
+
+
+def verbosity_to_level(verbose: int) -> str:
+    """Map ``-v`` counts to a level name (0 = info, 1+ = debug)."""
+    return "debug" if verbose else "info"

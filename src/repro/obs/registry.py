@@ -1,0 +1,215 @@
+"""Hierarchical metrics registry: counters, gauges, histograms.
+
+One registry holds every metric a simulated machine exposes, under
+dotted hierarchical names (``l2.hits``, ``bus.busy_cycles``,
+``kernel.swap_outs``). Three metric kinds:
+
+* :class:`Counter` — a push-model monotone count (``inc``);
+* :class:`Gauge` — either *bound* to a zero-argument callable (the pull
+  model the hot-path components use: registration costs nothing per
+  event, the value is read only at snapshot time) or *settable*;
+* :class:`Histogram` — push-model with **fixed bucket edges**, so two
+  identical runs produce byte-identical snapshots (no adaptive bucketing
+  nondeterminism).
+
+``snapshot()`` returns a plain sorted ``{name: value}`` dict that
+round-trips through JSON losslessly — the form that rides in
+:class:`~repro.sim.results.SimResult.metrics`, the interval samples, and
+the on-disk result cache.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Callable
+
+
+class Counter:
+    """A push-model monotone counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def read(self):
+        return self.value
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+class Gauge:
+    """A point-in-time value: bound to a callable, or set explicitly.
+
+    Bound gauges are the registry's zero-overhead adapter mechanism —
+    the component keeps mutating its own cheap stats fields and the
+    registry reads them only when a snapshot is taken.
+    """
+
+    __slots__ = ("name", "fn", "value")
+
+    def __init__(self, name: str, fn: Callable | None = None):
+        self.name = name
+        self.fn = fn
+        self.value = 0
+
+    def set(self, value) -> None:
+        if self.fn is not None:
+            raise ValueError(f"gauge {self.name!r} is bound to a callable")
+        self.value = value
+
+    def read(self):
+        return self.fn() if self.fn is not None else self.value
+
+    def reset(self) -> None:
+        # Bound gauges reset with their backing stats; settable ones zero.
+        if self.fn is None:
+            self.value = 0
+
+
+class Histogram:
+    """A push-model histogram over fixed, immutable bucket edges.
+
+    ``edges`` are the upper bounds of the finite buckets; one overflow
+    bucket catches everything above the last edge. Snapshot form::
+
+        {"edges": [...], "counts": [...], "sum": total, "count": n}
+    """
+
+    __slots__ = ("name", "edges", "counts", "sum", "count")
+
+    def __init__(self, name: str, edges):
+        if not edges or list(edges) != sorted(edges):
+            raise ValueError(f"histogram {name!r} needs sorted non-empty edges")
+        self.name = name
+        self.edges = tuple(float(e) for e in edges)
+        self.counts = [0] * (len(self.edges) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.edges, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def read(self) -> dict:
+        return {
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+    def reset(self) -> None:
+        self.counts = [0] * (len(self.edges) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+
+class MetricsRegistry:
+    """Name-addressed collection of counters, gauges, and histograms."""
+
+    def __init__(self):
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    # -- registration --------------------------------------------------------
+
+    def _add(self, name: str, metric):
+        if not name or " " in name:
+            raise ValueError(f"bad metric name {name!r}")
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if type(existing) is not type(metric):
+                raise ValueError(
+                    f"metric {name!r} already registered as {type(existing).__name__}"
+                )
+            return existing
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._add(name, Counter(name))
+
+    def gauge(self, name: str, fn: Callable | None = None) -> Gauge:
+        return self._add(name, Gauge(name, fn))
+
+    def bind(self, name: str, fn: Callable) -> Gauge:
+        """Register a pull-model gauge backed by ``fn`` (adapter idiom)."""
+        return self._add(name, Gauge(name, fn))
+
+    def histogram(self, name: str, edges) -> Histogram:
+        return self._add(name, Histogram(name, edges))
+
+    def scoped(self, prefix: str) -> "Scope":
+        """A view that prefixes every name with ``prefix.`` (hierarchy)."""
+        return Scope(self, prefix)
+
+    # -- interrogation -------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def get(self, name: str):
+        return self._metrics[name]
+
+    def read(self, name: str):
+        return self._metrics[name].read()
+
+    def snapshot(self) -> dict:
+        """Sorted, JSON-ready ``{name: value}`` of every metric.
+
+        Dict-valued gauges (e.g. per-kind transfer counts) are shallow-
+        copied so callers can keep snapshots while the source mutates.
+        """
+        out = {}
+        for name in sorted(self._metrics):
+            value = self._metrics[name].read()
+            if isinstance(value, dict):
+                value = dict(value)
+            out[name] = value
+        return out
+
+    def reset(self) -> None:
+        """Zero every push-model metric (bound gauges follow their source)."""
+        for metric in self._metrics.values():
+            metric.reset()
+
+
+class Scope:
+    """Prefixing proxy over a registry: ``scope.counter("hits")`` registers
+    ``<prefix>.hits``. Scopes nest (``scope.scoped("sub")``)."""
+
+    __slots__ = ("_registry", "_prefix")
+
+    def __init__(self, registry: MetricsRegistry, prefix: str):
+        self._registry = registry
+        self._prefix = prefix.rstrip(".")
+
+    def _name(self, name: str) -> str:
+        return f"{self._prefix}.{name}"
+
+    def counter(self, name: str) -> Counter:
+        return self._registry.counter(self._name(name))
+
+    def gauge(self, name: str, fn: Callable | None = None) -> Gauge:
+        return self._registry.gauge(self._name(name), fn)
+
+    def bind(self, name: str, fn: Callable) -> Gauge:
+        return self._registry.bind(self._name(name), fn)
+
+    def histogram(self, name: str, edges) -> Histogram:
+        return self._registry.histogram(self._name(name), edges)
+
+    def scoped(self, prefix: str) -> "Scope":
+        return Scope(self._registry, self._name(prefix))

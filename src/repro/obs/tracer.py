@@ -1,0 +1,243 @@
+"""Structured event tracing: typed events, sinks, spans, phase profiling.
+
+An :class:`Event` is ``(ts, name, fields)`` — the timestamp is *model
+time* (simulator cycles, or a logical tick counter in the functional
+system, which has no clock), never wall-clock, so traces are
+bit-reproducible. Events flow into pluggable sinks:
+
+* :class:`RingSink` — bounded in-memory ring (the default; keeps the
+  last N events for post-mortem inspection);
+* :class:`ListSink` — unbounded, for full-trace export;
+* :class:`JsonlSink` — streams one sorted-key JSON object per line, so
+  two identical runs produce byte-identical files;
+* :class:`TeeSink` — fans one stream out to several sinks.
+
+The tracer's clock can be **rebased** (``rebase(offset)``): the timing
+simulator rebases at the warmup boundary so measured-interval events
+start at t=0 and warmup never leaks into the measured timeline.
+
+:class:`PhaseProfiler` accumulates per-phase cycle attribution
+(``add(name, cycles)`` from the simulator's hot paths, or the ambient
+``obs.span("verify_bmt")`` context manager from functional code, where
+durations are logical ticks).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Event:
+    """One typed trace event at one model-time instant."""
+
+    ts: float
+    name: str
+    fields: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {"ts": self.ts, "event": self.name, **self.fields}
+
+
+# -- sinks --------------------------------------------------------------------
+
+
+class RingSink:
+    """Keeps the most recent ``capacity`` events."""
+
+    def __init__(self, capacity: int = 65536):
+        self.events: deque[Event] = deque(maxlen=capacity)
+
+    def append(self, event: Event) -> None:
+        self.events.append(event)
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class ListSink:
+    """Unbounded event list — full-trace export (``repro trace``)."""
+
+    def __init__(self):
+        self.events: list[Event] = []
+
+    def append(self, event: Event) -> None:
+        self.events.append(event)
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class JsonlSink:
+    """Streams events as JSON Lines to a file object.
+
+    Keys are sorted and floats serialize via ``repr``, so identical
+    event streams produce byte-identical files (the CI determinism
+    check diffs two runs).
+    """
+
+    def __init__(self, stream):
+        self.stream = stream
+        self.written = 0
+
+    def append(self, event: Event) -> None:
+        self.stream.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")
+        self.written += 1
+
+    def clear(self) -> None:  # streamed output cannot be unwritten
+        pass
+
+    def __len__(self) -> int:
+        return self.written
+
+
+class TeeSink:
+    """Duplicates every event into each of several sinks."""
+
+    def __init__(self, sinks):
+        self.sinks = list(sinks)
+
+    def append(self, event: Event) -> None:
+        for sink in self.sinks:
+            sink.append(event)
+
+    def clear(self) -> None:
+        for sink in self.sinks:
+            sink.clear()
+
+    def __len__(self) -> int:
+        return max((len(s) for s in self.sinks), default=0)
+
+
+# -- the tracer ---------------------------------------------------------------
+
+
+class EventTracer:
+    """Emits typed events into a sink, with a rebasable model-time clock.
+
+    Timing code passes explicit ``ts`` (simulator cycles); functional
+    code omits it and gets a monotone logical tick. ``rebase(offset)``
+    shifts subsequent explicit timestamps by ``-offset`` — the
+    simulator's warmup boundary calls this so the measured interval
+    starts at t=0.
+    """
+
+    def __init__(self, sink=None):
+        self.sink = sink if sink is not None else RingSink()
+        self._offset = 0.0
+        self._ticks = 0
+
+    @property
+    def offset(self) -> float:
+        return self._offset
+
+    def rebase(self, offset: float) -> None:
+        """Anchor trace time: subsequent explicit ``ts`` report relative
+        to ``offset``; the logical tick counter restarts too."""
+        self._offset = float(offset)
+        self._ticks = 0
+
+    def to_trace_time(self, ts: float) -> float:
+        return ts - self._offset
+
+    def tick(self) -> int:
+        """Advance and return the logical clock (functional-model time)."""
+        self._ticks += 1
+        return self._ticks
+
+    @property
+    def ticks(self) -> int:
+        return self._ticks
+
+    def emit(self, event: str, ts: float | None = None, **fields) -> Event:
+        """Record one event. ``ts`` is model time (rebased); omitted ts
+        uses the logical tick counter."""
+        stamped = self.tick() if ts is None else ts - self._offset
+        record = Event(ts=stamped, name=event, fields=fields)
+        self.sink.append(record)
+        return record
+
+    def events(self) -> list[Event]:
+        """The sink's retained events (empty for pure streaming sinks)."""
+        return list(getattr(self.sink, "events", ()))
+
+    def clear(self) -> None:
+        self.sink.clear()
+
+
+# -- phase / span profiling ---------------------------------------------------
+
+
+class PhaseProfiler:
+    """Per-phase attribution: how many times each phase ran, and how many
+    cycles (or logical ticks) it accounts for."""
+
+    def __init__(self):
+        self.counts: dict[str, int] = {}
+        self.totals: dict[str, float] = {}
+
+    def add(self, name: str, amount: float = 0.0) -> None:
+        self.counts[name] = self.counts.get(name, 0) + 1
+        self.totals[name] = self.totals.get(name, 0.0) + amount
+
+    def snapshot(self) -> dict:
+        """Sorted ``{phase: {"count": n, "total": cycles}}``."""
+        return {
+            name: {"count": self.counts[name], "total": self.totals[name]}
+            for name in sorted(self.counts)
+        }
+
+    def reset(self) -> None:
+        self.counts.clear()
+        self.totals.clear()
+
+
+class SpanHandle:
+    """Context manager timing one phase on a tracer's logical clock.
+
+    Used by ambient ``obs.span(name)`` in functional code (the BMT
+    verifier, the kernel): entry and exit read the tracer's tick
+    counter, so the duration is the number of traced events that
+    happened inside — deterministic logical time. The span is recorded
+    as a ``span`` event (with ``dur``) and accumulated in the profiler.
+    """
+
+    __slots__ = ("tracer", "profiler", "name", "_start")
+
+    def __init__(self, tracer: EventTracer, profiler: PhaseProfiler, name: str):
+        self.tracer = tracer
+        self.profiler = profiler
+        self.name = name
+        self._start = 0
+
+    def __enter__(self) -> "SpanHandle":
+        self._start = self.tracer.ticks
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        dur = self.tracer.ticks - self._start
+        self.profiler.add(self.name, dur)
+        self.tracer.emit("span", span=self.name, dur=dur)
+
+
+class NullSpan:
+    """The disabled-mode span: enter/exit do nothing (hot-path no-op)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+NULL_SPAN = NullSpan()

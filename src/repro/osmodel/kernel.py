@@ -22,6 +22,7 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass
 
+from .. import obs
 from ..core.config import ENC_PHYS, ENC_SPLIT
 
 # Seed schemes whose address component forces page re-encryption on swap.
@@ -382,6 +383,7 @@ class Kernel:
         pte.frame = None
         pte.swap_slot = slot
         self.stats.swap_outs += 1
+        obs.emit("swap_out", pid=pid, vpage=vpage, frame=frame, slot=slot)
 
     def _fault_in(self, pid: int, pte: PageTableEntry) -> None:
         self.stats.page_faults += 1
@@ -409,6 +411,7 @@ class Kernel:
         pte.swap_slot = None
         self.frames.attach(frame, pid, pte.vpage)
         self.stats.swap_ins += 1
+        obs.emit("swap_in", pid=pid, vpage=pte.vpage, frame=frame, slot=slot)
 
     # Physical-address baseline: the mandatory re-encryption on both swap
     # directions (decrypt with old physical address, direct-encrypt for

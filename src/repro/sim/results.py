@@ -31,6 +31,11 @@ class SimResult:
     # Crypto exposure.
     exposed_decrypt_cycles: float = 0.0
 
+    # Optional end-of-run metrics-registry snapshot (repro.obs): flat
+    # ``{dotted.name: value}``, values are numbers, str->number dicts, or
+    # histogram dicts. Empty unless the run collected metrics.
+    metrics: dict = field(default_factory=dict)
+
     @property
     def ipc(self) -> float:
         return self.instructions / self.cycles if self.cycles else 0.0
@@ -54,10 +59,15 @@ class SimResult:
     def to_dict(self) -> dict:
         """Plain-data form; ``from_dict(to_dict(r)) == r`` exactly.
 
-        Every field is an int, float, str, or str->int dict, so the JSON
-        round-trip is lossless (Python serializes floats via repr).
+        Every field is an int, float, str, or JSON-shaped dict, so the
+        round-trip is lossless (Python serializes floats via repr). The
+        ``metrics`` key is omitted when empty, keeping serialized results
+        from metric-free runs byte-identical to earlier versions.
         """
-        return asdict(self)
+        data = asdict(self)
+        if not data["metrics"]:
+            del data["metrics"]
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "SimResult":

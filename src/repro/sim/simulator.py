@@ -35,10 +35,13 @@ from ..core.config import (
     INT_NONE,
     MachineConfig,
 )
+from .. import obs
 from ..core.machine import plan_layout
 from ..mem.bus import MemoryBus
 from ..mem.cache import COUNTER, DATA, MAC, MERKLE, SetAssociativeCache
 from ..mem.layout import BLOCK_SIZE, PAGE_SIZE
+from ..obs.adapters import SimHooks, register_simulator, sim_result_fields
+from ..obs.registry import MetricsRegistry
 from .results import SimResult
 from .trace import Trace
 
@@ -129,6 +132,15 @@ class TimingSimulator:
         self.counter_accesses = 0
         self.counter_misses = 0
 
+        # Observability. The registry always exists: its gauges are
+        # pull-model bindings over the stats above, read only when a
+        # snapshot is taken, so registration costs nothing per event.
+        # ``_hooks`` (live event tracing) is non-None only inside the
+        # measured interval of a run under an active obs session.
+        self.registry = MetricsRegistry()
+        register_simulator(self.registry, self)
+        self._hooks = None
+
     # -- metadata address helpers -------------------------------------------------
 
     def _counter_block_addr(self, addr: int) -> int:
@@ -149,6 +161,7 @@ class TimingSimulator:
         index = (covered_addr - self._covered_start) // BLOCK_SIZE
         arity = self._arity
         l2 = self.node_cache if self.node_cache is not None else self.l2
+        hooks = self._hooks
         fetched = 0
         for base in self._walk_bases:
             index //= arity
@@ -156,6 +169,9 @@ class TimingSimulator:
             if l2.lookup(node_addr, write=make_dirty):
                 return fetched
             self.bus.request(now, "merkle")
+            if hooks is not None:
+                hooks.emit("merkle_fetch", ts=now, level=fetched, addr=node_addr,
+                           dirty=make_dirty)
             fetched += 1
             victim = l2.insert(node_addr, MERKLE, dirty=make_dirty)
             if victim is not None and victim.dirty:
@@ -198,6 +214,8 @@ class TimingSimulator:
         if self.counter_cache.lookup(cb_addr, write=write):
             return 0.0
         self.counter_misses += 1
+        if self._hooks is not None:
+            self._hooks.emit("counter_miss", ts=now, addr=cb_addr, write=write)
         start, _ = self.bus.request(now, "counter")
         counter_ready = start + self.mem_latency
         victim = self.counter_cache.insert(cb_addr, COUNTER, dirty=write)
@@ -244,6 +262,8 @@ class TimingSimulator:
         elif self.enc == ENC_DIRECT:
             extra = self.aes_latency  # decryption serialized after the fetch
             self.exposed_cycles += extra
+        if extra and self._hooks is not None:
+            self._hooks.emit("decrypt_exposed", ts=now, addr=addr, dur=extra)
         integrity_fetches = 0
         if self.integ == INT_MT:
             integrity_fetches = self._tree_walk(addr, now, make_dirty=False)
@@ -264,22 +284,27 @@ class TimingSimulator:
     # -- main loop ------------------------------------------------------------------------------
 
     def _reset_stats(self) -> None:
-        """Zero statistics while keeping all warm state (caches, bus clock)."""
-        from ..mem.bus import BusStats
-        from ..mem.cache import CacheStats
+        """Zero statistics while keeping all warm state (caches, bus clock).
 
-        self.l2.stats = CacheStats()
-        self.counter_cache.stats = CacheStats()
+        Also rebases the metrics registry: push-model metrics (the miss
+        latency histogram) zero out, and the bound gauges track the fresh
+        stats objects automatically because they close over the owning
+        caches/bus, not the stats instances being replaced.
+        """
+        self.l2.reset_stats()
+        self.counter_cache.reset_stats()
         if self.node_cache is not None:
-            self.node_cache.stats = CacheStats()
-        self.bus.stats = BusStats()
+            self.node_cache.reset_stats()
+        self.bus.reset_stats()
         self.demand_accesses = 0
         self.demand_misses = 0
         self.exposed_cycles = 0.0
         self.counter_accesses = 0
         self.counter_misses = 0
+        self.registry.reset()
 
-    def run(self, trace: Trace, label: str | None = None, warmup: float = 0.25) -> SimResult:
+    def run(self, trace: Trace, label: str | None = None, warmup: float = 0.25,
+            collect_metrics: bool = False) -> SimResult:
         """Simulate the trace; the first ``warmup`` fraction of events warms
         the caches (the paper fast-forwards 5B instructions) and is excluded
         from every reported statistic, including cycle counts.
@@ -289,6 +314,15 @@ class TimingSimulator:
         the clock restarts at 0.0 — so bus time is rebased to match, lest
         every early transfer queue behind the previous trace's phantom
         traffic, and all statistics restart from zero.
+
+        ``collect_metrics=True`` attaches the end-of-run registry snapshot
+        to ``SimResult.metrics``. When a :mod:`repro.obs` session is
+        active, live hooks (event tracing, interval samples, phase
+        attribution) are armed at the warmup boundary — the tracer clock
+        is rebased there, so warmup activity never appears in the measured
+        timeline. With no session active, every hook site reduces to a
+        ``None`` check and results are bit-identical to an uninstrumented
+        run.
         """
         gaps = trace.gaps.tolist()
         ops = trace.ops.tolist()
@@ -300,7 +334,11 @@ class TimingSimulator:
         overlap = self.overlap
         now = 0.0
         self.bus.rebase(now)
+        self._hooks = None
         self._reset_stats()
+        session = obs.session()
+        pending_hooks = SimHooks(self, session) if session is not None else None
+        hooks = None
         sample_countdown = _OCCUPANCY_SAMPLE_PERIOD
         warm_events = int(len(addresses) * warmup)
         measured_from = 0.0
@@ -311,16 +349,29 @@ class TimingSimulator:
             if event_index == warm_events:
                 self._reset_stats()
                 measured_from = now
+                if pending_hooks is not None:
+                    hooks = self._hooks = pending_hooks
+                    hooks.begin(now)
             event_index += 1
             now += gap / issue
             self.demand_accesses += 1
             if l2.lookup(addr, write=op == 1):
                 now += hit_latency
+                if hooks is not None:
+                    hooks.account("l2_hit", hit_latency)
             else:
                 self.demand_misses += 1
-                now += hit_latency + self._miss(addr, op == 1, now) * overlap
+                raw = self._miss(addr, op == 1, now)
+                now += hit_latency + raw * overlap
+                if hooks is not None:
+                    hooks.miss_latency.observe(raw)
+                    hooks.emit("l2_miss", ts=now, addr=addr, write=op == 1,
+                               latency=raw)
+                    hooks.account("l2_miss", hit_latency + raw * overlap)
             if event_index > warm_events:
                 measured_instructions += gap + 1
+                if hooks is not None:
+                    hooks.event_tick(now)
             sample_countdown -= 1
             if sample_countdown == 0:
                 l2.tick_occupancy()
@@ -332,22 +383,19 @@ class TimingSimulator:
             measured_from = now
             measured_instructions = 0
 
-        stats = self.l2.stats
+        if hooks is not None:
+            hooks.finish(now)
+            self._hooks = None
+
         measured_cycles = now - measured_from
+        snapshot = self.registry.snapshot()
         return SimResult(
             name=trace.name,
             config_label=label or f"{self.config.encryption}+{self.config.integrity}",
             cycles=measured_cycles,
             instructions=measured_instructions,
-            l2_accesses=self.demand_accesses,
-            l2_misses=self.demand_misses,
-            l2_data_fraction=stats.occupancy_fraction(DATA),
-            l2_merkle_fraction=stats.occupancy_fraction(MERKLE) + stats.occupancy_fraction(MAC),
-            counter_accesses=self.counter_accesses,
-            counter_misses=self.counter_misses,
-            bus_utilization=self.bus.stats.utilization(measured_cycles),
-            bus_transfers_by_kind=dict(self.bus.stats.transfers_by_kind),
-            exposed_decrypt_cycles=self.exposed_cycles,
+            metrics=snapshot if collect_metrics else {},
+            **sim_result_fields(snapshot, measured_cycles),
         )
 
 

@@ -174,3 +174,30 @@ class TestGeneralHygiene:
     def test_gen002_none_default_is_fine(self):
         src = "def f(x=None):\n    pass\n"
         assert not triggers("GEN002", src, "core/machine.py")
+
+
+class TestObs001StatsMutation:
+    def test_flags_foreign_stats_assignment(self):
+        src = "self.l2.stats = CacheStats()\n"
+        assert triggers("OBS001", src, "sim/simulator.py")
+
+    def test_flags_foreign_stats_field_increment(self):
+        src = "cache.stats.hits += 1\n"
+        assert triggers("OBS001", src, "evalx/runner.py")
+
+    def test_owner_files_are_exempt(self):
+        src = "self.stats.hits += 1\n"
+        assert not triggers("OBS001", src, "mem/cache.py")
+        assert not triggers("OBS001", src, "mem/bus.py")
+
+    def test_obs_package_is_exempt(self):
+        src = "owner.stats.hits += 1\n"
+        assert not triggers("OBS001", src, "obs/adapters.py")
+
+    def test_reading_stats_is_fine(self):
+        src = "hits = self.l2.stats.hits\n"
+        assert not triggers("OBS001", src, "sim/simulator.py")
+
+    def test_non_stats_assignment_is_fine(self):
+        src = "self.l2.tracer = tracer\n"
+        assert not triggers("OBS001", src, "sim/simulator.py")

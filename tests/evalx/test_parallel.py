@@ -171,3 +171,47 @@ class TestDegradation:
             [Cell(bench="art", label="aise+bmt", config=aise_bmt_config())],
             events=EVENTS, workers=2)
         assert degraded == serial
+
+
+class TestMetricsPlumbing:
+    def test_metrics_attach_and_survive_the_disk_cache(self, tmp_path):
+        runner = Runner(events=EVENTS, benchmarks=("art",),
+                        cache_dir=str(tmp_path), metrics=True)
+        result = runner.result("art", "aise+bmt")
+        assert result.metrics  # snapshot attached to the cell
+        assert result.metrics["sim.demand_misses"] == result.l2_misses
+
+        # A fresh Runner over the same cache dir serves the snapshot from
+        # disk, metrics and all.
+        warm = Runner(events=EVENTS, benchmarks=("art",),
+                      cache_dir=str(tmp_path), metrics=True)
+        reread = warm.result("art", "aise+bmt")
+        assert warm.cache.hits == 1
+        assert reread == result
+        assert reread.metrics == result.metrics
+
+    def test_metrics_off_leaves_results_bare(self):
+        result = Runner(events=EVENTS, benchmarks=("art",)).result(
+            "art", "aise+bmt")
+        assert result.metrics == {}
+
+    def test_metrics_flag_does_not_disturb_plain_keys(self, tmp_path):
+        """Cache-key stability: keys minted before the metrics flag
+        existed must stay valid, so metrics=False (the default) adds
+        nothing to the payload and metrics=True forks a separate key."""
+        cache = ResultCache(str(tmp_path))
+        digest = spec_trace("art", EVENTS).digest()
+        plain = cache.key_for(digest, aise_bmt_config(), 0.7, 0.25)
+        assert plain == cache.key_for(digest, aise_bmt_config(), 0.7, 0.25,
+                                      metrics=False)
+        assert plain != cache.key_for(digest, aise_bmt_config(), 0.7, 0.25,
+                                      metrics=True)
+
+    def test_pool_metrics_match_serial_metrics(self, tmp_path):
+        cells = [Cell(bench=b, label="aise+bmt", config=aise_bmt_config())
+                 for b in BENCHES]
+        serial = run_cells(cells, events=EVENTS, metrics=True)
+        pooled = run_cells(cells, events=EVENTS, workers=2, metrics=True)
+        for cell in cells:
+            assert pooled[cell] == serial[cell]
+            assert pooled[cell].metrics == serial[cell].metrics != {}

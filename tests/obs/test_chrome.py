@@ -1,0 +1,103 @@
+"""Chrome trace-event export and schema validation."""
+
+from repro.obs.chrome import (
+    TID_BUS,
+    TID_CORE,
+    chrome_trace,
+    validate_chrome_trace,
+)
+from repro.obs.tracer import Event
+
+
+def _names(doc):
+    return [e["name"] for e in doc["traceEvents"]]
+
+
+class TestChromeTrace:
+    def test_metadata_and_shape(self):
+        doc = chrome_trace([], label="unit")
+        assert doc["displayTimeUnit"] == "ms"
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert {"process_name", "thread_name"} <= {e["name"] for e in meta}
+        assert validate_chrome_trace(doc) == []
+
+    def test_duration_events_get_ph_x(self):
+        doc = chrome_trace([Event(ts=5.0, name="bus_grant",
+                                  fields={"kind": "data", "dur": 28,
+                                          "queued": 0.0})])
+        rec = [e for e in doc["traceEvents"] if e["name"] == "bus_grant"][0]
+        assert rec["ph"] == "X" and rec["dur"] == 28.0
+        assert rec["tid"] == TID_BUS
+        assert validate_chrome_trace(doc) == []
+
+    def test_latency_field_doubles_as_duration(self):
+        doc = chrome_trace([Event(ts=1.0, name="l2_miss",
+                                  fields={"latency": 200.0, "addr": 64})])
+        rec = [e for e in doc["traceEvents"] if e["name"] == "l2_miss"][0]
+        assert rec["ph"] == "X" and rec["dur"] == 200.0
+        assert rec["tid"] == TID_CORE
+
+    def test_span_events_renamed(self):
+        doc = chrome_trace([Event(ts=1, name="span",
+                                  fields={"span": "verify_bmt", "dur": 2})])
+        assert "verify_bmt" in _names(doc)
+
+    def test_instant_events(self):
+        doc = chrome_trace([Event(ts=2.0, name="swap_out", fields={"frame": 1})])
+        rec = [e for e in doc["traceEvents"] if e["name"] == "swap_out"][0]
+        assert rec["ph"] == "i" and rec["s"] == "t"
+        assert validate_chrome_trace(doc) == []
+
+    def test_samples_become_counter_tracks(self):
+        sample = {
+            "ts": 100.0,
+            "l2.lines.data": 30, "l2.lines.merkle": 2, "l2.lines.free": 32,
+            "sim.demand_misses": 5, "sim.counter_misses": 1,
+            "bus.busy_cycles": 140.0,
+        }
+        doc = chrome_trace([], samples=[sample])
+        counters = {e["name"]: e for e in doc["traceEvents"] if e["ph"] == "C"}
+        assert counters["l2_occupancy"]["args"] == {"data": 30, "merkle": 2,
+                                                    "free": 32}
+        assert counters["misses"]["args"] == {"l2_misses": 5, "counter_misses": 1}
+        assert counters["bus_busy_cycles"]["args"] == {"busy": 140.0}
+        assert validate_chrome_trace(doc) == []
+
+    def test_phase_totals_appended_at_end(self):
+        doc = chrome_trace([Event(ts=50.0, name="x", fields={})],
+                           phases={"l2_hit": {"count": 3, "total": 30.0}})
+        rec = [e for e in doc["traceEvents"] if e["name"] == "phase:l2_hit"][0]
+        assert rec["ts"] == 50.0  # pinned at the trace's end
+        assert rec["args"] == {"count": 3, "total": 30.0}
+        assert validate_chrome_trace(doc) == []
+
+
+class TestValidator:
+    def test_rejects_non_object(self):
+        assert validate_chrome_trace([]) == ["document is not a JSON object"]
+
+    def test_rejects_missing_trace_events(self):
+        assert validate_chrome_trace({}) == ["missing or non-list 'traceEvents'"]
+
+    def test_rejects_unknown_phase(self):
+        doc = {"traceEvents": [{"ph": "Q", "name": "x", "pid": 0, "tid": 0}]}
+        assert any("unknown phase" in p for p in validate_chrome_trace(doc))
+
+    def test_rejects_x_without_dur(self):
+        doc = {"traceEvents": [
+            {"ph": "X", "name": "x", "pid": 0, "tid": 0, "ts": 1.0}
+        ]}
+        assert any("dur" in p for p in validate_chrome_trace(doc))
+
+    def test_rejects_non_numeric_counter_args(self):
+        doc = {"traceEvents": [
+            {"ph": "C", "name": "c", "pid": 0, "tid": 0, "ts": 0,
+             "args": {"v": "high"}}
+        ]}
+        assert any("numeric" in p for p in validate_chrome_trace(doc))
+
+    def test_rejects_missing_ts(self):
+        doc = {"traceEvents": [
+            {"ph": "i", "name": "x", "pid": 0, "tid": 0, "s": "t"}
+        ]}
+        assert any("ts" in p for p in validate_chrome_trace(doc))

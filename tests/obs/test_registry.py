@@ -1,0 +1,136 @@
+"""The metrics registry: counters, gauges, histograms, scopes, snapshots."""
+
+import json
+
+import pytest
+
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_inc_and_reset(self):
+        reg = MetricsRegistry()
+        c = reg.counter("hits")
+        c.inc()
+        c.inc(4)
+        assert reg.read("hits") == 5
+        reg.reset()
+        assert reg.read("hits") == 0
+
+    def test_registration_is_idempotent(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+
+    def test_type_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+
+    def test_bad_names_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("")
+        with pytest.raises(ValueError):
+            reg.counter("has space")
+
+
+class TestGauge:
+    def test_bound_gauge_pulls_live_value(self):
+        reg = MetricsRegistry()
+        state = {"n": 1}
+        reg.bind("depth", lambda: state["n"])
+        assert reg.read("depth") == 1
+        state["n"] = 7
+        assert reg.read("depth") == 7
+
+    def test_bound_gauge_rejects_set(self):
+        g = Gauge("x", fn=lambda: 3)
+        with pytest.raises(ValueError):
+            g.set(9)
+
+    def test_settable_gauge(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("level")
+        g.set(12)
+        assert reg.read("level") == 12
+        reg.reset()
+        assert reg.read("level") == 0
+
+    def test_bound_gauge_survives_registry_reset(self):
+        reg = MetricsRegistry()
+        state = {"n": 3}
+        reg.bind("depth", lambda: state["n"])
+        reg.reset()
+        assert reg.read("depth") == 3  # pull metrics follow their source
+
+    def test_bound_gauge_tracks_replaced_stats_object(self):
+        # The adapter idiom: close over the OWNER, not its stats instance.
+        class Owner:
+            def __init__(self):
+                self.stats = {"hits": 1}
+
+        owner = Owner()
+        g = Gauge("hits", fn=lambda: owner.stats["hits"])
+        assert g.read() == 1
+        owner.stats = {"hits": 0}  # reset swaps the stats object wholesale
+        assert g.read() == 0
+
+
+class TestHistogram:
+    def test_bucketing_with_overflow(self):
+        h = Histogram("lat", edges=(10, 20))
+        for v in (5, 10, 15, 25, 1000):
+            h.observe(v)
+        # bisect_right: <=10 -> bucket 0, <=20 -> bucket 1, rest overflow.
+        assert h.counts == [2, 1, 2]
+        assert h.count == 5
+        assert h.sum == 1055.0
+
+    def test_requires_sorted_nonempty_edges(self):
+        with pytest.raises(ValueError):
+            Histogram("h", edges=())
+        with pytest.raises(ValueError):
+            Histogram("h", edges=(5, 2))
+
+    def test_read_and_reset(self):
+        h = Histogram("h", edges=(1.0,))
+        h.observe(0.5)
+        snap = h.read()
+        assert snap == {"edges": [1.0], "counts": [1, 0], "sum": 0.5, "count": 1}
+        h.reset()
+        assert h.read()["count"] == 0
+
+
+class TestRegistry:
+    def test_snapshot_is_sorted_and_json_ready(self):
+        reg = MetricsRegistry()
+        reg.counter("z.last").inc(2)
+        reg.bind("a.first", lambda: 1.5)
+        reg.histogram("m.hist", (10,)).observe(3)
+        snap = reg.snapshot()
+        assert list(snap) == sorted(snap)
+        # Round-trips through JSON losslessly.
+        assert json.loads(json.dumps(snap)) == snap
+
+    def test_snapshot_copies_dict_values(self):
+        reg = MetricsRegistry()
+        live = {"data": 1}
+        reg.bind("by_kind", lambda: live)
+        snap = reg.snapshot()
+        live["data"] = 99
+        assert snap["by_kind"] == {"data": 1}
+
+    def test_scoped_prefixing_nests(self):
+        reg = MetricsRegistry()
+        scope = reg.scoped("l2").scoped("inner")
+        scope.counter("hits")
+        assert "l2.inner.hits" in reg
+        assert reg.names() == ["l2.inner.hits"]
+
+    def test_contains_and_len(self):
+        reg = MetricsRegistry()
+        assert len(reg) == 0
+        reg.counter("a")
+        assert "a" in reg and "b" not in reg
+        assert len(reg) == 1

@@ -1,0 +1,132 @@
+"""Event tracing: sinks, clock rebasing, spans, phase profiling, ambient API."""
+
+import io
+import json
+
+import repro.obs as obs
+from repro.obs.tracer import (
+    Event,
+    EventTracer,
+    JsonlSink,
+    ListSink,
+    PhaseProfiler,
+    RingSink,
+    SpanHandle,
+    TeeSink,
+)
+
+
+class TestSinks:
+    def test_ring_sink_keeps_last_n(self):
+        sink = RingSink(capacity=3)
+        tracer = EventTracer(sink)
+        for i in range(5):
+            tracer.emit("e", ts=float(i))
+        assert [e.ts for e in tracer.events()] == [2.0, 3.0, 4.0]
+
+    def test_list_sink_unbounded(self):
+        tracer = EventTracer(ListSink())
+        for i in range(10):
+            tracer.emit("e", ts=float(i))
+        assert len(tracer.events()) == 10
+
+    def test_jsonl_sink_streams_sorted_keys(self):
+        buf = io.StringIO()
+        tracer = EventTracer(JsonlSink(buf))
+        tracer.emit("l2_miss", ts=3.5, latency=200.0, addr=64)
+        line = buf.getvalue().splitlines()[0]
+        assert json.loads(line) == {"ts": 3.5, "event": "l2_miss",
+                                    "latency": 200.0, "addr": 64}
+        # Deterministic byte form: keys sorted.
+        assert line == json.dumps(json.loads(line), sort_keys=True)
+
+    def test_tee_sink_duplicates(self):
+        a, b = ListSink(), ListSink()
+        tracer = EventTracer(TeeSink([a, b]))
+        tracer.emit("x")
+        assert len(a.events) == len(b.events) == 1
+
+
+class TestTracerClock:
+    def test_explicit_ts_rebased(self):
+        tracer = EventTracer(ListSink())
+        tracer.rebase(100.0)
+        event = tracer.emit("e", ts=160.0)
+        assert event.ts == 60.0
+        assert tracer.to_trace_time(100.0) == 0.0
+
+    def test_rebase_resets_logical_ticks(self):
+        tracer = EventTracer(ListSink())
+        tracer.emit("a")
+        tracer.emit("b")
+        assert tracer.ticks == 2
+        tracer.rebase(0.0)
+        assert tracer.ticks == 0
+        assert tracer.emit("c").ts == 1  # logical clock restarted
+
+    def test_clear(self):
+        tracer = EventTracer(ListSink())
+        tracer.emit("a")
+        tracer.clear()
+        assert tracer.events() == []
+
+
+class TestSpansAndPhases:
+    def test_span_records_event_and_phase(self):
+        tracer = EventTracer(ListSink())
+        profiler = PhaseProfiler()
+        with SpanHandle(tracer, profiler, "verify_bmt"):
+            tracer.emit("inner1")
+            tracer.emit("inner2")
+        events = tracer.events()
+        span = events[-1]
+        assert span.name == "span"
+        assert span.fields["span"] == "verify_bmt"
+        assert span.fields["dur"] == 2  # two logical ticks elapsed inside
+        assert profiler.snapshot() == {"verify_bmt": {"count": 1, "total": 2.0}}
+
+    def test_profiler_accumulates_and_resets(self):
+        p = PhaseProfiler()
+        p.add("hit", 2.0)
+        p.add("hit", 3.0)
+        p.add("miss", 10.0)
+        snap = p.snapshot()
+        assert snap["hit"] == {"count": 2, "total": 5.0}
+        assert list(snap) == ["hit", "miss"]  # sorted
+        p.reset()
+        assert p.snapshot() == {}
+
+
+class TestAmbientApi:
+    def test_disabled_by_default(self):
+        assert not obs.enabled()
+        obs.emit("ignored", x=1)  # must be a silent no-op
+        with obs.span("ignored"):
+            pass
+
+    def test_observed_scopes_enablement(self):
+        assert not obs.enabled()
+        with obs.observed() as session:
+            assert obs.enabled()
+            assert obs.session() is session
+            obs.emit("e", ts=1.0, k="v")
+            with obs.span("phase"):
+                pass
+        assert not obs.enabled()
+        names = [e.name for e in session.tracer.events()]
+        assert names == ["e", "span"]
+        assert "phase" in session.profiler.snapshot()
+
+    def test_observed_restores_previous_session(self):
+        with obs.observed() as outer:
+            with obs.observed() as inner:
+                assert obs.session() is inner
+            assert obs.session() is outer
+        assert obs.session() is None
+
+    def test_disabled_span_is_shared_null_object(self):
+        assert obs.span("a") is obs.span("b") is obs.NULL_SPAN
+
+    def test_event_to_dict(self):
+        e = Event(ts=2.0, name="swap_out", fields={"frame": 3})
+        assert e.to_dict() == {"ts": 2.0, "event": "swap_out", "frame": 3}

@@ -105,3 +105,65 @@ class TestReportDataExport:
         table2_csv = (data_dir / "table2.csv").read_text()
         assert "21.55" in table2_csv
         assert not (data_dir / "figure6.json").exists()  # filtered out
+
+
+class TestTraceCommand:
+    def trace_args(self, tmp_path, stem):
+        return ["trace", "stream", "--config", "aise+bmt",
+                "--events", "6000", "--interval", "512",
+                "--out", str(tmp_path / f"{stem}.json"),
+                "--jsonl", str(tmp_path / f"{stem}.jsonl"),
+                "--snapshots", str(tmp_path / f"{stem}-snap.json")]
+
+    def test_emits_valid_chrome_trace(self, capsys, tmp_path):
+        import json
+
+        from repro.obs.chrome import validate_chrome_trace
+
+        assert main(self.trace_args(tmp_path, "t")) == 0
+        out = capsys.readouterr().out
+        assert "trace" in out and "cycles" in out
+        doc = json.loads((tmp_path / "t.json").read_text())
+        assert validate_chrome_trace(doc) == []
+        assert any(e.get("name") == "l2_miss" for e in doc["traceEvents"])
+
+    def test_reruns_are_byte_identical(self, tmp_path):
+        assert main(self.trace_args(tmp_path, "a")) == 0
+        assert main(self.trace_args(tmp_path, "b")) == 0
+        for suffix in (".json", ".jsonl", "-snap.json"):
+            first = (tmp_path / f"a{suffix}").read_bytes()
+            second = (tmp_path / f"b{suffix}").read_bytes()
+            assert first == second, suffix
+
+    def test_snapshots_carry_samples_and_result(self, tmp_path):
+        import json
+
+        assert main(self.trace_args(tmp_path, "s")) == 0
+        snap = json.loads((tmp_path / "s-snap.json").read_text())
+        assert snap["workload"] == "stream"
+        assert snap["interval"] == 512
+        assert len(snap["samples"]) >= 2
+        final = snap["samples"][-1]
+        assert final["sim.demand_misses"] == snap["result"]["l2_misses"]
+
+    def test_spec_workloads_accepted(self, tmp_path):
+        assert main(["trace", "gzip", "--events", "2000",
+                     "--out", str(tmp_path / "g.json")]) == 0
+
+    def test_rejects_unknown_workload(self, tmp_path):
+        assert main(["trace", "doom3",
+                     "--out", str(tmp_path / "x.json")]) == 2
+
+    def test_rejects_unknown_config(self, tmp_path):
+        assert main(["trace", "stream", "--config", "quantum",
+                     "--out", str(tmp_path / "x.json")]) == 2
+
+    def test_verbose_flag_accepted(self, tmp_path):
+        assert main(["-v", "trace", "stream", "--events", "2000",
+                     "--out", str(tmp_path / "v.json")]) == 0
+
+    def test_disabled_mode_left_behind(self, tmp_path):
+        import repro.obs as obs
+
+        assert main(self.trace_args(tmp_path, "d")) == 0
+        assert not obs.enabled()  # tracing is scoped to the command
