@@ -13,12 +13,20 @@ SEC002    No unkeyed hash where a keyed MAC is required (paper section 5:
 SEC003    Counter state only moves through the monotonic APIs in
           :mod:`repro.core.counters` (paper sections 4.1/4.3: counter
           reuse is pad reuse).
+SEC004    No reaching into another object's private state (``x.y._z``):
+          volatile on-chip state (counter caches, trusted Merkle nodes)
+          is cleared/queried through public APIs so the security-
+          relevant lifecycle is auditable at the owning class.
 DET001    No wall-clock or unseeded randomness in the library (trace-
           driven runs must be bit-reproducible); ``evalx`` reporting is
           exempt.
 SIM001    Timing costs come from :class:`repro.core.config.MachineConfig`,
           not from literals sprinkled through the simulator (section 6's
           parameters live in one place).
+SCH001    The functional machine, the timing simulator, and the kernel
+          never branch on ``ENC_*``/``INT_*`` scheme constants — scheme
+          behavior lives in the :mod:`repro.schemes` descriptors, so a
+          new scheme is one new file, not a hunt through if/elif chains.
 OBS001    Statistics objects mutate only inside their owning component;
           everyone else observes them through the pull-model adapters in
           :mod:`repro.obs.adapters` (and resets via ``reset_stats()``),
@@ -294,6 +302,85 @@ class CounterMutationRule(Rule):
                         f"raw write to counter field {field!r}; use the monotonic "
                         "APIs in repro.core.counters (increment/fresh/from_bytes)",
                     )
+
+
+# -- SEC004: no cross-module private state access ----------------------------
+
+
+@register
+class PrivateStateReachRule(Rule):
+    id = "SEC004"
+    severity = "warning"
+    title = "no reaching into another object's private state"
+    rationale = (
+        "Security-relevant volatile state — the AISE counter cache, the "
+        "Merkle tree's trusted node copies — must be cleared and queried "
+        "through the owning class's public API (clear_volatile, "
+        "has_cached_counters, ...) so its lifecycle is auditable in one "
+        "place; a foreign `obj.engine._cache.clear()` silently bypasses "
+        "that audit trail."
+    )
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            attr = node.attr
+            if not attr.startswith("_") or attr.startswith("__"):
+                continue
+            # `self._x` / `machine._x` (Name-rooted, depth 1) is the class
+            # or a friend touching its own field; a chained `a.b._x` is one
+            # object reaching through another into private state.
+            if isinstance(node.value, ast.Attribute):
+                dotted = _dotted(node) or attr
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"access to private state {dotted!r} through another "
+                    "object; add a public method on the owning class",
+                )
+
+
+# -- SCH001: scheme dispatch lives in repro.schemes, not if/elif chains -------
+
+
+@register
+class SchemeConstantDispatchRule(Rule):
+    id = "SCH001"
+    severity = "error"
+    title = "no ENC_*/INT_* scheme dispatch outside repro.schemes"
+    rationale = (
+        "Scheme-specific behavior (counter geometry, engine choice, "
+        "metadata traffic, swap policy) is owned by the descriptors in "
+        "repro.schemes; an ENC_*/INT_* comparison in the machine, the "
+        "timing simulator, or the kernel re-scatters that knowledge and "
+        "breaks the one-file-per-scheme extension contract."
+    )
+
+    WATCHED_FILES = ("core/machine.py", "sim/simulator.py", "osmodel/kernel.py")
+    CONSTANT_RE = re.compile(r"^(ENC|INT)_[A-Z0-9]+$")
+
+    def applies(self, ctx: FileContext) -> bool:
+        return ctx.is_file(*self.WATCHED_FILES)
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    if self.CONSTANT_RE.match(alias.name):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"import of scheme constant {alias.name!r}; consult "
+                            "the scheme descriptor (repro.schemes) instead",
+                        )
+            elif isinstance(node, ast.Name) and self.CONSTANT_RE.match(node.id):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"reference to scheme constant {node.id!r}; scheme-"
+                    "specific behavior belongs in a repro.schemes descriptor",
+                )
 
 
 # -- DET001: determinism of trace-driven runs --------------------------------

@@ -95,10 +95,13 @@ class MachineConfig:
     precise_verification: bool = False
 
     def __post_init__(self):
-        if self.encryption not in ENCRYPTION_SCHEMES:
-            raise ConfigurationError(f"unknown encryption scheme {self.encryption!r}")
-        if self.integrity not in INTEGRITY_SCHEMES:
-            raise ConfigurationError(f"unknown integrity scheme {self.integrity!r}")
+        # Validate through the scheme registry (lazy import: the scheme
+        # descriptors import this module's constants). Registered
+        # third-party schemes validate too, not just the builtin tuples.
+        from ..schemes import encryption_scheme, integrity_scheme
+
+        encryption_scheme(self.encryption)
+        integrity_scheme(self.integrity)
         if self.mac_bits % 8 or self.mac_bits <= 0:
             raise ConfigurationError(f"mac_bits must be a positive multiple of 8, got {self.mac_bits}")
         if self.block_size % (self.mac_bits // 8):
@@ -121,7 +124,9 @@ class MachineConfig:
     def caches_data_macs(self) -> bool:
         if self.cache_data_macs is not None:
             return self.cache_data_macs
-        return self.integrity == INT_MT
+        from ..schemes import integrity_scheme
+
+        return integrity_scheme(self.integrity).caches_data_macs_default
 
     def with_protection(self, encryption: str, integrity: str, **overrides) -> "MachineConfig":
         """Derive a config differing only in protection scheme (and overrides)."""

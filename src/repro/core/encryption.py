@@ -83,6 +83,10 @@ class EncryptionEngine:
         """Current counter value bound into this block's MAC (0 if none)."""
         return 0
 
+    def clear_volatile(self) -> None:
+        """Drop volatile on-chip state (power cycle); a no-op by default."""
+        return None
+
     def counter_block_address(self, paddr: int) -> int | None:
         """Counter-region block a fetch of ``paddr`` depends on, if any."""
         return None
@@ -189,6 +193,28 @@ class AiseEncryption(EncryptionEngine):
     def drop_cached_counters(self, page_idx: int) -> None:
         """Evict the on-chip copy (page swapped out / attack experiments)."""
         self._cache.pop(page_idx, None)
+
+    def clear_volatile(self) -> None:
+        """Power cycle: the on-chip counter cache empties; counter blocks
+        in memory and the (non-volatile) GPC survive."""
+        self._cache.clear()
+
+    def has_cached_counters(self, page_idx: int) -> bool:
+        """Whether the page's counter block is on-chip right now."""
+        return page_idx in self._cache
+
+    def page_counters(self, page_idx: int) -> PageCounterBlock:
+        """The page's (verified) counter block, loading it if needed."""
+        return self._load(page_idx)
+
+    def decrypt_with_seeds(self, cipher: bytes, seeds) -> bytes:
+        """Raw counter-mode decryption under caller-supplied seeds.
+
+        The speculative path (counter prediction) generates candidate
+        seeds itself; this applies them without touching counter state
+        or the pad accounting of the architectural path.
+        """
+        return self._cipher.decrypt(cipher, seeds)
 
     def ensure_lpid(self, page_idx: int) -> PageCounterBlock:
         """Assign an LPID on first touch of a page (first allocation).

@@ -13,6 +13,10 @@ register). Its block read/write path is the paper's hardware datapath:
 It also provides the page-granular primitives the OS model needs for
 swapping (export/install page images, page roots, subtree invalidation)
 — crucially *without* decrypting anything for AISE-encrypted pages.
+
+Everything scheme-specific — counter-region sizing, engine construction,
+the per-page counter run a swap image carries — comes from the scheme
+descriptors in :mod:`repro.schemes`; this module only orchestrates.
 """
 
 from __future__ import annotations
@@ -20,45 +24,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..crypto.mac import make_mac
-from ..integrity.bonsai import BonsaiMerkleIntegrity, StandardMerkleIntegrity
-from ..integrity.geometry import TreeGeometry
-from ..integrity.loghash import LogHashIntegrity
-from ..integrity.macs import MacOnlyIntegrity, MacStore
-from ..integrity.merkle import MerkleTree
 from ..integrity.pageroot import PageRootDirectory
 from ..mem.dram import BlockMemory
-from ..mem.layout import BLOCK_SIZE, BLOCKS_PER_PAGE, PAGE_SIZE, block_address
-from .config import (
-    ENC_AISE,
-    ENC_DIRECT,
-    ENC_GLOBAL32,
-    ENC_GLOBAL64,
-    ENC_NONE,
-    ENC_PHYS,
-    ENC_SPLIT,
-    ENC_VIRT,
-    INT_BMT,
-    INT_LOGHASH,
-    INT_MAC,
-    INT_MT,
-    INT_NONE,
-    MachineConfig,
-)
+from ..mem.layout import BLOCK_SIZE, BLOCKS_PER_PAGE, PAGE_SIZE, block_address, round_to_blocks
+from ..schemes import encryption_scheme, integrity_scheme
+from .config import MachineConfig
 from .counters import GlobalPageCounter
-from .encryption import (
-    AccessContext,
-    AddressSeedEncryption,
-    AiseEncryption,
-    EncryptionEngine,
-    GlobalCounterEncryption,
-    NULL_CONTEXT,
-    NullEncryption,
-)
+from .encryption import AccessContext, NULL_CONTEXT
 from .errors import ConfigurationError
-
-
-def _round_blocks(size: int) -> int:
-    return (size + BLOCK_SIZE - 1) // BLOCK_SIZE * BLOCK_SIZE
 
 
 @dataclass(frozen=True)
@@ -100,50 +73,40 @@ class PhysicalLayout:
         return "outside"
 
 
-def plan_layout(config: MachineConfig) -> tuple[PhysicalLayout, TreeGeometry | None]:
-    """Compute the physical memory map for a configuration."""
+def plan_layout(config: MachineConfig):
+    """Compute the physical memory map for a configuration.
+
+    Region sizes come from the configuration's scheme descriptors: the
+    encryption scheme sizes the counter region, the integrity scheme
+    plans its tree geometry and data-MAC region over the result.
+    """
     data = config.physical_bytes
     if data % PAGE_SIZE:
         raise ConfigurationError("data region must be a whole number of pages")
 
-    if config.encryption in (ENC_AISE, ENC_SPLIT):
-        counter_bytes = data // PAGE_SIZE * BLOCK_SIZE
-    elif config.encryption == ENC_GLOBAL64:
-        counter_bytes = _round_blocks(data // BLOCK_SIZE * 8)
-    elif config.encryption == ENC_GLOBAL32:
-        counter_bytes = _round_blocks(data // BLOCK_SIZE * 4)
-    elif config.encryption in (ENC_PHYS, ENC_VIRT):
-        counter_bytes = _round_blocks(data // BLOCK_SIZE * 4)
-    else:
-        counter_bytes = 0
+    enc_scheme = encryption_scheme(config.encryption)
+    integ_scheme = integrity_scheme(config.integrity)
 
-    uses_tree = config.integrity in (INT_MT, INT_BMT)
+    counter_bytes = enc_scheme.counter_region_bytes(data)
     swap_pages = (config.swap_bytes or data) // PAGE_SIZE
-    prd_bytes = _round_blocks(swap_pages * config.mac_bytes) if uses_tree else 0
+    prd_bytes = round_to_blocks(swap_pages * config.mac_bytes) if integ_scheme.uses_tree else 0
 
     counter_base = data
     prd_base = counter_base + counter_bytes
     tree_base = prd_base + prd_bytes
 
-    geometry = None
-    if config.integrity == INT_MT:
-        covered = data + counter_bytes + prd_bytes
-        geometry = TreeGeometry(0, covered, tree_base, config.mac_bytes)
-    elif config.integrity == INT_BMT:
-        if counter_bytes == 0:
-            raise ConfigurationError(
-                "a Bonsai Merkle Tree needs counter storage to cover: "
-                "use a counter-mode encryption scheme with it"
-            )
-        covered = counter_bytes + prd_bytes
-        geometry = TreeGeometry(counter_base, covered, tree_base, config.mac_bytes)
+    geometry = integ_scheme.plan_tree(
+        config,
+        data_bytes=data,
+        counter_base=counter_base,
+        counter_bytes=counter_bytes,
+        prd_bytes=prd_bytes,
+        tree_base=tree_base,
+    )
     tree_bytes_total = geometry.node_bytes if geometry else 0
 
     mac_base = tree_base + tree_bytes_total
-    if config.integrity in (INT_BMT, INT_MAC):
-        mac_region = _round_blocks(data // BLOCK_SIZE * config.mac_bytes)
-    else:
-        mac_region = 0
+    mac_region = integ_scheme.mac_region_bytes(config, data)
 
     layout = PhysicalLayout(
         data_bytes=data,
@@ -160,10 +123,15 @@ def plan_layout(config: MachineConfig) -> tuple[PhysicalLayout, TreeGeometry | N
 
 
 # Swapped-page image format: 8-byte origin-frame header, 4096B of raw
-# (still encrypted) page content, 64B counter block.
+# (still encrypted) page content, then the page's counter run — one 64B
+# block for AISE-family and counter-free schemes, more for flat-counter
+# schemes whose per-page counters span several blocks (global64: 8).
+# These module-level constants describe the *single-counter-block* image
+# (the AISE shape); a machine's actual image size is ``image_bytes`` /
+# ``image_blocks`` on the instance, derived from its scheme descriptor.
 IMAGE_HEADER = 8
 IMAGE_BYTES = IMAGE_HEADER + PAGE_SIZE + BLOCK_SIZE
-IMAGE_BLOCKS = _round_blocks(IMAGE_BYTES) // BLOCK_SIZE
+IMAGE_BLOCKS = round_to_blocks(IMAGE_BYTES) // BLOCK_SIZE
 
 
 class SecureMemorySystem:
@@ -177,9 +145,18 @@ class SecureMemorySystem:
         seed_audit=None,
     ):
         self.config = config or MachineConfig()
+        self.enc_scheme = encryption_scheme(self.config.encryption)
+        self.integ_scheme = integrity_scheme(self.config.integrity)
         self.layout, geometry = plan_layout(self.config)
         self.memory = BlockMemory(self.layout.total_bytes, name="physical")
-        self._fast_crypto = fast_crypto
+        self.fast_crypto = fast_crypto
+        self._fast_crypto = fast_crypto  # back-compat alias
+
+        # Swap image geometry for this machine's scheme (multi-block
+        # counter runs make images larger than the module constants).
+        self.image_counter_blocks = self.enc_scheme.image_counter_blocks
+        self.image_bytes = IMAGE_HEADER + PAGE_SIZE + self.image_counter_blocks * BLOCK_SIZE
+        self.image_blocks = round_to_blocks(self.image_bytes) // BLOCK_SIZE
 
         # Independent keys for encryption and authentication, derived from
         # the master key exactly like the hardware's key ladder would.
@@ -189,72 +166,13 @@ class SecureMemorySystem:
         self.mac_key = hashlib.blake2s(master_key, person=b"mac-key0").digest()
 
         self.gpc = GlobalPageCounter()
-        mac_fn = make_mac(self.mac_key, self.config.mac_bits, fast=fast_crypto)
-        self._mac_fn = mac_fn
+        self.mac_fn = make_mac(self.mac_key, self.config.mac_bits, fast=fast_crypto)
+        self._mac_fn = self.mac_fn  # back-compat alias
 
-        # Integrity engine.
-        self.tree: MerkleTree | None = None
-        integrity = self.config.integrity
-        if integrity == INT_MT:
-            self.tree = MerkleTree(self.memory, geometry, mac_fn)
-            self.integrity = StandardMerkleIntegrity(self.memory, self.tree)
-        elif integrity == INT_BMT:
-            self.tree = MerkleTree(self.memory, geometry, mac_fn)
-            store = MacStore(
-                self.memory, self.layout.mac_base, 0, self.layout.data_bytes, self.config.mac_bytes
-            )
-            self.integrity = BonsaiMerkleIntegrity(self.memory, store, self.tree, mac_fn)
-        elif integrity == INT_MAC:
-            store = MacStore(
-                self.memory, self.layout.mac_base, 0, self.layout.data_bytes, self.config.mac_bytes
-            )
-            self.integrity = MacOnlyIntegrity(self.memory, store, mac_fn)
-        elif integrity == INT_LOGHASH:
-            self.integrity = LogHashIntegrity(self.memory, mac_fn)
-        elif integrity == INT_NONE:
-            self.integrity = _NullIntegrity()
-        else:
-            raise ConfigurationError(f"unsupported integrity scheme {integrity!r}")
-
-        # Encryption engine.
-        enc = self.config.encryption
-        common = dict(
-            memory=self.memory,
-            counter_base=self.layout.counter_base,
-            data_bytes=self.layout.data_bytes,
-        )
-        if enc == ENC_AISE:
-            self.encryption: EncryptionEngine = AiseEncryption(
-                self.encryption_key, gpc=self.gpc, fast_crypto=fast_crypto,
-                seed_audit=seed_audit, **common
-            )
-        elif enc == ENC_SPLIT:
-            from .encryption import SplitCounterEncryption
-
-            self.encryption = SplitCounterEncryption(
-                self.encryption_key, fast_crypto=fast_crypto, seed_audit=seed_audit, **common
-            )
-        elif enc in (ENC_GLOBAL32, ENC_GLOBAL64):
-            bits = 32 if enc == ENC_GLOBAL32 else 64
-            self.encryption = GlobalCounterEncryption(
-                self.encryption_key, bits=bits, fast_crypto=fast_crypto, **common
-            )
-        elif enc in (ENC_PHYS, ENC_VIRT):
-            self.encryption = AddressSeedEncryption(
-                self.encryption_key,
-                virtual=(enc == ENC_VIRT),
-                fast_crypto=fast_crypto,
-                seed_audit=seed_audit,
-                **common,
-            )
-        elif enc == ENC_DIRECT:
-            from .encryption import DirectEncryption
-
-            self.encryption = DirectEncryption(self.encryption_key)
-        elif enc == ENC_NONE:
-            self.encryption = NullEncryption()
-        else:
-            raise ConfigurationError(f"unsupported encryption scheme {enc!r}")
+        # Engines, built by the scheme descriptors.
+        self.integrity = self.integ_scheme.build_engine(self, geometry)
+        self.tree = getattr(self.integrity, "tree", None)
+        self.encryption = self.enc_scheme.build_engine(self, seed_audit=seed_audit)
 
         # Wire the engine's metadata path through the integrity scheme.
         self.encryption.metadata_verify = self.integrity.verify_metadata
@@ -278,6 +196,11 @@ class SecureMemorySystem:
 
     # -- boot --------------------------------------------------------------------
 
+    @property
+    def booted(self) -> bool:
+        """Whether :meth:`boot` has built the integrity structures."""
+        return self._booted
+
     def boot(self) -> None:
         """Build integrity structures over current memory (secure boot).
 
@@ -287,7 +210,7 @@ class SecureMemorySystem:
         """
         if self.tree is not None:
             self.tree.build()
-        if self.config.integrity in (INT_BMT, INT_MAC):
+        if self.integ_scheme.uses_data_macs:
             uses_counters = self.encryption.uses_counters
             for paddr in range(0, self.layout.data_bytes, BLOCK_SIZE):
                 cipher = self.memory.read_block(paddr)
@@ -298,10 +221,9 @@ class SecureMemorySystem:
     def reboot(self) -> None:
         """Power-cycle: volatile on-chip state is lost; the GPC (non-volatile,
         section 4.3) and the securely persisted root MAC survive."""
-        if isinstance(self.encryption, AiseEncryption):
-            self.encryption._cache.clear()
+        self.encryption.clear_volatile()
         if self.tree is not None:
-            self.tree._trusted.clear()
+            self.tree.clear_volatile()
 
     # -- hibernation ------------------------------------------------------------------
 
@@ -321,7 +243,7 @@ class SecureMemorySystem:
             "config": (self.config.encryption, self.config.integrity, self.config.mac_bits,
                        self.config.physical_bytes, self.config.swap_bytes),
         }
-        memory_image = dict(self.memory._blocks)
+        memory_image = self.memory.snapshot_blocks()
         return nonvolatile, memory_image
 
     @classmethod
@@ -339,7 +261,7 @@ class SecureMemorySystem:
         if fingerprint != nonvolatile["config"]:
             raise ConfigurationError("resume configuration does not match hibernated machine")
         machine = cls(config, master_key=master_key, fast_crypto=fast_crypto)
-        machine.memory._blocks = dict(memory_image)
+        machine.memory.restore_blocks(memory_image)
         machine.gpc.restore_state(nonvolatile["gpc"])
         if machine.tree is not None:
             machine.tree.root.store(nonvolatile["root"])
@@ -425,45 +347,33 @@ class SecureMemorySystem:
     # -- page-granular primitives for the OS model ----------------------------------
 
     def export_page_image(self, frame_index: int) -> bytes:
-        """Serialize a frame for swap-out: raw ciphertext + counter block.
+        """Serialize a frame for swap-out: raw ciphertext + counter run.
 
         No decryption happens — for AISE this is the paper's point
         (section 4.4): the page and its counter block move to disk as-is.
+        Flat-counter schemes export their page's whole counter run (which
+        may span several blocks), so nothing is lost across the swap.
         """
         page_base = frame_index * PAGE_SIZE
         body = bytearray(page_base.to_bytes(IMAGE_HEADER, "big"))
         for block in range(BLOCKS_PER_PAGE):
             body.extend(self.memory.read_block(page_base + block * BLOCK_SIZE))
-        body.extend(self._export_counter_block(frame_index))
-        body.extend(bytes(IMAGE_BLOCKS * BLOCK_SIZE - len(body)))  # pad to blocks
+        body.extend(self.enc_scheme.export_counter_run(self, frame_index))
+        body.extend(bytes(self.image_blocks * BLOCK_SIZE - len(body)))  # pad to blocks
         return bytes(body)
-
-    def _export_counter_block(self, frame_index: int) -> bytes:
-        if isinstance(self.encryption, AiseEncryption):
-            return self.encryption.export_counter_block(frame_index)
-        if self.encryption.uses_counters:
-            # Flat-counter schemes: copy the raw counter bytes for the page.
-            out = bytearray()
-            for block in range(BLOCKS_PER_PAGE):
-                paddr = frame_index * PAGE_SIZE + block * BLOCK_SIZE
-                addr = self.encryption.counter_block_address(paddr)
-                raw = self.memory.read_block(addr)
-                out = bytearray(raw)  # page's counters share at most one block here
-            return bytes(out[:BLOCK_SIZE].ljust(BLOCK_SIZE, b"\x00"))
-        return bytes(BLOCK_SIZE)
 
     def page_root_of_image(self, image: bytes) -> bytes:
         """The page-root MAC stored in the page root directory."""
-        return self._mac_fn.compute(image + b"page-root")
+        return self.mac_fn.compute(image + b"page-root")
 
     def install_page_image(self, frame_index: int, image: bytes) -> None:
         """Swap-in: place raw ciphertext + counters at a (possibly new) frame
         and re-anchor integrity metadata. Still no decryption for AISE."""
         page_base = frame_index * PAGE_SIZE
         offset = IMAGE_HEADER
-        counter_raw = image[IMAGE_HEADER + PAGE_SIZE : IMAGE_HEADER + PAGE_SIZE + BLOCK_SIZE]
-        if isinstance(self.encryption, AiseEncryption):
-            self.encryption.install_counter_block(frame_index, counter_raw)
+        counter_lo = IMAGE_HEADER + PAGE_SIZE
+        counter_raw = image[counter_lo : counter_lo + self.image_counter_blocks * BLOCK_SIZE]
+        self.enc_scheme.install_counter_run(self, frame_index, counter_raw)
         for block in range(BLOCKS_PER_PAGE):
             paddr = page_base + block * BLOCK_SIZE
             cipher = image[offset : offset + BLOCK_SIZE]
@@ -477,28 +387,8 @@ class SecureMemorySystem:
         page_base = frame_index * PAGE_SIZE
         if self.tree is not None and self.tree.geometry.covers(page_base):
             self.tree.invalidate_covered_range(page_base, PAGE_SIZE)
-        if isinstance(self.encryption, AiseEncryption):
-            self.encryption.drop_cached_counters(frame_index)
+        self.enc_scheme.drop_page_state(self, frame_index)
 
     @property
     def data_pages(self) -> int:
         return self.layout.data_bytes // PAGE_SIZE
-
-
-class _NullIntegrity:
-    """No integrity protection (encryption-only or unprotected machines)."""
-
-    kind = "none"
-    detects_replay = False
-
-    def verify_data(self, address, cipher, counter=0):
-        return None
-
-    def update_data(self, address, cipher, counter=0):
-        return None
-
-    def verify_metadata(self, address, raw):
-        return None
-
-    def update_metadata(self, address, raw):
-        return None

@@ -100,7 +100,7 @@ class CounterPredictor:
         paddr = block_address(paddr)
         page_index = paddr // PAGE_SIZE
         lpid = self._lpids.get(page_index)
-        on_chip = page_index in self.engine._cache
+        on_chip = self.engine.has_cached_counters(page_index)
         if lpid is not None and not on_chip:
             self.stats.attempts += 1
             cipher = self.machine.memory.read_block(paddr)
@@ -108,17 +108,17 @@ class CounterPredictor:
             for minor in self._candidates(page_index):
                 self.stats.candidate_trials += 1
                 tag = (lpid << 7) | minor
-                computed = self.machine.integrity._compute(paddr, cipher, tag)
+                computed = self.machine.integrity.compute_data_mac(paddr, cipher, tag)
                 if computed == stored_mac:
                     seeds = self.engine.scheme.seeds_for_block(
                         SeedInput(paddr=paddr, lpid=lpid, counter=minor)
                     )
                     self.stats.hits += 1
                     self._last_minor[page_index] = minor
-                    return self.engine._cipher.decrypt(cipher, seeds), True
+                    return self.engine.decrypt_with_seeds(cipher, seeds), True
             self.stats.fallbacks += 1
         # Architectural path (fetches + verifies the counter block).
         plain = self.machine.read_block(paddr)
-        block = self.engine._load(page_index)
+        block = self.engine.page_counters(page_index)
         self.observe(page_index, block.lpid, block.minors[block_in_page(paddr)])
         return plain, False

@@ -78,11 +78,12 @@ def config_fingerprint(config: MachineConfig) -> str:
 
 # -- model fingerprint (cache invalidation on code change) --------------------
 
-_model_fingerprint: str | None = None
-
-# Modules whose source can change a SimResult for a fixed (trace, config):
-# the simulator and everything it simulates with, plus trace generation.
-_TIMING_MODULES = (
+# Fixed modules whose source can change a SimResult for an unchanged
+# (trace, config): the simulator and everything it simulates with, plus
+# trace generation. Scheme descriptors are NOT listed here — they are
+# discovered from the registry so a newly registered scheme (even one
+# defined outside the repo) invalidates the cache automatically.
+_STATIC_TIMING_MODULES = (
     "repro.core.config",
     "repro.core.machine",
     "repro.integrity.geometry",
@@ -99,25 +100,69 @@ _TIMING_MODULES = (
 )
 
 
-def model_fingerprint() -> str:
-    """Digest of the timing model: MODEL_VERSION + timing-critical sources.
+def timing_modules() -> tuple[str, ...]:
+    """Every module whose source feeds the model fingerprint.
 
-    Any edit to the modules above changes the fingerprint and thereby
-    invalidates every cached result — conservative (comment edits also
-    invalidate) but safe: a stale cache can never masquerade as a fresh
-    simulation.
+    The static core above, plus the whole :mod:`repro.schemes` package
+    (walked, not hard-coded), plus the defining module of every
+    *registered* scheme descriptor — so third-party schemes registered
+    from outside the package are fingerprinted too.
     """
-    global _model_fingerprint
-    if _model_fingerprint is None:
-        import importlib
+    import pkgutil
 
-        h = hashlib.sha256(MODEL_VERSION.encode())  # repro: allow(SEC002)
-        for name in _TIMING_MODULES:
+    from .. import schemes
+
+    names = set(_STATIC_TIMING_MODULES)
+    names.add("repro.schemes")
+    names.update(
+        info.name for info in pkgutil.iter_modules(schemes.__path__, "repro.schemes.")
+    )
+    names.update(type(scheme).__module__ for scheme in schemes.registered_schemes())
+    return tuple(sorted(names))
+
+
+_model_fingerprints: dict[tuple, str] = {}
+
+
+def model_fingerprint() -> str:
+    """Digest of the timing model: MODEL_VERSION + registered scheme keys
+    + timing-critical sources.
+
+    Any edit to the modules of :func:`timing_modules` changes the
+    fingerprint and thereby invalidates every cached result —
+    conservative (comment edits also invalidate) but safe: a stale cache
+    can never masquerade as a fresh simulation. Registering or removing
+    a scheme re-keys the memo and changes the digest even when no
+    tracked source file changed.
+    """
+    import importlib
+
+    from ..schemes import encryption_keys, integrity_keys
+
+    modules = timing_modules()
+    registered = ("enc",) + encryption_keys() + ("int",) + integrity_keys()
+    memo_key = (modules, registered)
+    cached = _model_fingerprints.get(memo_key)
+    if cached is not None:
+        return cached
+
+    h = hashlib.sha256(MODEL_VERSION.encode())  # repro: allow(SEC002)
+    for key in registered:
+        h.update(key.encode())
+    for name in modules:
+        try:
             module = importlib.import_module(name)
-            with open(module.__file__, "rb") as f:
-                h.update(f.read())
-        _model_fingerprint = h.hexdigest()[:20]
-    return _model_fingerprint
+            source = getattr(module, "__file__", None)
+        except ImportError:
+            source = None
+        if source is None:
+            h.update(f"<no source: {name}>".encode())
+            continue
+        with open(source, "rb") as f:
+            h.update(f.read())
+    fingerprint = h.hexdigest()[:20]
+    _model_fingerprints[memo_key] = fingerprint
+    return fingerprint
 
 
 # -- the grid -----------------------------------------------------------------

@@ -46,6 +46,15 @@ class BonsaiMerkleIntegrity:
         message = cipher + counter.to_bytes(16, "big") + address.to_bytes(8, "big")
         return self.mac.compute(message)
 
+    def compute_data_mac(self, address: int, cipher: bytes, counter: int) -> bytes:
+        """The MAC this scheme would store for (address, cipher, counter).
+
+        Public so speculative consumers (counter prediction) can test
+        candidate counters against the stored MAC without reaching into
+        the scheme's internals.
+        """
+        return self._compute(address, cipher, counter)
+
     # -- data blocks: MAC check only, no tree walk --------------------------
 
     def verify_data(self, address: int, cipher: bytes, counter: int = 0) -> None:

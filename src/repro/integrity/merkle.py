@@ -78,6 +78,14 @@ class MerkleTree:
     def trusted_nodes(self) -> int:
         return len(self._trusted)
 
+    def clear_volatile(self) -> None:
+        """Drop every trusted on-chip node copy (power cycle).
+
+        The root register and the in-memory nodes survive; future reads
+        re-verify MAC chains up from memory against the preserved root.
+        """
+        self._trusted.clear()
+
     def drop_trusted(self, address: int) -> bool:
         return self._trusted.pop(address, None) is not None
 

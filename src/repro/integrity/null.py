@@ -1,0 +1,26 @@
+"""The no-op integrity engine (encryption-only or unprotected machines).
+
+Lives here — not in ``core.machine`` — so the scheme descriptor layer
+(:mod:`repro.schemes`) can construct it without importing the machine.
+"""
+
+from __future__ import annotations
+
+
+class NullIntegrity:
+    """No integrity protection: every check passes, nothing is stored."""
+
+    kind = "none"
+    detects_replay = False
+
+    def verify_data(self, address, cipher, counter=0):
+        return None
+
+    def update_data(self, address, cipher, counter=0):
+        return None
+
+    def verify_metadata(self, address, raw):
+        return None
+
+    def update_metadata(self, address, raw):
+        return None

@@ -77,6 +77,17 @@ class BlockMemory:
             self.access_log.append(("w", address))
         self._blocks[address] = bytes(data)
 
+    # -- whole-memory images (hibernation) ----------------------------------
+
+    def snapshot_blocks(self) -> dict[int, bytes]:
+        """Copy of the populated blocks — the DRAM image a hibernating
+        machine writes to disk (attacker-accessible while it sleeps)."""
+        return dict(self._blocks)
+
+    def restore_blocks(self, image: dict[int, bytes]) -> None:
+        """Replace all content with a previously captured image."""
+        self._blocks = dict(image)
+
     # -- adversary / DMA interface -----------------------------------------
     # These do NOT go through the secure processor (and are not recorded
     # in the access log — they are not bus transactions of the chip).

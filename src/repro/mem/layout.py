@@ -16,6 +16,11 @@ CHUNK_SIZE = 16  # bytes per encryption chunk (AES block)
 CHUNKS_PER_BLOCK = BLOCK_SIZE // CHUNK_SIZE  # 4
 
 
+def round_to_blocks(size: int) -> int:
+    """Round a byte size up to a whole number of blocks."""
+    return (size + BLOCK_SIZE - 1) // BLOCK_SIZE * BLOCK_SIZE
+
+
 def block_index(address: int) -> int:
     """Index of the 64-byte block containing ``address``."""
     return address // BLOCK_SIZE

@@ -96,6 +96,25 @@ def register_integrity(registry, integrity, prefix: str = "integrity"):
     return scope
 
 
+def register_machine(registry, machine, prefix: str = "machine"):
+    """Bind a :class:`~repro.core.machine.SecureMemorySystem`'s counters.
+
+    Access counts come from the machine itself; engine-specific gauges
+    (pads generated, re-encryptions, ...) come from the machine's scheme
+    descriptor via :meth:`~repro.schemes.base.EncryptionScheme.engine_stats`,
+    so a registered third-party scheme publishes its own metrics without
+    this module knowing its engine type.
+    """
+    scope = registry.scoped(prefix)
+    scope.bind("reads", lambda: machine.reads)
+    scope.bind("writes", lambda: machine.writes)
+    if hasattr(machine.integrity, "verifications"):
+        scope.bind("verifications", lambda: machine.integrity.verifications)
+    for name, getter in machine.enc_scheme.engine_stats(machine.encryption).items():
+        scope.bind(name, getter)
+    return scope
+
+
 def register_predictor(registry, predictor, prefix: str = "prediction"):
     """Bind a :class:`~repro.core.prediction.CounterPredictor`'s stats."""
     scope = registry.scoped(prefix)

@@ -23,13 +23,9 @@ import hashlib
 from dataclasses import dataclass
 
 from .. import obs
-from ..core.config import ENC_PHYS, ENC_SPLIT
-
-# Seed schemes whose address component forces page re-encryption on swap.
-REENCRYPT_ON_SWAP = (ENC_PHYS, ENC_SPLIT)
 from ..core.encryption import AccessContext
 from ..core.errors import PageFaultError
-from ..core.machine import IMAGE_BLOCKS, IMAGE_HEADER, SecureMemorySystem
+from ..core.machine import IMAGE_HEADER, SecureMemorySystem
 from ..mem.layout import BLOCK_SIZE, BLOCKS_PER_PAGE, PAGE_SIZE
 from .filesystem import FileStore
 from .frames import FrameAllocator
@@ -92,7 +88,7 @@ class Kernel:
         self.frames = FrameAllocator(machine.data_pages)
         if swap_slots is None:
             swap_slots = (machine.config.swap_bytes or machine.layout.data_bytes) // PAGE_SIZE
-        self.swap = SwapDevice(swap_slots)
+        self.swap = SwapDevice(swap_slots, slot_blocks=machine.image_blocks)
         self.tlb = TLB(tlb_entries)
         self.reuse_pids = reuse_pids
         self.processes: dict[int, Process] = {}
@@ -104,7 +100,7 @@ class Kernel:
         self._disk_cipher = DiskCipher(hashlib.blake2s(machine.mac_key, person=b"diskkey0").digest())
         self._slot_generation: dict[int, int] = {}
         self.stats = KernelStats()
-        if not machine._booted:
+        if not machine.booted:
             machine.boot()
 
     # -- process lifecycle ----------------------------------------------------
@@ -368,7 +364,7 @@ class Kernel:
         (pid, vpage), = info.mappers  # victims are never shared
         pte = self.processes[pid].page_table.entry(vpage)
         slot = self.swap.allocate_slot()
-        if self.machine.config.encryption in REENCRYPT_ON_SWAP:
+        if self.machine.enc_scheme.reencrypt_on_swap:
             image = self._export_phys_reencrypted(frame, pid, vpage, slot)
         else:
             image = self.machine.export_page_image(frame)
@@ -402,7 +398,7 @@ class Kernel:
                 slot, self.machine.page_root_of_image(image)
             )
         frame = self._get_frame()
-        if self.machine.config.encryption in REENCRYPT_ON_SWAP:
+        if self.machine.enc_scheme.reencrypt_on_swap:
             self._install_phys_reencrypted(frame, image, pid, pte.vpage, slot)
         else:
             self.machine.install_page_image(frame, image)
@@ -427,7 +423,7 @@ class Kernel:
             plain = self.machine.read_block(base + block * BLOCK_SIZE, ctx)
             body.extend(self._disk_cipher.apply(plain, generation, block))
             self.stats.swap_reencrypted_blocks += 1
-        body.extend(bytes(IMAGE_BLOCKS * BLOCK_SIZE - len(body)))
+        body.extend(bytes(self.machine.image_blocks * BLOCK_SIZE - len(body)))
         return bytes(body)
 
     def _install_phys_reencrypted(

@@ -16,13 +16,18 @@ from ..mem.layout import BLOCK_SIZE
 
 
 class SwapDevice:
-    """Fixed-size slots of page images on 'disk'."""
+    """Fixed-size slots of page images on 'disk'.
 
-    def __init__(self, slots: int):
+    ``slot_blocks`` defaults to the single-counter-block image shape; a
+    kernel passes its machine's ``image_blocks`` so schemes with larger
+    per-page counter runs (global64) get correspondingly larger slots.
+    """
+
+    def __init__(self, slots: int, slot_blocks: int = IMAGE_BLOCKS):
         if slots <= 0:
             raise ValueError("swap device needs at least one slot")
         self.slots = slots
-        self.slot_bytes = IMAGE_BLOCKS * BLOCK_SIZE
+        self.slot_bytes = slot_blocks * BLOCK_SIZE
         self.storage = BlockMemory(slots * self.slot_bytes, name="swap")
         self._free = list(range(slots - 1, -1, -1))
         self._used: set[int] = set()

@@ -1,0 +1,135 @@
+"""The scheme registry: string keys -> descriptor objects.
+
+``MachineConfig`` validates its ``encryption``/``integrity`` strings
+here; ``SecureMemorySystem`` and ``TimingSimulator`` resolve the same
+strings to :class:`~repro.schemes.base.EncryptionScheme` /
+:class:`~repro.schemes.base.IntegrityScheme` descriptors and consult
+*them* instead of dispatching on scheme constants. The built-in schemes
+register themselves on import; external code can add its own with
+:func:`register_encryption` / :func:`register_integrity` (the evaluation
+cache fingerprints registered descriptors, so a new scheme automatically
+invalidates stale on-disk results — see ``repro.evalx.parallel``).
+"""
+
+from __future__ import annotations
+
+import inspect
+import os
+
+from ..core.errors import ConfigurationError
+from .base import (
+    EncryptionScheme,
+    FlatCounterScheme,
+    IntegrityScheme,
+    PagedCounterScheme,
+)
+
+_ENCRYPTION: dict[str, EncryptionScheme] = {}
+_INTEGRITY: dict[str, IntegrityScheme] = {}
+
+
+def register_encryption(scheme: EncryptionScheme, replace: bool = False) -> EncryptionScheme:
+    """Add an encryption descriptor under its ``key``. Refuses to shadow
+    an existing key unless ``replace=True`` (tests swapping a builtin)."""
+    if not replace and scheme.key in _ENCRYPTION:
+        raise ConfigurationError(f"encryption scheme {scheme.key!r} already registered")
+    _ENCRYPTION[scheme.key] = scheme
+    return scheme
+
+
+def register_integrity(scheme: IntegrityScheme, replace: bool = False) -> IntegrityScheme:
+    """Add an integrity descriptor under its ``key``."""
+    if not replace and scheme.key in _INTEGRITY:
+        raise ConfigurationError(f"integrity scheme {scheme.key!r} already registered")
+    _INTEGRITY[scheme.key] = scheme
+    return scheme
+
+
+def unregister_encryption(key: str) -> None:
+    _ENCRYPTION.pop(key, None)
+
+
+def unregister_integrity(key: str) -> None:
+    _INTEGRITY.pop(key, None)
+
+
+def encryption_scheme(key: str) -> EncryptionScheme:
+    """Resolve an encryption key; ConfigurationError when unknown."""
+    try:
+        return _ENCRYPTION[key]
+    except KeyError:
+        raise ConfigurationError(f"unknown encryption scheme {key!r}") from None
+
+
+def integrity_scheme(key: str) -> IntegrityScheme:
+    """Resolve an integrity key; ConfigurationError when unknown."""
+    try:
+        return _INTEGRITY[key]
+    except KeyError:
+        raise ConfigurationError(f"unknown integrity scheme {key!r}") from None
+
+
+def encryption_keys() -> tuple[str, ...]:
+    return tuple(_ENCRYPTION)
+
+
+def integrity_keys() -> tuple[str, ...]:
+    return tuple(_INTEGRITY)
+
+
+def registered_schemes() -> tuple:
+    """Every registered descriptor (encryption first, then integrity)."""
+    return tuple(_ENCRYPTION.values()) + tuple(_INTEGRITY.values())
+
+
+def scheme_source_files() -> tuple[str, ...]:
+    """Source files that define scheme behaviour: every module of this
+    package plus the defining file of each registered descriptor class.
+
+    The evaluation's result cache folds these into its model fingerprint
+    (:func:`repro.evalx.parallel.model_fingerprint`), so editing or
+    adding a scheme module invalidates cached timing results without
+    anyone remembering to update a hard-coded module list.
+    """
+    files = set()
+    package_dir = os.path.dirname(os.path.abspath(__file__))
+    for entry in os.listdir(package_dir):
+        if entry.endswith(".py"):
+            files.add(os.path.join(package_dir, entry))
+    for scheme in registered_schemes():
+        try:
+            source = inspect.getsourcefile(type(scheme))
+        except TypeError:
+            source = None
+        if source:
+            files.add(os.path.abspath(source))
+    return tuple(sorted(files))
+
+
+# Built-in schemes register on import (after the registry exists, since
+# the descriptor modules import the classes above through this package).
+from .encryption import BUILTIN_ENCRYPTION_SCHEMES  # noqa: E402
+from .integrity import BUILTIN_INTEGRITY_SCHEMES  # noqa: E402
+
+for _scheme in BUILTIN_ENCRYPTION_SCHEMES:
+    register_encryption(_scheme)
+for _scheme in BUILTIN_INTEGRITY_SCHEMES:
+    register_integrity(_scheme)
+del _scheme
+
+__all__ = [
+    "EncryptionScheme",
+    "IntegrityScheme",
+    "PagedCounterScheme",
+    "FlatCounterScheme",
+    "encryption_scheme",
+    "integrity_scheme",
+    "encryption_keys",
+    "integrity_keys",
+    "register_encryption",
+    "register_integrity",
+    "unregister_encryption",
+    "unregister_integrity",
+    "registered_schemes",
+    "scheme_source_files",
+]

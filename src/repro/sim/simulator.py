@@ -21,26 +21,14 @@ paper reports is a *memory-system* effect.
 
 from __future__ import annotations
 
-from ..core.config import (
-    ENC_AISE,
-    ENC_DIRECT,
-    ENC_GLOBAL32,
-    ENC_GLOBAL64,
-    ENC_PHYS,
-    ENC_SPLIT,
-    ENC_VIRT,
-    INT_BMT,
-    INT_MAC,
-    INT_MT,
-    INT_NONE,
-    MachineConfig,
-)
+from ..core.config import MachineConfig
 from .. import obs
 from ..core.machine import plan_layout
 from ..mem.bus import MemoryBus
 from ..mem.cache import COUNTER, DATA, MAC, MERKLE, SetAssociativeCache
-from ..mem.layout import BLOCK_SIZE, PAGE_SIZE
+from ..mem.layout import BLOCK_SIZE
 from ..obs.adapters import SimHooks, register_simulator, sim_result_fields
+from ..schemes import encryption_scheme, integrity_scheme
 from ..obs.registry import MetricsRegistry
 from .results import SimResult
 from .trace import Trace
@@ -64,25 +52,25 @@ class TimingSimulator:
         layout, geometry = plan_layout(config)
         self.layout = layout
 
-        # Encryption model parameters.
-        enc = config.encryption
-        self.enc = enc
-        self.uses_counter_cache = enc in (
-            ENC_AISE, ENC_SPLIT, ENC_GLOBAL32, ENC_GLOBAL64, ENC_PHYS, ENC_VIRT
-        )
+        # Encryption model parameters, from the scheme descriptor: whether
+        # a counter cache exists, how many data bytes one counter block
+        # covers, and whether decryption serializes after the fetch.
+        enc_scheme = encryption_scheme(config.encryption)
+        self.enc = config.encryption
+        self.uses_counter_cache = enc_scheme.uses_counter_cache
+        self._serial_decrypt = enc_scheme.serialized_decrypt
         if self.uses_counter_cache:
-            if enc in (ENC_AISE, ENC_SPLIT):
-                blocks_per_cb = PAGE_SIZE // BLOCK_SIZE  # 64: one page per counter block
-            elif enc == ENC_GLOBAL64:
-                blocks_per_cb = BLOCK_SIZE // 8  # 8
-            else:  # 4-byte per-block counters (global32 / phys / virt)
-                blocks_per_cb = BLOCK_SIZE // 4  # 16
-            self._cb_span = blocks_per_cb * BLOCK_SIZE
+            self._cb_span = enc_scheme.counter_block_span
             self._ctr_base = layout.counter_base
 
-        # Integrity model parameters.
-        integ = config.integrity
-        self.integ = integ
+        # Integrity model parameters, from the scheme descriptor: whether
+        # metadata walks a tree, whether that tree covers data blocks, and
+        # whether per-block data MACs travel on misses and writebacks.
+        integ_scheme = integrity_scheme(config.integrity)
+        self.integ = config.integrity
+        self._walks_tree = integ_scheme.uses_tree
+        self._tree_covers_data = integ_scheme.tree_covers_data
+        self._uses_data_macs = integ_scheme.uses_data_macs
         self._walk_bases: list[int] = []
         self._arity = 1
         self._covered_start = 0
@@ -97,12 +85,13 @@ class TimingSimulator:
         # Hardware structures.
         l2cfg = config.l2
         l2_bytes = l2cfg.size_bytes
-        if enc == ENC_VIRT:
+        tag_bytes = enc_scheme.l2_tag_overhead_bytes
+        if tag_bytes:
             # Table 1's "VA storage in L2": the virtual-address scheme must
             # keep each line's virtual address alongside its physical tag
             # (virtual addresses are gone past the L1). Model the SRAM cost
-            # as capacity lost to the 4-byte per-line field.
-            overhead = config.block_size / (config.block_size + 4)
+            # as capacity lost to the per-line field.
+            overhead = config.block_size / (config.block_size + tag_bytes)
             l2_bytes = int(l2_bytes * overhead) // (l2cfg.assoc * config.block_size)
             l2_bytes *= l2cfg.assoc * config.block_size
         self.l2 = SetAssociativeCache(l2_bytes, l2cfg.assoc, config.block_size, "L2")
@@ -123,6 +112,7 @@ class TimingSimulator:
         self.mac_latency = config.mac_latency
         self.issue_width = config.issue_width
         self.precise = config.precise_verification
+        self._verify_on_path = self.precise and integ_scheme.verifies
 
         # Demand-stream statistics (the paper's local L2 miss rate counts
         # only demand data accesses, not metadata lookups).
@@ -221,7 +211,7 @@ class TimingSimulator:
         victim = self.counter_cache.insert(cb_addr, COUNTER, dirty=write)
         if victim is not None and victim.dirty:
             self._writeback_counter_block(victim.block * BLOCK_SIZE, now)
-        if self.integ in (INT_MT, INT_BMT):
+        if self._walks_tree:
             self._tree_walk(cb_addr, now, make_dirty=False)
         if write:
             return 0.0  # writebacks are off the critical path
@@ -230,7 +220,7 @@ class TimingSimulator:
 
     def _writeback_counter_block(self, cb_addr: int, now: float) -> None:
         self.bus.request(now, "counter_wb")
-        if self.integ in (INT_MT, INT_BMT):
+        if self._walks_tree:
             self._tree_walk(cb_addr, now, make_dirty=True)
 
     # -- writebacks ---------------------------------------------------------------------
@@ -244,9 +234,9 @@ class TimingSimulator:
         self.bus.request(now, "data_wb")
         if self.uses_counter_cache:
             self._counter_access(addr, now, write=True, data_ready=now)
-        if self.integ == INT_MT:
+        if self._tree_covers_data:
             self._tree_walk(addr, now, make_dirty=True)
-        elif self.integ in (INT_BMT, INT_MAC):
+        elif self._uses_data_macs:
             self._data_mac_traffic(addr, now, write=True)
 
     # -- the demand miss path --------------------------------------------------------------
@@ -259,17 +249,17 @@ class TimingSimulator:
         if self.uses_counter_cache:
             extra = self._counter_access(addr, now, write=False, data_ready=data_ready)
             self.exposed_cycles += extra
-        elif self.enc == ENC_DIRECT:
+        elif self._serial_decrypt:
             extra = self.aes_latency  # decryption serialized after the fetch
             self.exposed_cycles += extra
         if extra and self._hooks is not None:
             self._hooks.emit("decrypt_exposed", ts=now, addr=addr, dur=extra)
         integrity_fetches = 0
-        if self.integ == INT_MT:
+        if self._tree_covers_data:
             integrity_fetches = self._tree_walk(addr, now, make_dirty=False)
-        elif self.integ in (INT_BMT, INT_MAC):
+        elif self._uses_data_macs:
             integrity_fetches = self._data_mac_traffic(addr, now, write=False)
-        if self.precise and self.integ != INT_NONE:
+        if self._verify_on_path:
             # Precise verification: the load cannot retire until the MAC
             # chain checks out — the hash latency always shows, plus a
             # serialized memory round-trip when metadata had to be fetched.

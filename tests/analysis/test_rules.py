@@ -98,6 +98,54 @@ class TestSec003CounterMutation:
         assert not triggers("SEC003", src, "core/machine.py")
 
 
+class TestSec004PrivateStateReach:
+    def test_flags_chained_private_access(self):
+        src = "self.encryption._cache.clear()\n"
+        assert triggers("SEC004", src, "core/machine.py")
+
+    def test_flags_chained_private_read(self):
+        src = "n = machine.tree._trusted\n"
+        assert triggers("SEC004", src, "osmodel/kernel.py")
+
+    def test_flags_chained_private_assignment_target(self):
+        src = "machine.memory._blocks = dict(image)\n"
+        assert triggers("SEC004", src, "core/machine.py")
+
+    def test_own_private_field_is_fine(self):
+        src = "self._cache.clear()\n"
+        assert not triggers("SEC004", src, "core/encryption.py")
+
+    def test_name_rooted_private_access_is_fine(self):
+        src = "if not machine._booted:\n    machine.boot()\n"
+        assert not triggers("SEC004", src, "osmodel/kernel.py")
+
+    def test_dunder_attribute_is_fine(self):
+        src = "name = type(scheme).__module__\n"
+        assert not triggers("SEC004", src, "evalx/parallel.py")
+
+
+class TestSch001SchemeConstantDispatch:
+    def test_flags_constant_comparison_in_simulator(self):
+        src = "if self.enc == ENC_AISE:\n    pass\n"
+        assert triggers("SCH001", src, "sim/simulator.py")
+
+    def test_flags_constant_import_in_machine(self):
+        src = "from .config import ENC_PHYS\n"
+        assert triggers("SCH001", src, "core/machine.py")
+
+    def test_flags_membership_test_in_kernel(self):
+        src = "if scheme in (ENC_PHYS, ENC_SPLIT):\n    pass\n"
+        assert triggers("SCH001", src, "osmodel/kernel.py")
+
+    def test_config_home_is_exempt(self):
+        src = "ENC_AISE = 'aise'\nschemes = (ENC_AISE,)\n"
+        assert not triggers("SCH001", src, "core/config.py")
+
+    def test_scheme_descriptors_are_exempt(self):
+        src = "from ..core.config import ENC_AISE\nkey = ENC_AISE\n"
+        assert not triggers("SCH001", src, "schemes/encryption.py")
+
+
 class TestDet001Determinism:
     def test_flags_wall_clock(self):
         src = "import time\nstamp = time.time()\n"

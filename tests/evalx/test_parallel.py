@@ -140,6 +140,34 @@ class TestDiskCache:
     def test_model_fingerprint_is_stable_in_process(self):
         assert model_fingerprint() == model_fingerprint()
 
+    def test_fingerprint_covers_scheme_package(self):
+        from repro.evalx.parallel import timing_modules
+
+        modules = timing_modules()
+        assert "repro.schemes" in modules
+        assert "repro.schemes.base" in modules
+        assert "repro.schemes.encryption" in modules
+        assert "repro.schemes.integrity" in modules
+
+    def test_registering_a_scheme_changes_the_fingerprint(self):
+        """Satellite invariant: a new scheme descriptor — even one defined
+        outside repro.schemes — must invalidate cached timing results."""
+        from repro.schemes import EncryptionScheme, register_encryption, unregister_encryption
+
+        class _FingerprintProbe(EncryptionScheme):
+            key = "test_fingerprint_probe"
+
+            def build_engine(self, machine, seed_audit=None):
+                raise NotImplementedError
+
+        before = model_fingerprint()
+        register_encryption(_FingerprintProbe())
+        try:
+            assert model_fingerprint() != before
+        finally:
+            unregister_encryption("test_fingerprint_probe")
+        assert model_fingerprint() == before
+
 
 class _BrokenPool:
     """A ProcessPoolExecutor stand-in whose every future fails."""

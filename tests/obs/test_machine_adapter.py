@@ -1,0 +1,42 @@
+"""register_machine: pull-model gauges over a functional machine,
+with engine-specific metrics supplied by the scheme descriptor."""
+
+from __future__ import annotations
+
+from repro.obs.adapters import register_machine
+from repro.obs.registry import MetricsRegistry
+
+from ..conftest import make_machine
+
+
+class TestRegisterMachine:
+    def test_binds_access_counts_and_engine_stats(self):
+        machine = make_machine("aise", "bonsai")
+        registry = MetricsRegistry()
+        register_machine(registry, machine)
+        machine.write_block(0, b"x" * 64)
+        machine.read_block(0)
+        snap = registry.snapshot()
+        assert snap["machine.reads"] == 1
+        assert snap["machine.writes"] == 1
+        assert snap["machine.verifications"] >= 1
+        # AISE descriptor publishes its engine's pad counter.
+        assert snap["machine.pads_generated"] >= 2
+
+    def test_counter_free_scheme_has_no_engine_gauges(self):
+        machine = make_machine("none", "none")
+        registry = MetricsRegistry()
+        register_machine(registry, machine)
+        snap = registry.snapshot()
+        assert snap["machine.reads"] == 0
+        assert "machine.pads_generated" not in snap
+        assert "machine.verifications" not in snap
+
+    def test_global64_publishes_its_own_stat_names(self):
+        machine = make_machine("global64", "merkle")
+        registry = MetricsRegistry()
+        register_machine(registry, machine)
+        machine.write_block(0, b"y" * 64)
+        snap = registry.snapshot()
+        assert snap["machine.pads_generated"] >= 1
+        assert "machine.memory_reencryptions" in snap

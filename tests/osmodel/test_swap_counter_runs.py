@@ -1,0 +1,82 @@
+"""Swap round-trips for every counter-mode scheme (regression).
+
+The old export path copied only ONE counter block per page, but flat-
+counter schemes pack several per page (global64: 8), and the install
+path dropped flat-scheme counters entirely. A page returning to a
+*different* frame then decrypted against the previous tenant's counters.
+These tests round-trip a page through swap under real memory pressure
+for every counter-mode scheme and demand the data come back intact —
+including when the swap image's counter run is what carries the truth.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mem.layout import BLOCK_SIZE, PAGE_SIZE
+from repro.schemes import encryption_keys, encryption_scheme
+
+from .test_kernel_schemes import force_swap_roundtrip
+
+COUNTER_SCHEMES = [k for k in encryption_keys() if encryption_scheme(k).uses_counters]
+
+PAYLOAD = b"counter-run survives swap"
+
+
+def _roundtrip(kernel):
+    p = kernel.create_process()
+    kernel.mmap(p.pid, 0x10000, 1)
+    kernel.write(p.pid, 0x10000, PAYLOAD)
+    old_frame = p.page_table.lookup(0x10000).frame
+    force_swap_roundtrip(kernel, p.pid, 0x10000)
+    data = kernel.read(p.pid, 0x10000, len(PAYLOAD))
+    new_frame = p.page_table.lookup(0x10000).frame
+    return data, old_frame, new_frame
+
+
+@pytest.mark.parametrize("enc", COUNTER_SCHEMES)
+def test_swap_roundtrip_preserves_data(kernel_factory, enc):
+    kernel = kernel_factory(encryption=enc, integrity="bonsai")
+    data, _, _ = _roundtrip(kernel)
+    assert data == PAYLOAD
+
+
+@pytest.mark.parametrize("enc", COUNTER_SCHEMES)
+def test_swap_roundtrip_into_a_different_frame(kernel_factory, enc):
+    """The page must decrypt at a frame it never occupied — exactly the
+    case the single-block counter export got wrong for flat schemes."""
+    kernel = kernel_factory(encryption=enc, integrity="bonsai")
+    data, old_frame, new_frame = _roundtrip(kernel)
+    assert data == PAYLOAD
+    if new_frame == old_frame:
+        pytest.skip("page happened to return to its original frame")
+
+
+@pytest.mark.parametrize("enc", COUNTER_SCHEMES)
+def test_swap_image_carries_the_whole_counter_run(kernel_factory, enc):
+    """The exported image's counter section must equal the page's actual
+    counter region content, for however many blocks the scheme packs."""
+    kernel = kernel_factory(encryption=enc, integrity="bonsai")
+    machine = kernel.machine
+    scheme = encryption_scheme(enc)
+    p = kernel.create_process()
+    kernel.mmap(p.pid, 0x10000, 1)
+    kernel.write(p.pid, 0x10000, PAYLOAD)
+    frame = p.page_table.lookup(0x10000).frame
+    image = machine.export_page_image(frame)
+    assert len(image) == machine.image_blocks * BLOCK_SIZE
+    run = image[8 + PAGE_SIZE : 8 + PAGE_SIZE + scheme.image_counter_blocks * BLOCK_SIZE]
+    expected = scheme.export_counter_run(machine, frame)
+    assert run == expected
+    assert len(run) == scheme.image_counter_blocks * BLOCK_SIZE
+    # A written page's counters are non-trivial for every counter scheme.
+    assert any(run), f"{enc}: exported counter run is all zeros"
+
+
+def test_global64_swaps_with_standard_merkle_tree(kernel_factory):
+    """The Figure-6 comparison point (global64 + standard MT): installing
+    the 8-block counter run must also re-anchor the tree over it, or the
+    next counter read fails verification."""
+    kernel = kernel_factory(encryption="global64", integrity="merkle")
+    data, _, _ = _roundtrip(kernel)
+    assert data == PAYLOAD

@@ -1,0 +1,115 @@
+"""The scheme registry: lookup, registration, and config integration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ENCRYPTION_SCHEMES, INTEGRITY_SCHEMES, MachineConfig
+from repro.core.errors import ConfigurationError
+from repro.schemes import (
+    EncryptionScheme,
+    IntegrityScheme,
+    encryption_keys,
+    encryption_scheme,
+    integrity_keys,
+    integrity_scheme,
+    register_encryption,
+    register_integrity,
+    registered_schemes,
+    scheme_source_files,
+    unregister_encryption,
+    unregister_integrity,
+)
+
+
+class TestBuiltinRegistration:
+    def test_every_config_constant_has_a_descriptor(self):
+        assert set(encryption_keys()) == set(ENCRYPTION_SCHEMES)
+        assert set(integrity_keys()) == set(INTEGRITY_SCHEMES)
+
+    def test_lookup_returns_the_same_instance(self):
+        assert encryption_scheme("aise") is encryption_scheme("aise")
+        assert integrity_scheme("bonsai") is integrity_scheme("bonsai")
+
+    def test_descriptor_keys_match_registry_keys(self):
+        for key in encryption_keys():
+            assert encryption_scheme(key).key == key
+        for key in integrity_keys():
+            assert integrity_scheme(key).key == key
+
+    def test_unknown_keys_raise_configuration_error(self):
+        with pytest.raises(ConfigurationError, match="unknown encryption scheme"):
+            encryption_scheme("rot13")
+        with pytest.raises(ConfigurationError, match="unknown integrity scheme"):
+            integrity_scheme("pinky_swear")
+
+    def test_config_validation_routes_through_registry(self):
+        with pytest.raises(ConfigurationError, match="unknown encryption scheme"):
+            MachineConfig(encryption="rot13")
+        with pytest.raises(ConfigurationError, match="unknown integrity scheme"):
+            MachineConfig(integrity="pinky_swear")
+
+    def test_source_files_cover_the_package(self):
+        files = scheme_source_files()
+        assert any(path.endswith("schemes/base.py") for path in files)
+        assert any(path.endswith("schemes/encryption.py") for path in files)
+        assert any(path.endswith("schemes/integrity.py") for path in files)
+
+
+class _DummyEncryption(EncryptionScheme):
+    key = "test_dummy_enc"
+
+    def build_engine(self, machine, seed_audit=None):
+        from repro.core.encryption import NullEncryption
+
+        return NullEncryption()
+
+
+class _DummyIntegrity(IntegrityScheme):
+    key = "test_dummy_int"
+    verifies = False
+
+    def build_engine(self, machine, geometry):
+        from repro.integrity.null import NullIntegrity
+
+        return NullIntegrity()
+
+
+class TestDynamicRegistration:
+    def test_register_unregister_roundtrip(self):
+        scheme = _DummyEncryption()
+        register_encryption(scheme)
+        try:
+            assert encryption_scheme("test_dummy_enc") is scheme
+            assert scheme in registered_schemes()
+            # A config naming the new scheme now validates.
+            config = MachineConfig(encryption="test_dummy_enc", integrity="none")
+            assert config.encryption == "test_dummy_enc"
+        finally:
+            unregister_encryption("test_dummy_enc")
+        with pytest.raises(ConfigurationError):
+            encryption_scheme("test_dummy_enc")
+
+    def test_integrity_register_unregister_roundtrip(self):
+        scheme = _DummyIntegrity()
+        register_integrity(scheme)
+        try:
+            assert integrity_scheme("test_dummy_int") is scheme
+        finally:
+            unregister_integrity("test_dummy_int")
+        with pytest.raises(ConfigurationError):
+            integrity_scheme("test_dummy_int")
+
+    def test_duplicate_registration_raises_without_replace(self):
+        scheme = _DummyEncryption()
+        register_encryption(scheme)
+        try:
+            with pytest.raises(ConfigurationError, match="already registered"):
+                register_encryption(_DummyEncryption())
+            register_encryption(_DummyEncryption(), replace=True)  # explicit wins
+        finally:
+            unregister_encryption("test_dummy_enc")
+
+    def test_builtin_duplicate_also_refused(self):
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_encryption(encryption_scheme("aise"))
