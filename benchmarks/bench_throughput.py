@@ -1,0 +1,194 @@
+#!/usr/bin/env python3
+"""Throughput benchmark: the fastpath engine vs the reference loops.
+
+Measures accesses/sec on both halves of the library — the functional
+machine (real crypto, ``read_block``/``write_block``) and the trace-
+driven timing model (``TimingSimulator.run``) — twice each: once with
+``repro.fastpath`` forced off (the pre-fastpath reference loops, kept
+in-tree for exactly this comparison) and once forced on. Both runs
+happen in the same process on the same inputs, so the *speedup ratio*
+is meaningful on any machine even though absolute accesses/sec are not.
+
+Emits ``BENCH_throughput.json`` (the repo's perf trajectory; committed
+at the repo root). ``--check`` re-runs the benchmark and fails if a
+speedup ratio regressed more than ``--tolerance`` (default 20%) against
+the committed baseline — the CI smoke job runs exactly that on a small
+trace.
+
+Run:  PYTHONPATH=src python benchmarks/bench_throughput.py [--events N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+from repro import fastpath
+from repro.api import TimingSimulator, build_machine, load_trace
+
+BLOCK = 64
+PAGE = 4096
+
+FUNCTIONAL_PRESETS = ("aise", "aise+bmt")
+TIMING_PRESETS = ("base", "aise", "aise+bmt", "global64+mt")
+
+DEFAULT_OUT = os.path.join(os.path.dirname(__file__), os.pardir,
+                           "BENCH_throughput.json")
+
+
+def _functional_accesses_per_sec(
+    preset: str, pages: int, rounds: int, repeats: int
+) -> float:
+    """Accesses/sec for read-heavy traffic on a warm functional machine."""
+    machine = build_machine(preset, physical_bytes=pages * PAGE)
+    addresses = [page * PAGE + line * BLOCK
+                 for page in range(pages) for line in (0, 17, 42)]
+    payload = bytes(range(64))
+    # Warm every page off the clock: first touch re-encrypts the whole
+    # page (counter initialization), which is a boot cost, not steady
+    # state throughput.
+    for addr in addresses:
+        machine.write_block(addr, payload)
+
+    best = 0.0
+    for _ in range(repeats):
+        accesses = 0
+        start = time.perf_counter()
+        for round_ in range(rounds):
+            for i, addr in enumerate(addresses):
+                if (i + round_) % 8 == 0:
+                    machine.write_block(addr, payload)
+                else:
+                    machine.read_block(addr)
+                accesses += 1
+        elapsed = time.perf_counter() - start
+        best = max(best, accesses / elapsed)
+    return best
+
+
+def _timing_accesses_per_sec(preset: str, trace, repeats: int) -> float:
+    """Trace events/sec through ``TimingSimulator.run`` for one preset."""
+    sim = TimingSimulator(build_machine(preset, boot=False).config)
+    best = 0.0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        sim.run(trace)
+        elapsed = time.perf_counter() - start
+        best = max(best, len(trace) / elapsed)
+    return best
+
+
+def run_benchmark(events: int, pages: int, rounds: int, repeats: int) -> dict:
+    trace = load_trace("art", events)
+    trace.decoded()  # pre-decode off the clock; both paths share it
+    report = {
+        "meta": {
+            "events": events,
+            "functional_pages": pages,
+            "functional_rounds": rounds,
+            "python": platform.python_version(),
+            "note": "accesses/sec are machine-specific; speedup ratios "
+                    "(fastpath vs in-process reference) are comparable "
+                    "across machines",
+        },
+        "functional": {},
+        "timing": {},
+    }
+    for preset in FUNCTIONAL_PRESETS:
+        with fastpath.forced(False):
+            reference = _functional_accesses_per_sec(preset, pages, rounds, repeats)
+        with fastpath.forced(True):
+            fast = _functional_accesses_per_sec(preset, pages, rounds, repeats)
+        report["functional"][preset] = {
+            "reference_accesses_per_sec": round(reference, 1),
+            "fastpath_accesses_per_sec": round(fast, 1),
+            "speedup": round(fast / reference, 3),
+        }
+    for preset in TIMING_PRESETS:
+        with fastpath.forced(False):
+            reference = _timing_accesses_per_sec(preset, trace, repeats)
+        with fastpath.forced(True):
+            fast = _timing_accesses_per_sec(preset, trace, repeats)
+        report["timing"][preset] = {
+            "reference_accesses_per_sec": round(reference, 1),
+            "fastpath_accesses_per_sec": round(fast, 1),
+            "speedup": round(fast / reference, 3),
+        }
+    return report
+
+
+def check_regression(current: dict, baseline: dict, tolerance: float) -> list[str]:
+    """Speedup ratios that fell more than ``tolerance`` below the baseline."""
+    failures = []
+    for section in ("functional", "timing"):
+        for preset, cell in baseline.get(section, {}).items():
+            now = current.get(section, {}).get(preset)
+            if now is None:
+                failures.append(f"{section}/{preset}: missing from current run")
+                continue
+            floor = cell["speedup"] * (1.0 - tolerance)
+            if now["speedup"] < floor:
+                failures.append(
+                    f"{section}/{preset}: speedup {now['speedup']:.2f}x < "
+                    f"{floor:.2f}x ({cell['speedup']:.2f}x committed, "
+                    f"-{tolerance:.0%} tolerance)"
+                )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--events", type=int, default=30_000,
+                        help="timing-path trace length (default: 30000)")
+    parser.add_argument("--pages", type=int, default=24,
+                        help="functional-path working set in pages")
+    parser.add_argument("--rounds", type=int, default=40,
+                        help="functional-path passes over the working set")
+    parser.add_argument("--repeats", type=int, default=2,
+                        help="timed runs per preset and mode (best is kept)")
+    parser.add_argument("--out", default=DEFAULT_OUT,
+                        help="report path (default: BENCH_throughput.json)")
+    parser.add_argument("--check", action="store_true",
+                        help="also compare speedups against --baseline; "
+                             "exit 1 on regression")
+    parser.add_argument("--baseline", default=DEFAULT_OUT,
+                        help="committed report to --check against "
+                             "(default: BENCH_throughput.json)")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed speedup regression for --check")
+    args = parser.parse_args(argv)
+
+    report = run_benchmark(args.events, args.pages, args.rounds, args.repeats)
+    for section in ("functional", "timing"):
+        for preset, cell in report[section].items():
+            print(f"{section:10} {preset:12} "
+                  f"ref {cell['reference_accesses_per_sec']:>12,.0f}/s   "
+                  f"fast {cell['fastpath_accesses_per_sec']:>12,.0f}/s   "
+                  f"{cell['speedup']:.2f}x")
+
+    # Never clobber the baseline with a smoke run's numbers.
+    if not (args.check and os.path.abspath(args.out) == os.path.abspath(args.baseline)):
+        with open(args.out, "w") as f:
+            json.dump(report, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"report written to {args.out}")
+
+    if args.check:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+        failures = check_regression(report, baseline, args.tolerance)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print(f"no speedup regression beyond {args.tolerance:.0%} "
+              f"vs {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,8 +10,7 @@ the replay row: per-block MACs alone miss it; both Merkle organizations
 Run:  python examples/attack_detection.py
 """
 
-from repro.attacks import run_all
-from repro.core import MachineConfig, SecureMemorySystem
+from repro.api import build_machine, run_attacks
 
 CONFIGS = [
     ("none (unprotected)", "none", "none"),
@@ -30,12 +29,9 @@ def main() -> None:
     print("-" * len(header))
 
     for label, encryption, integrity in CONFIGS:
-        machine = SecureMemorySystem(
-            MachineConfig(physical_bytes=16 * 4096, encryption=encryption,
-                          integrity=integrity)
-        )
-        machine.boot()
-        outcomes = {r.scenario: r.detected for r in run_all(machine)}
+        machine = build_machine(f"{encryption}+{integrity}",
+                                physical_bytes=16 * 4096)
+        outcomes = {r.scenario: r.detected for r in run_attacks(machine)}
         cells = "".join(
             f"{('DETECTED' if outcomes[s] else 'missed') if s in outcomes else '-':>16}"
             for s in SCENARIOS
@@ -48,11 +44,9 @@ def main() -> None:
     print("* The Bonsai tree achieves the standard tree's full matrix while")
     print("  covering only counters — 1/64th of the data (section 5.2).")
 
-    # Show the tree-size difference concretely.
-    mt = SecureMemorySystem(MachineConfig(physical_bytes=1 << 20, encryption="aise",
-                                          integrity="merkle"))
-    bmt = SecureMemorySystem(MachineConfig(physical_bytes=1 << 20, encryption="aise",
-                                           integrity="bonsai"))
+    # Show the tree-size difference concretely (layout only; no boot).
+    mt = build_machine("aise+mt", physical_bytes=1 << 20, boot=False)
+    bmt = build_machine("aise+bmt", physical_bytes=1 << 20, boot=False)
     print(f"\ntree node storage for a 1MB memory: "
           f"standard={mt.layout.tree_bytes}B, bonsai={bmt.layout.tree_bytes}B "
           f"({mt.layout.tree_bytes / max(1, bmt.layout.tree_bytes):.0f}x smaller)")

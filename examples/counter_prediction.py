@@ -13,14 +13,13 @@ no such candidate set.
 Run:  python examples/counter_prediction.py
 """
 
-from repro.core import CounterPredictor, SecureMemorySystem, aise_bmt_config
+from repro.api import CounterPredictor, build_machine
 
 PAGE = 4096
 
 
 def main() -> None:
-    machine = SecureMemorySystem(aise_bmt_config(physical_bytes=64 * PAGE))
-    machine.boot()
+    machine = build_machine("aise+bmt", physical_bytes=64 * PAGE)
     predictor = CounterPredictor(machine, max_candidates=8)
 
     # A workload phase: write some pages a few times each.
@@ -33,8 +32,8 @@ def main() -> None:
 
     # Pressure evicts all on-chip counter blocks (context switch, big
     # working set, ...). Subsequent reads face counter-cache misses.
-    machine.encryption._cache.clear()
-    machine.tree._trusted.clear()
+    machine.encryption.clear_volatile()
+    machine.tree.clear_volatile()
 
     print("=== cold counter cache: speculative reads ===")
     for page in range(16):
@@ -54,7 +53,7 @@ def main() -> None:
     print("\n=== a page written 50x while the predictor wasn't looking ===")
     for i in range(50):
         machine.write_block(0, bytes([i]) * 64)
-    machine.encryption._cache.clear()
+    machine.encryption.clear_volatile()
     plain, predicted = predictor.read_block(0)
     print(f"  value correct: {plain == bytes([49]) * 64}, "
           f"predicted: {predicted} (fallback fetched + verified the counter)")

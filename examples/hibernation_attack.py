@@ -14,16 +14,15 @@ the sleeping image, and shows the resumed machine refusing the rollback.
 Run:  python examples/hibernation_attack.py
 """
 
-from repro.core import IntegrityError, SecureMemorySystem, aise_bmt_config
+from repro.api import IntegrityError, MachineConfig, SecureMemorySystem, build_machine
 
 PAGE = 4096
-CONFIG = aise_bmt_config(physical_bytes=16 * PAGE)
+CONFIG = MachineConfig.preset("aise+bmt", physical_bytes=16 * PAGE)
 
 
 def main() -> None:
     print("=== Hibernation attack demo ===\n")
-    machine = SecureMemorySystem(CONFIG)
-    machine.boot()
+    machine = build_machine(CONFIG)
 
     machine.write_block(0, b"license: expired" + bytes(48))
     print("state v1 written :", b"license: expired")
@@ -60,7 +59,7 @@ def main() -> None:
     resumed = SecureMemorySystem.resume(nonvolatile, current_image, CONFIG)
     print("honest resume     :", resumed.read_block(0)[:16])
     resumed.write_block(4096, b"post-resume data" + bytes(48))
-    print("new page after resume gets LPID", resumed.encryption._load(1).lpid,
+    print("new page after resume gets LPID", resumed.encryption.page_counters(1).lpid,
           "(GPC continued, never reused)")
 
 

@@ -13,18 +13,15 @@ Run:  python examples/mac_size_tradeoff.py [events]
 
 import sys
 
-from repro.core import MachineConfig, aise_bmt_config, baseline_config
-from repro.core.storage import storage_breakdown
-from repro.sim import TimingSimulator
-from repro.workloads import spec_trace
+from repro.api import MachineConfig, load_trace, simulate, storage_breakdown
 
 MAC_SIZES = (32, 64, 128, 256)
 
 
 def main() -> None:
     events = int(sys.argv[1]) if len(sys.argv) > 1 else 30_000
-    trace = spec_trace("art", events)
-    base = TimingSimulator(baseline_config()).run(trace)
+    trace = load_trace("art", events)
+    base = simulate(trace, "base")
 
     print("=== MAC size trade-off (art workload, 1GB memory model) ===\n")
     print(f"{'MAC':>5} | {'organization':14} | {'memory overhead':>15} | "
@@ -36,7 +33,7 @@ def main() -> None:
                                   ("AISE+BMT", "aise", "bonsai")):
             storage = storage_breakdown(enc, integ, bits)
             config = MachineConfig(encryption=enc, integrity=integ, mac_bits=bits)
-            result = TimingSimulator(config).run(trace)
+            result = simulate(trace, config)
             print(f"{bits:>4}b | {label:14} | {storage.overhead_fraction:>14.2%} | "
                   f"{result.overhead_vs(base):>12.1%} | {result.l2_data_fraction:>10.1%}")
         print("-" * 74)

@@ -16,43 +16,35 @@ Run:  python examples/performance_study.py [events]
 
 import sys
 
-from repro.core import MachineConfig, aise_bmt_config, baseline_config, global64_mt_config
-from repro.sim import TimingSimulator
-from repro.workloads import spec_trace
+from repro.api import load_trace, preset_names, simulate
 
 BENCHES = ("art", "mcf", "swim", "gcc", "gzip")
-CONFIGS = [
-    ("aise", MachineConfig(encryption="aise", integrity="none")),
-    ("global64", MachineConfig(encryption="global64", integrity="none")),
-    ("aise+mt", MachineConfig(encryption="aise", integrity="merkle")),
-    ("aise+bmt", aise_bmt_config()),
-    ("g64+mt", global64_mt_config()),
-]
+CONFIGS = [label for label in preset_names() if label not in ("base", "global32")]
 
 
 def main() -> None:
     events = int(sys.argv[1]) if len(sys.argv) > 1 else 40_000
     print(f"=== Performance study ({events} L2 accesses per benchmark) ===\n")
     print(f"{'bench':8} {'base miss':>9} {'base bus':>9}", end="")
-    for label, _ in CONFIGS:
-        print(f"{label:>10}", end="")
+    for label in CONFIGS:
+        print(f"{label:>12}", end="")
     print()
 
-    averages = {label: 0.0 for label, _ in CONFIGS}
+    averages = {label: 0.0 for label in CONFIGS}
     for bench in BENCHES:
-        trace = spec_trace(bench, events)
-        base = TimingSimulator(baseline_config()).run(trace)
+        trace = load_trace(bench, events)
+        base = simulate(trace, "base")
         print(f"{bench:8} {base.l2_miss_rate:9.1%} {base.bus_utilization:9.1%}", end="")
-        for label, config in CONFIGS:
-            result = TimingSimulator(config).run(trace)
+        for label in CONFIGS:
+            result = simulate(trace, label)
             overhead = result.overhead_vs(base)
             averages[label] += overhead / len(BENCHES)
-            print(f"{overhead:10.1%}", end="")
+            print(f"{overhead:12.1%}", end="")
         print()
 
     print(f"\n{'average':8} {'':9} {'':9}", end="")
-    for label, _ in CONFIGS:
-        print(f"{averages[label]:10.1%}", end="")
+    for label in CONFIGS:
+        print(f"{averages[label]:12.1%}", end="")
     print("\n\nReading the table like the paper does:")
     print("* encryption alone is nearly free with AISE; the global-counter")
     print("  scheme pays for its poor counter-cache reach (Figure 7);")

@@ -9,15 +9,13 @@ attack that per-block MACs alone would miss.
 Run:  python examples/quickstart.py
 """
 
-from repro.core import IntegrityError, SecureMemorySystem, aise_bmt_config, breakdown_for_config
+from repro.api import IntegrityError, MachineConfig, breakdown_for_config, build_machine
 
 
 def main() -> None:
     # A 1MB protected memory keeps the demo instant; the scheme is
     # identical at 1GB.
-    config = aise_bmt_config(physical_bytes=1 << 20)
-    machine = SecureMemorySystem(config)
-    machine.boot()
+    machine = build_machine("aise+bmt", physical_bytes=1 << 20)
 
     print("=== AISE + Bonsai Merkle Tree quickstart ===")
     print(f"data region      : {machine.layout.data_bytes >> 10} KB")
@@ -51,8 +49,7 @@ def main() -> None:
         print(f"spoofing detected: {err}")
 
     # --- replay: roll back data AND its MAC together --------------------
-    machine = SecureMemorySystem(config)
-    machine.boot()
+    machine = build_machine("aise+bmt", physical_bytes=1 << 20)
     machine.write_block(0x2000, b"balance: $1000  " * 4)
     stale_cipher = machine.memory.raw_read(0x2000)
     mac_block = machine.integrity.store.mac_block_address(0x2000)
@@ -69,7 +66,7 @@ def main() -> None:
         print("   MAC can no longer match — paper section 5.2)")
 
     # --- storage cost ----------------------------------------------------
-    breakdown = breakdown_for_config(aise_bmt_config())
+    breakdown = breakdown_for_config(MachineConfig.preset("aise+bmt"))
     print(f"\nstorage overhead at 1GB/128-bit MACs: "
           f"{breakdown.overhead_fraction:.1%} of total memory "
           f"(paper Table 2: 21.55%)")

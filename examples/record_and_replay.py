@@ -11,9 +11,7 @@ for a workload you actually ran.
 Run:  python examples/record_and_replay.py
 """
 
-from repro.core import MachineConfig, SecureMemorySystem, aise_bmt_config, baseline_config
-from repro.osmodel import Kernel
-from repro.sim import AccessRecorder, TimingSimulator
+from repro.api import AccessRecorder, Kernel, build_machine, simulate
 
 PAGE = 4096
 
@@ -36,7 +34,7 @@ def run_application(kernel: Kernel) -> None:
 
 def main() -> None:
     print("=== record (functional) -> replay (timing) ===\n")
-    machine = SecureMemorySystem(aise_bmt_config(physical_bytes=64 * PAGE))
+    machine = build_machine("aise+bmt", physical_bytes=64 * PAGE)
     kernel = Kernel(machine, swap_slots=64)
     with AccessRecorder(machine, mean_gap=12) as recorder:
         run_application(kernel)
@@ -45,18 +43,17 @@ def main() -> None:
           f"{len(trace)} data-block accesses "
           f"(metadata traffic is regenerated per scheme below)\n")
 
-    base = TimingSimulator(baseline_config()).run(trace, warmup=0.0)
+    base = simulate(trace, "base", warmup=0.0)
     print(f"{'configuration':22} {'cycles':>12} {'overhead':>9}")
     print("-" * 46)
     print(f"{'unprotected':22} {base.cycles:12,.0f} {'-':>9}")
-    for label, enc, integ in [
-        ("aise only", "aise", "none"),
-        ("aise + bonsai MT", "aise", "bonsai"),
-        ("aise + standard MT", "aise", "merkle"),
-        ("global64 + standard MT", "global64", "merkle"),
+    for label, preset in [
+        ("aise only", "aise"),
+        ("aise + bonsai MT", "aise+bmt"),
+        ("aise + standard MT", "aise+mt"),
+        ("global64 + standard MT", "global64+mt"),
     ]:
-        config = MachineConfig(encryption=enc, integrity=integ)
-        result = TimingSimulator(config).run(trace, warmup=0.0)
+        result = simulate(trace, preset, warmup=0.0)
         print(f"{label:22} {result.cycles:12,.0f} {result.overhead_vs(base):9.1%}")
 
     print("\nThe ordering matches the paper's Figure 6/8 — on a workload")

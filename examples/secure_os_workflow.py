@@ -18,17 +18,14 @@ address-based seed schemes:
 Run:  python examples/secure_os_workflow.py
 """
 
-from repro.core import IntegrityError, MachineConfig, SecureMemorySystem, aise_bmt_config
-from repro.osmodel import Kernel
+from repro.api import IntegrityError, Kernel, build_machine
 
 PAGE = 4096
 
 
 def build_kernel(encryption: str = "aise", integrity: str = "bonsai") -> Kernel:
-    machine = SecureMemorySystem(
-        MachineConfig(physical_bytes=16 * PAGE, swap_bytes=64 * PAGE,
-                      encryption=encryption, integrity=integrity)
-    )
+    machine = build_machine(f"{encryption}+{integrity}",
+                            physical_bytes=16 * PAGE, swap_bytes=64 * PAGE)
     return Kernel(machine, swap_slots=64)
 
 

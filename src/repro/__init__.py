@@ -5,7 +5,10 @@ Reproduction of Rogers, Chhabra, Solihin & Prvulovic, "Using Address
 Independent Seed Encryption and Bonsai Merkle Trees to Make Secure
 Processors OS- and Performance-Friendly" (MICRO 2007).
 
-Three entry points:
+The blessed entry points live in :mod:`repro.api` (re-exported here):
+``build_machine`` for a functional secure processor, ``simulate`` /
+``sweep`` / ``trace`` for the timing model, all keyed by preset labels
+(``MachineConfig.preset``). Underneath:
 
 * ``repro.core.SecureMemorySystem`` — a functional secure processor:
   real counter-mode encryption (AISE and the baseline seed schemes),
@@ -17,7 +20,7 @@ Three entry points:
   of the paper's evaluation.
 """
 
-from . import attacks, core, crypto, evalx, integrity, mem, osmodel, sim, workloads
+from . import attacks, core, crypto, evalx, fastpath, integrity, mem, osmodel, sim, workloads
 from .core import (
     AccessContext,
     IntegrityError,
@@ -28,11 +31,20 @@ from .core import (
     global64_mt_config,
 )
 from .osmodel import Kernel
-from .sim import SimResult, TimingSimulator, Trace, simulate
+from .sim import SimResult, TimingSimulator, Trace
+from . import api
+from .api import build_machine, load_trace, preset_names, simulate, sweep, trace
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "api",
+    "build_machine",
+    "simulate",
+    "sweep",
+    "trace",
+    "load_trace",
+    "preset_names",
     "SecureMemorySystem",
     "MachineConfig",
     "AccessContext",
@@ -42,11 +54,11 @@ __all__ = [
     "global64_mt_config",
     "Kernel",
     "TimingSimulator",
-    "simulate",
     "SimResult",
     "Trace",
     "core",
     "crypto",
+    "fastpath",
     "mem",
     "osmodel",
     "integrity",

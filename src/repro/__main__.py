@@ -43,74 +43,60 @@ def _cmd_report(args) -> int:
 def _cmd_sweep(args) -> int:
     import json
 
+    from . import api
     from .evalx.report import render_table
-    from .evalx.runner import CONFIGS, Runner
     from .evalx.tables import results_table
     from .obs.log import get_logger
-    from .workloads.spec2k import SPEC2K_BENCHMARKS
 
     log = get_logger("cli")
-    labels = args.configs or list(CONFIGS)
-    unknown = [label for label in labels if label not in CONFIGS]
-    if unknown:
-        log.error("unknown configs %s; choose from %s", unknown, ", ".join(CONFIGS))
+    try:
+        run = api.sweep(
+            configs=args.configs or None,
+            benchmarks=args.benchmarks or None,
+            events=args.events,
+            mac_bits=tuple(args.mac_bits) if args.mac_bits else (None,),
+            workers=args.workers,
+            cache_dir=args.cache,
+            metrics=args.metrics,
+        )
+    except ValueError as exc:
+        log.error("%s", exc)
         return 2
-    benchmarks = tuple(args.benchmarks) if args.benchmarks else SPEC2K_BENCHMARKS
-    unknown = [b for b in benchmarks if b not in SPEC2K_BENCHMARKS]
-    if unknown:
-        log.error("unknown benchmarks %s; choose from %s", unknown,
-                  ", ".join(SPEC2K_BENCHMARKS))
-        return 2
-    mac_bits = tuple(args.mac_bits) if args.mac_bits else (None,)
-
-    runner = Runner(events=args.events, benchmarks=benchmarks,
-                    workers=args.workers, cache_dir=args.cache,
-                    metrics=args.metrics)
-    grid = runner.run_grid(labels=labels, mac_bits=mac_bits)
     # Deterministic payload: sorted keys, lossless floats — two sweeps of
     # the same grid (serial or parallel, cached or cold) diff byte-equal.
-    payload = {
-        "events": args.events,
-        "benchmarks": list(benchmarks),
-        "configs": list(labels),
-        "cells": {
-            f"{bench}/{label}/{bits if bits is not None else 'default'}": result.to_dict()
-            for (bench, label, bits), result in grid.items()
-        },
-    }
-    text = json.dumps(payload, indent=2, sort_keys=True)
+    text = json.dumps(run.to_payload(), indent=2, sort_keys=True)
     if args.out:
         with open(args.out, "w") as f:
             f.write(text + "\n")
-        log.info("%d cells written to %s", len(grid), args.out)
+        log.info("%d cells written to %s", len(run.grid), args.out)
     else:
         print(text)
-    if runner.cache is not None:
-        c = runner.cache
+    if run.runner.cache is not None:
+        c = run.runner.cache
         log.info("cache %s: %d hits, %d misses, %d writes, %d corrupt",
                  c.root, c.hits, c.misses, c.writes, c.corrupt)
     if args.summary:
-        summary_labels = [label for label in labels if label != "base"]
-        if "base" in labels and summary_labels:
-            print(render_table(results_table(runner, summary_labels)), file=sys.stderr)
+        summary_labels = [label for label in run.labels if label != "base"]
+        if "base" in run.labels and summary_labels:
+            print(render_table(results_table(run.runner, summary_labels)), file=sys.stderr)
     return 0
 
 
 def _cmd_simulate(args) -> int:
-    from .core.config import MachineConfig, baseline_config
+    from . import api
+    from .core.config import ConfigurationError, MachineConfig
     from .obs.log import get_logger
-    from .sim.simulator import TimingSimulator
-    from .workloads.spec2k import SPEC2K_BENCHMARKS, spec_trace
 
-    if args.benchmark not in SPEC2K_BENCHMARKS:
-        get_logger("cli").error("unknown benchmark %r; choose from %s",
-                                args.benchmark, ", ".join(SPEC2K_BENCHMARKS))
+    log = get_logger("cli")
+    try:
+        trace = api.load_trace(args.benchmark, args.events)
+        config = MachineConfig.preset(f"{args.encryption}+{args.integrity}",
+                                      mac_bits=args.mac_bits)
+    except (ValueError, ConfigurationError) as exc:
+        log.error("%s", exc)
         return 2
-    trace = spec_trace(args.benchmark, args.events)
-    config = MachineConfig(encryption=args.encryption, integrity=args.integrity,
-                           mac_bits=args.mac_bits)
-    result = TimingSimulator(config).run(trace)
-    base = TimingSimulator(baseline_config()).run(trace)
+    result = api.simulate(trace, config)
+    base = api.simulate(trace, "base")
     print(f"benchmark        : {args.benchmark} ({args.events} L2 accesses)")
     print(f"configuration    : {args.encryption}+{args.integrity}, {args.mac_bits}-bit MACs")
     print(f"cycles           : {result.cycles:,.0f} (base {base.cycles:,.0f})")
@@ -125,72 +111,34 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
-def _workload_trace(name: str, events: int):
-    """Resolve a ``repro trace`` workload: a SPEC benchmark name or one of
-    the synthetic generators (stream / chase / resident)."""
-    from .workloads import synthetic
-    from .workloads.spec2k import SPEC2K_BENCHMARKS, spec_trace
-
-    if name in SPEC2K_BENCHMARKS:
-        return spec_trace(name, events)
-    if name == "stream":
-        return synthetic.streaming_trace(events, footprint_bytes=8 << 20)
-    if name == "chase":
-        return synthetic.pointer_chase_trace(events, footprint_bytes=8 << 20)
-    if name == "resident":
-        return synthetic.resident_trace(events)
-    return None
-
-
 def _cmd_trace(args) -> int:
     import json
 
-    from . import obs
-    from .evalx.runner import CONFIGS, config_named
+    from . import api
+    from .core.config import ConfigurationError
     from .obs import chrome
     from .obs.log import get_logger
-    from .obs.tracer import EventTracer, JsonlSink, ListSink, TeeSink
-    from .sim.simulator import TimingSimulator
-    from .workloads.spec2k import SPEC2K_BENCHMARKS
 
     log = get_logger("cli")
-    if args.config not in CONFIGS:
-        log.error("unknown config %r; choose from %s", args.config,
-                  ", ".join(CONFIGS))
-        return 2
-    trace = _workload_trace(args.workload, args.events)
-    if trace is None:
-        log.error("unknown workload %r; choose a SPEC benchmark (%s) or "
-                  "stream/chase/resident", args.workload,
-                  ", ".join(SPEC2K_BENCHMARKS))
-        return 2
-
-    list_sink = ListSink()
-    sink = list_sink
-    jsonl_file = None
-    if args.jsonl:
-        jsonl_file = open(args.jsonl, "w")
-        sink = TeeSink([list_sink, JsonlSink(jsonl_file)])
+    jsonl_file = open(args.jsonl, "w") if args.jsonl else None
     try:
-        with obs.observed(tracer=EventTracer(sink),
-                          interval=args.interval) as session:
-            sim = TimingSimulator(config_named(args.config))
-            result = sim.run(trace, label=args.config, warmup=args.warmup,
-                             collect_metrics=True)
+        run = api.trace(args.workload, args.config, events=args.events,
+                        interval=args.interval, warmup=args.warmup,
+                        jsonl=jsonl_file)
+    except (ValueError, ConfigurationError) as exc:
+        log.error("%s", exc)
+        return 2
     finally:
         if jsonl_file is not None:
             jsonl_file.close()
 
-    phases = session.profiler.snapshot()
-    doc = chrome.chrome_trace(list_sink.events, session.samples, phases,
-                              label=f"{args.workload}/{args.config}")
-    problems = chrome.validate_chrome_trace(doc)
+    problems = chrome.validate_chrome_trace(run.chrome)
     if problems:
         for problem in problems[:20]:
             log.error("invalid chrome trace: %s", problem)
         return 1
     with open(args.out, "w") as f:
-        json.dump(doc, f, indent=2, sort_keys=True)
+        json.dump(run.chrome, f, indent=2, sort_keys=True)
         f.write("\n")
     if args.snapshots:
         payload = {
@@ -198,22 +146,22 @@ def _cmd_trace(args) -> int:
             "config": args.config,
             "events": args.events,
             "interval": args.interval,
-            "samples": session.samples,
-            "phases": phases,
-            "result": result.to_dict(),
+            "samples": run.samples,
+            "phases": run.phases,
+            "result": run.result.to_dict(),
         }
         with open(args.snapshots, "w") as f:
             json.dump(payload, f, indent=2, sort_keys=True)
             f.write("\n")
         log.info("%d interval snapshots written to %s",
-                 len(session.samples), args.snapshots)
+                 len(run.samples), args.snapshots)
     if args.jsonl:
-        log.info("%d events streamed to %s", len(list_sink.events), args.jsonl)
-    print(f"workload      : {trace.name} ({args.events} L2 accesses)")
-    print(f"configuration : {args.config}")
-    print(f"cycles        : {result.cycles:,.0f} (IPC {result.ipc:.2f})")
-    print(f"trace         : {args.out} ({len(doc['traceEvents'])} records, "
-          f"{len(list_sink.events)} events, {len(session.samples)} samples)")
+        log.info("%d events streamed to %s", len(run.events), args.jsonl)
+    print(f"workload      : {run.workload} ({args.events} L2 accesses)")
+    print(f"configuration : {run.config_label}")
+    print(f"cycles        : {run.result.cycles:,.0f} (IPC {run.result.ipc:.2f})")
+    print(f"trace         : {args.out} ({len(run.chrome['traceEvents'])} records, "
+          f"{len(run.events)} events, {len(run.samples)} samples)")
     return 0
 
 

@@ -31,6 +31,10 @@ OBS001    Statistics objects mutate only inside their owning component;
           everyone else observes them through the pull-model adapters in
           :mod:`repro.obs.adapters` (and resets via ``reset_stats()``),
           so reported numbers have exactly one source of truth.
+API001    Example scripts (the tutorial surface) import only the
+          :mod:`repro.api` facade — never ``repro.*`` internals — so the
+          facade provably covers every documented workflow and internal
+          modules stay free to refactor.
 GEN001    No bare ``except:``.
 GEN002    No mutable default arguments.
 ========  ==================================================================
@@ -40,6 +44,7 @@ from __future__ import annotations
 
 import ast
 import re
+from pathlib import PurePath
 from typing import Iterator
 
 from .engine import FileContext, Finding, Rule, register
@@ -618,6 +623,58 @@ class StatsMutationRule(Rule):
                         "component; call the owner's reset_stats() or read "
                         "values through repro.obs.adapters bindings",
                     )
+
+
+# -- API001: examples import only the repro.api facade -----------------------
+
+
+@register
+class FacadeOnlyImportRule(Rule):
+    id = "API001"
+    severity = "error"
+    title = "examples import only the repro.api facade"
+    rationale = (
+        "The examples are the tutorial: whatever they import is the "
+        "supported surface. Holding them to repro.api (plus the package "
+        "root, which re-exports it) keeps the facade honest — a workflow "
+        "the facade cannot express fails the lint instead of quietly "
+        "deep-importing — and leaves repro.* internals free to refactor "
+        "without breaking documentation."
+    )
+
+    ALLOWED = ("repro", "repro.api")
+
+    def applies(self, ctx: FileContext) -> bool:
+        return "examples" in PurePath(ctx.path).parts
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                is_repro = module == "repro" or module.startswith("repro.")
+                if node.level == 0 and not is_repro:
+                    continue
+                if node.level == 0 and module in self.ALLOWED:
+                    continue
+                shown = "." * node.level + module
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"import from {shown!r}; examples must import from "
+                    "'repro.api' (re-export the symbol there if it is "
+                    "missing)",
+                )
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    is_repro = alias.name == "repro" or alias.name.startswith("repro.")
+                    if is_repro and alias.name not in self.ALLOWED:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"import of {alias.name!r}; examples must import "
+                            "from 'repro.api' (re-export the symbol there "
+                            "if it is missing)",
+                        )
 
 
 # -- GEN001/GEN002: general hygiene ------------------------------------------

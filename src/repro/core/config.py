@@ -9,6 +9,7 @@
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
 
 from .errors import ConfigurationError
@@ -132,18 +133,100 @@ class MachineConfig:
         """Derive a config differing only in protection scheme (and overrides)."""
         return replace(self, encryption=encryption, integrity=integrity, **overrides)
 
+    @classmethod
+    def preset(cls, name: str, **overrides) -> "MachineConfig":
+        """Build a configuration from a ``encryption[+integrity]`` label.
 
-# Named configurations used throughout the evaluation.
+        The one blessed constructor for named configurations: both halves
+        resolve through the scheme registry (:mod:`repro.schemes`), so
+        every registered scheme key — including third-party ones — is a
+        valid preset component without this module enumerating them.
+        Shorthands: ``base`` for the unprotected machine, ``mt`` for the
+        standard Merkle tree, ``bmt`` for the Bonsai Merkle tree; an
+        omitted integrity half means none. Keyword overrides are passed
+        through (``MachineConfig.preset("aise+bmt", mac_bits=64)``).
+        """
+        encryption, _, integrity = name.partition("+")
+        encryption = _PRESET_ENCRYPTION_ALIASES.get(encryption, encryption)
+        integrity = _PRESET_INTEGRITY_ALIASES.get(integrity, integrity) or INT_NONE
+        try:
+            return cls(encryption=encryption, integrity=integrity, **overrides)
+        except ConfigurationError as exc:
+            raise ConfigurationError(
+                f"no preset named {name!r} ({exc}); presets are "
+                "'<encryption>[+<integrity>]' over the registered scheme keys, "
+                f"e.g. {', '.join(PRESET_NAMES)}"
+            ) from None
+
+    @classmethod
+    def preset_names(cls) -> tuple[str, ...]:
+        """The canonical evaluation labels (the Figure-6 configuration set).
+
+        Any registry-valid ``encryption[+integrity]`` pair works with
+        :meth:`preset`; these are the named points the paper's figures
+        and the sweep CLI default to, in presentation order.
+        """
+        return PRESET_NAMES
+
+
+# Label shorthands accepted by MachineConfig.preset on top of the raw
+# scheme-registry keys.
+_PRESET_ENCRYPTION_ALIASES = {"base": ENC_NONE}
+_PRESET_INTEGRITY_ALIASES = {"mt": INT_MT, "bmt": INT_BMT}
+
+# The evaluation's canonical configuration labels, in the presentation
+# order of Figure 6 (the sweep CLI and golden outputs depend on order).
+PRESET_NAMES = (
+    "base",
+    "aise",
+    "global32",
+    "global64",
+    "aise+mt",
+    "aise+bmt",
+    "global64+mt",
+)
+
+
+# -- deprecated named constructors -------------------------------------------
+#
+# Thin shims over MachineConfig.preset, kept one release for callers of
+# the original constructor trio. Each warns once per process; the
+# warned-set is process state (not a warnings-module filter) so tests
+# can reset it and assert the warn-exactly-once contract.
+
+_DEPRECATION_WARNED: set[str] = set()
+
+
+def _reset_deprecation_warnings() -> None:
+    """Forget which shims have warned (test hook)."""
+    _DEPRECATION_WARNED.clear()
+
+
+def _warn_deprecated(old: str, preset: str) -> None:
+    if old in _DEPRECATION_WARNED:
+        return
+    _DEPRECATION_WARNED.add(old)
+    warnings.warn(
+        f"{old}() is deprecated; use MachineConfig.preset({preset!r}) "
+        "or repro.api.build_machine",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 def baseline_config(**overrides) -> MachineConfig:
-    """Unprotected machine (no encryption, no integrity)."""
-    return MachineConfig(encryption=ENC_NONE, integrity=INT_NONE, **overrides)
+    """Deprecated: use ``MachineConfig.preset("base")``."""
+    _warn_deprecated("baseline_config", "base")
+    return MachineConfig.preset("base", **overrides)
 
 
 def aise_bmt_config(**overrides) -> MachineConfig:
-    """The paper's proposal: AISE encryption + Bonsai Merkle Tree."""
-    return MachineConfig(encryption=ENC_AISE, integrity=INT_BMT, **overrides)
+    """Deprecated: use ``MachineConfig.preset("aise+bmt")``."""
+    _warn_deprecated("aise_bmt_config", "aise+bmt")
+    return MachineConfig.preset("aise+bmt", **overrides)
 
 
 def global64_mt_config(**overrides) -> MachineConfig:
-    """The comparison point of Figure 6: 64-bit global counter + standard MT."""
-    return MachineConfig(encryption=ENC_GLOBAL64, integrity=INT_MT, **overrides)
+    """Deprecated: use ``MachineConfig.preset("global64+mt")``."""
+    _warn_deprecated("global64_mt_config", "global64+mt")
+    return MachineConfig.preset("global64+mt", **overrides)

@@ -22,6 +22,7 @@ Overflow behaviour follows the paper:
 
 from __future__ import annotations
 
+from .. import fastpath
 from ..crypto.aes import AES
 from ..crypto.ctr_mode import CounterModeCipher
 from ..mem.dram import BlockMemory
@@ -82,6 +83,18 @@ class EncryptionEngine:
     def counter_tag(self, paddr: int, ctx: AccessContext = NULL_CONTEXT) -> int:
         """Current counter value bound into this block's MAC (0 if none)."""
         return 0
+
+    @property
+    def pad_cache(self):
+        """The fastpath keystream pad memo, if this engine has one.
+
+        Resolved through the live cipher on every read: re-keying
+        replaces the cipher (and with it the memo), and gauges bound via
+        :func:`repro.obs.adapters.register_pad_cache` must follow. None
+        for pad-less engines or with :mod:`repro.fastpath` disabled.
+        """
+        cipher = getattr(self, "_cipher", None)
+        return cipher.pad_cache if cipher is not None else None
 
     def clear_volatile(self) -> None:
         """Drop volatile on-chip state (power cycle); a no-op by default."""
@@ -163,6 +176,13 @@ class AiseEncryption(EncryptionEngine):
         self.scheme: SeedScheme = AiseSeedScheme()
         self.seed_audit = seed_audit
         self._cache: dict[int, PageCounterBlock] = {}  # page index -> parsed block
+        # Fast path: (paddr, lpid, minor) -> whole-block pad as an int.
+        # The AISE seed tuple — and therefore the pad — is a pure
+        # function of exactly that triple (plus the fixed key), so the
+        # memo collapses seed construction and four pad derivations into
+        # one dict probe. Any counter bump or page re-encryption changes
+        # the key. None with the gate off.
+        self._pad_memo: dict | None = {} if fastpath.enabled() else None
         self.page_reencryptions = 0
         self.pages_initialized = 0
         self.pads_generated = 0
@@ -257,6 +277,18 @@ class AiseEncryption(EncryptionEngine):
 
     def decrypt(self, paddr, cipher, ctx=NULL_CONTEXT):
         block = self._load(paddr // PAGE_SIZE)
+        memo = self._pad_memo
+        if memo is not None:
+            key = (paddr, block.lpid, block.minors[block_in_page(paddr)])
+            pad = memo.get(key)
+            if pad is None:
+                seeds = self.scheme.seeds_for_block(self._seed_input(paddr, block))
+                pad = self._cipher.pad_int(seeds)
+                if len(memo) >= 65536:
+                    memo.clear()
+                memo[key] = pad
+            self.pads_generated += CHUNKS_PER_BLOCK
+            return self._cipher.apply_pad_int(cipher, pad)
         seeds = self.scheme.seeds_for_block(self._seed_input(paddr, block))
         self.pads_generated += CHUNKS_PER_BLOCK
         return self._cipher.decrypt(cipher, seeds)

@@ -24,13 +24,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .. import fastpath
 from ..mem.layout import BLOCK_SIZE, CHUNKS_PER_BLOCK, block_in_page
 from .errors import SeedReuseError
 
 _SEED_MASK = (1 << 128) - 1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SeedInput:
     """Everything a seed scheme might need for one block access.
 
@@ -60,15 +61,43 @@ class SchemeProperties:
 
 
 class SeedScheme:
-    """Base class: composes the four per-chunk seeds for one block."""
+    """Base class: composes the four per-chunk seeds for one block.
+
+    Under :mod:`repro.fastpath` the per-block seed tuples are *interned*:
+    a seed is a pure function of the (immutable) scheme parameters and
+    the :class:`SeedInput`, so identical inputs yield the one memoized
+    tuple instead of recomposing four 128-bit integers per access. The
+    memo is bounded (cleared wholesale at :attr:`MEMO_CAPACITY`) and
+    disabled entirely when the gate is off, restoring the reference
+    behaviour.
+    """
+
+    __slots__ = ("_seed_memo",)
 
     name = "abstract"
+
+    #: Entries held in the per-scheme seed-tuple memo before a wholesale
+    #: clear; every writeback bumps a counter and mints a fresh input, so
+    #: the memo would otherwise grow with trace length.
+    MEMO_CAPACITY = 8192
+
+    def __init__(self):
+        self._seed_memo: dict | None = {} if fastpath.enabled() else None
 
     def seed(self, ctx: SeedInput, chunk: int) -> int:
         raise NotImplementedError
 
-    def seeds_for_block(self, ctx: SeedInput) -> list[int]:
-        return [self.seed(ctx, chunk) & _SEED_MASK for chunk in range(CHUNKS_PER_BLOCK)]
+    def seeds_for_block(self, ctx: SeedInput) -> tuple[int, ...]:
+        memo = self._seed_memo
+        if memo is None:
+            return tuple(self.seed(ctx, chunk) & _SEED_MASK for chunk in range(CHUNKS_PER_BLOCK))
+        seeds = memo.get(ctx)
+        if seeds is None:
+            seeds = tuple(self.seed(ctx, chunk) & _SEED_MASK for chunk in range(CHUNKS_PER_BLOCK))
+            if len(memo) >= self.MEMO_CAPACITY:
+                memo.clear()
+            memo[ctx] = seeds
+        return seeds
 
     @property
     def properties(self) -> SchemeProperties:
@@ -81,6 +110,8 @@ class AiseSeedScheme(SeedScheme):
     Matches Figure 3: 64-bit LPID, 7-bit counter, 6-bit block-in-page,
     2-bit chunk id, zero-padded to 128 bits.
     """
+
+    __slots__ = ()
 
     name = "aise"
 
@@ -105,7 +136,10 @@ class AiseSeedScheme(SeedScheme):
 class GlobalCounterSeedScheme(SeedScheme):
     """Global-counter baseline: seed = stamped counter value | chunk id."""
 
+    __slots__ = ("bits", "name")
+
     def __init__(self, bits: int = 64):
+        super().__init__()
         self.bits = bits
         self.name = f"global{bits}"
 
@@ -133,9 +167,12 @@ class GlobalCounterSeedScheme(SeedScheme):
 class PhysicalAddressSeedScheme(SeedScheme):
     """Baseline: seed = physical block address | per-block counter | chunk."""
 
+    __slots__ = ("counter_bits",)
+
     name = "phys_addr"
 
     def __init__(self, counter_bits: int = 32):
+        super().__init__()
         self.counter_bits = counter_bits
 
     def seed(self, ctx: SeedInput, chunk: int) -> int:
@@ -165,9 +202,12 @@ class VirtualAddressSeedScheme(SeedScheme):
     seeds for the same physical block).
     """
 
+    __slots__ = ("counter_bits", "include_pid")
+
     name = "virt_addr"
 
     def __init__(self, counter_bits: int = 32, include_pid: bool = True):
+        super().__init__()
         self.counter_bits = counter_bits
         self.include_pid = include_pid
 
@@ -201,6 +241,8 @@ class SplitCounterSeedScheme(SeedScheme):
     — the storage-efficiency of AISE without its OS-friendliness. AISE
     replaces the major counter with the LPID (paper section 4.3).
     """
+
+    __slots__ = ()
 
     name = "split_ctr"
 
@@ -238,7 +280,7 @@ class SeedAudit:
     strict: bool = True
     reuses: int = 0
 
-    def record_encryption(self, ctx: SeedInput) -> list[int]:
+    def record_encryption(self, ctx: SeedInput) -> tuple[int, ...]:
         seeds = self.scheme.seeds_for_block(ctx)
         for seed in seeds:
             if seed in self._seen:

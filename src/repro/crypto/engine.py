@@ -1,17 +1,28 @@
-"""Latency models of the on-chip cryptographic engines (paper section 6).
+"""Models of the on-chip cryptographic engines (paper section 6).
 
-The simulated hardware is a 128-bit AES engine with a 16-stage pipeline and
-80-cycle total latency, and an HMAC-SHA1 unit with 80-cycle latency. These
-models expose, for a request issued at a given cycle, the cycle at which
-its result is available — accounting for pipelining (a new chunk can enter
-the AES pipeline every ``latency/stages`` cycles).
+Two kinds of engine model live here:
 
-The timing simulator uses these to decide how much decryption latency is
-exposed on the critical path of a cache miss.
+* :class:`PipelinedEngine` — the *latency* model: a 128-bit AES engine
+  with a 16-stage pipeline and 80-cycle total latency, and an HMAC-SHA1
+  unit with 80-cycle latency. For a request issued at a given cycle it
+  exposes the cycle at which the result is available, accounting for
+  pipelining (a new chunk can enter the AES pipeline every
+  ``latency/stages`` cycles). The timing simulator uses these to decide
+  how much decryption latency is exposed on the critical path of a miss.
+* :class:`PadCache` — the *functional* fast path: a bounded LRU memo of
+  counter-mode keystream pads keyed by ``(key, seed)``. A pad is a pure
+  function of its key and seed, so memoizing is semantically invisible —
+  ciphertext is byte-identical with the cache on or off — and it models
+  exactly the pad *precomputation* the literature identifies as the
+  lever for hiding counter-mode encryption cost (Sealer, and the paper's
+  own section 4.1 pad-generation overlap). Hit/miss counts are plain
+  fields so :func:`repro.obs.adapters.register_pad_cache` can bind
+  pull-model gauges over a live cache for free.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 
@@ -46,6 +57,60 @@ class PipelinedEngine:
     def reset(self) -> None:
         self._next_issue = 0
         self.operations = 0
+
+
+class PadCache:
+    """A bounded LRU memo of keystream pads keyed by ``(key, seed)``.
+
+    Keying on the key as well as the seed keeps the memo correct across
+    re-keying events (the global-counter baseline's whole-memory
+    re-encryption swaps keys mid-life) without requiring a flush.
+    ``hits``/``misses`` are exposed for the observability gauges; the
+    capacity bound keeps a long-running functional simulation from
+    holding every pad it ever generated.
+    """
+
+    __slots__ = ("capacity", "hits", "misses", "_pads")
+
+    DEFAULT_CAPACITY = 8192
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError("PadCache capacity must be at least 1")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._pads: OrderedDict = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._pads)
+
+    def lookup(self, key: bytes, seed: int) -> bytes | None:
+        """The cached pad for ``(key, seed)``, refreshed as MRU; None on miss."""
+        pads = self._pads
+        pad = pads.get((key, seed))
+        if pad is None:
+            self.misses += 1
+            return None
+        pads.move_to_end((key, seed))
+        self.hits += 1
+        return pad
+
+    def insert(self, key: bytes, seed: int, pad: bytes) -> None:
+        """Memoize a freshly generated pad, evicting LRU past capacity."""
+        pads = self._pads
+        pads[(key, seed)] = pad
+        if len(pads) > self.capacity:
+            pads.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every cached pad, keeping the hit/miss statistics."""
+        self._pads.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
 
 
 def aes_engine(latency: int = 80, stages: int = 16) -> PipelinedEngine:

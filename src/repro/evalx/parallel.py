@@ -86,6 +86,7 @@ def config_fingerprint(config: MachineConfig) -> str:
 _STATIC_TIMING_MODULES = (
     "repro.core.config",
     "repro.core.machine",
+    "repro.fastpath",
     "repro.integrity.geometry",
     "repro.mem.bus",
     "repro.mem.cache",

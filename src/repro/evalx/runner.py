@@ -12,22 +12,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..core.config import MachineConfig, aise_bmt_config, baseline_config, global64_mt_config
+from ..core.config import MachineConfig
 from ..sim.results import SimResult
 from ..sim.trace import Trace
 from ..workloads.spec2k import SPEC2K_BENCHMARKS, spec_trace
 from .parallel import Cell, ResultCache, run_cells
 
-# The named configurations the evaluation uses. MAC-size variants are
-# derived on demand (figure 11).
+# The named configurations the evaluation uses, derived from the preset
+# registry so the CLI, the facade, and the figures agree on labels.
+# MAC-size variants are derived on demand (figure 11).
 CONFIGS: dict[str, MachineConfig] = {
-    "base": baseline_config(),
-    "aise": MachineConfig(encryption="aise", integrity="none"),
-    "global32": MachineConfig(encryption="global32", integrity="none"),
-    "global64": MachineConfig(encryption="global64", integrity="none"),
-    "aise+mt": MachineConfig(encryption="aise", integrity="merkle"),
-    "aise+bmt": aise_bmt_config(),
-    "global64+mt": global64_mt_config(),
+    label: MachineConfig.preset(label) for label in MachineConfig.preset_names()
 }
 
 

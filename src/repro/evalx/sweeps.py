@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import replace
 
-from ..core.config import MachineConfig, baseline_config
+from ..core.config import MachineConfig
 from .figures import FigureData
 from .parallel import Cell, ResultCache, run_cells
 
@@ -24,7 +24,7 @@ DEFAULT_BENCHES = ("art", "mcf", "swim", "gcc")
 
 def _base_for(config: MachineConfig) -> MachineConfig:
     """The unprotected machine sharing a config's non-crypto design point."""
-    return replace(baseline_config(), l2=config.l2,
+    return replace(MachineConfig.preset("base"), l2=config.l2,
                    memory_latency=config.memory_latency,
                    bus_cycles_per_block=config.bus_cycles_per_block)
 

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 DEFAULT_CYCLES_PER_BLOCK = 28  # repro: allow(SIM001)
 
 
-@dataclass
+@dataclass(slots=True)
 class BusStats:
     """Aggregate bus activity: transfer counts, busy and queue cycles."""
 
@@ -42,6 +42,8 @@ class BusStats:
 
 class MemoryBus:
     """A single shared channel between the processor chip and DRAM."""
+
+    __slots__ = ("cycles_per_block", "_free_at", "stats", "tracer")
 
     def __init__(self, cycles_per_block: int = DEFAULT_CYCLES_PER_BLOCK):
         self.cycles_per_block = cycles_per_block
@@ -73,6 +75,34 @@ class MemoryBus:
             self.tracer.emit("bus_grant", ts=start, kind=kind, dur=duration,
                              queued=start - cycle)
         return start, end
+
+    def credit(
+        self,
+        transfers: int,
+        busy_cycles: float,
+        queue_cycles: float,
+        by_kind: dict,
+        free_at: float,
+    ) -> None:
+        """Settle a batch of transfers accounted externally.
+
+        The :mod:`repro.fastpath` engine models bus occupancy with the
+        same quantized-duration arithmetic as :meth:`request` but keeps
+        the running tallies (and the bus-free timestamp) in local
+        variables; it settles them here in one call at end of run.
+        Routing the settlement through the bus keeps every ``stats``
+        write inside this module (the OBS001 invariant) and keeps
+        pull-model gauges bound over ``self.stats`` truthful.
+        """
+        stats = self.stats
+        stats.transfers += transfers
+        stats.busy_cycles += busy_cycles
+        stats.queue_cycles += queue_cycles
+        for kind, count in by_kind.items():
+            stats.transfers_by_kind[kind] = (
+                stats.transfers_by_kind.get(kind, 0) + count
+            )
+        self._free_at = free_at
 
     @property
     def free_at(self) -> float:

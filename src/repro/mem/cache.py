@@ -23,7 +23,7 @@ MAC = "mac"
 LINE_CLASSES = (DATA, CODE, COUNTER, MERKLE, MAC)
 
 
-@dataclass
+@dataclass(slots=True)
 class Eviction:
     """A victim line pushed out of the cache by an insertion."""
 
@@ -32,7 +32,7 @@ class Eviction:
     line_class: str
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheStats:
     """Hit/miss/writeback counters plus time-weighted occupancy sums."""
 
@@ -69,6 +69,19 @@ class SetAssociativeCache:
     purely a presence/recency structure usable by both systems).
     """
 
+    __slots__ = (
+        "name",
+        "size_bytes",
+        "assoc",
+        "block_size",
+        "num_sets",
+        "num_lines",
+        "_sets",
+        "_class_lines",
+        "_inserts_since_recount",
+        "stats",
+    )
+
     def __init__(self, size_bytes: int, assoc: int, block_size: int = 64, name: str = "cache"):
         if size_bytes % (assoc * block_size):
             raise ValueError("cache size must be divisible by assoc * block_size")
@@ -101,6 +114,19 @@ class SetAssociativeCache:
         and those bindings survive because the swap happens here.
         """
         self.stats = CacheStats()
+
+    def credit_demand(self, hits: int, misses: int, writebacks: int = 0) -> None:
+        """Credit batched hit/miss/writeback tallies to the statistics.
+
+        The :mod:`repro.fastpath` loop accumulates per-access outcomes in
+        local variables and settles them here in one call; routing the
+        settlement through the owning cache keeps every ``stats`` write
+        inside this module (the OBS001 invariant) and keeps pull-model
+        gauges bound over ``self.stats`` truthful at snapshot time.
+        """
+        self.stats.hits += hits
+        self.stats.misses += misses
+        self.stats.writebacks += writebacks
 
     # -- core operations ----------------------------------------------------
 

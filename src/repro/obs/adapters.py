@@ -82,6 +82,29 @@ def register_kernel(registry, kernel, prefix: str = "kernel"):
     return scope
 
 
+def register_pad_cache(registry, owner, prefix: str = "pad_cache"):
+    """Bind the keystream pad memo's hit/miss gauges.
+
+    ``owner`` is anything exposing a ``pad_cache`` attribute — an
+    :class:`~repro.core.encryption.EncryptionEngine` or a
+    :class:`~repro.crypto.ctr_mode.CounterModeCipher`. Gauges resolve
+    the cache through the owner on every read, so a re-keying event
+    (which swaps the cipher and its memo) cannot leave them reading a
+    retired cache; a vanished cache reads as zeros.
+    """
+    scope = registry.scoped(prefix)
+
+    def read(attr, default=0):
+        cache = owner.pad_cache
+        return getattr(cache, attr) if cache is not None else default
+
+    scope.bind("hits", lambda: read("hits"))
+    scope.bind("misses", lambda: read("misses"))
+    scope.bind("hit_rate", lambda: read("hit_rate", 0.0))
+    scope.bind("entries", lambda: len(owner.pad_cache or ()))
+    return scope
+
+
 def register_engine(registry, engine, prefix: str):
     """Bind a :class:`~repro.crypto.engine.PipelinedEngine`'s op count."""
     scope = registry.scoped(prefix)
@@ -112,6 +135,8 @@ def register_machine(registry, machine, prefix: str = "machine"):
         scope.bind("verifications", lambda: machine.integrity.verifications)
     for name, getter in machine.enc_scheme.engine_stats(machine.encryption).items():
         scope.bind(name, getter)
+    if getattr(machine.encryption, "pad_cache", None) is not None:
+        register_pad_cache(registry, machine.encryption, f"{prefix}.pad_cache")
     return scope
 
 

@@ -22,7 +22,7 @@ paper reports is a *memory-system* effect.
 from __future__ import annotations
 
 from ..core.config import MachineConfig
-from .. import obs
+from .. import fastpath, obs
 from ..core.machine import plan_layout
 from ..mem.bus import MemoryBus
 from ..mem.cache import COUNTER, DATA, MAC, MERKLE, SetAssociativeCache
@@ -44,7 +44,54 @@ MODEL_VERSION = "2"
 
 
 class TimingSimulator:
-    """Runs traces against one machine configuration."""
+    """Runs traces against one machine configuration.
+
+    ``run()`` has two interchangeable event loops: the batched
+    :func:`repro.fastpath.execute` loop (the default) and the
+    instrumented reference loop in :meth:`_run_reference`, required
+    whenever a :mod:`repro.obs` session is active. Both compute the
+    identical arithmetic in the identical order, so results — including
+    the committed figure-6 golden sweep — are byte-identical either way.
+    """
+
+    __slots__ = (
+        "config",
+        "overlap",
+        "layout",
+        "enc",
+        "uses_counter_cache",
+        "_serial_decrypt",
+        "_cb_span",
+        "_ctr_base",
+        "integ",
+        "_walks_tree",
+        "_tree_covers_data",
+        "_uses_data_macs",
+        "_walk_bases",
+        "_arity",
+        "_covered_start",
+        "_mac_base",
+        "_mac_bytes",
+        "_cache_data_macs",
+        "l2",
+        "counter_cache",
+        "node_cache",
+        "bus",
+        "mem_latency",
+        "l2_hit_latency",
+        "aes_latency",
+        "mac_latency",
+        "issue_width",
+        "precise",
+        "_verify_on_path",
+        "demand_accesses",
+        "demand_misses",
+        "exposed_cycles",
+        "counter_accesses",
+        "counter_misses",
+        "registry",
+        "_hooks",
+    )
 
     def __init__(self, config: MachineConfig, overlap: float = 0.7):
         self.config = config
@@ -310,9 +357,41 @@ class TimingSimulator:
         active, live hooks (event tracing, interval samples, phase
         attribution) are armed at the warmup boundary — the tracer clock
         is rebased there, so warmup activity never appears in the measured
-        timeline. With no session active, every hook site reduces to a
-        ``None`` check and results are bit-identical to an uninstrumented
-        run.
+        timeline. With no session active and :mod:`repro.fastpath`
+        enabled (the default), the batched fast loop runs instead of the
+        instrumented one; either way results are bit-identical.
+        """
+        self.bus.rebase(0.0)
+        self._hooks = None
+        self._reset_stats()
+        session = obs.session()
+        if session is None and fastpath.enabled():
+            now, measured_from, measured_instructions = fastpath.execute(
+                self, trace, warmup, _OCCUPANCY_SAMPLE_PERIOD
+            )
+        else:
+            now, measured_from, measured_instructions = self._run_reference(
+                trace, warmup, session
+            )
+
+        measured_cycles = now - measured_from
+        snapshot = self.registry.snapshot()
+        return SimResult(
+            name=trace.name,
+            config_label=label or f"{self.config.encryption}+{self.config.integrity}",
+            cycles=measured_cycles,
+            instructions=measured_instructions,
+            metrics=snapshot if collect_metrics else {},
+            **sim_result_fields(snapshot, measured_cycles),
+        )
+
+    def _run_reference(self, trace: Trace, warmup: float, session) -> tuple[float, float, int]:
+        """The instrumented per-event loop: the pre-fastpath implementation.
+
+        Required whenever a :mod:`repro.obs` session is active (live
+        hooks need per-event callback sites), selected by
+        ``REPRO_FASTPATH=0`` otherwise, and kept as the reference side of
+        ``benchmarks/bench_throughput.py``'s speedup measurement.
         """
         gaps = trace.gaps.tolist()
         ops = trace.ops.tolist()
@@ -323,10 +402,6 @@ class TimingSimulator:
         hit_latency = self.l2_hit_latency
         overlap = self.overlap
         now = 0.0
-        self.bus.rebase(now)
-        self._hooks = None
-        self._reset_stats()
-        session = obs.session()
         pending_hooks = SimHooks(self, session) if session is not None else None
         hooks = None
         sample_countdown = _OCCUPANCY_SAMPLE_PERIOD
@@ -377,16 +452,7 @@ class TimingSimulator:
             hooks.finish(now)
             self._hooks = None
 
-        measured_cycles = now - measured_from
-        snapshot = self.registry.snapshot()
-        return SimResult(
-            name=trace.name,
-            config_label=label or f"{self.config.encryption}+{self.config.integrity}",
-            cycles=measured_cycles,
-            instructions=measured_instructions,
-            metrics=snapshot if collect_metrics else {},
-            **sim_result_fields(snapshot, measured_cycles),
-        )
+        return now, measured_from, measured_instructions
 
 
 def simulate(trace: Trace, config: MachineConfig, overlap: float = 0.7, label: str | None = None) -> SimResult:

@@ -20,6 +20,27 @@ OP_READ = 0
 OP_WRITE = 1
 
 
+class DecodedTrace:
+    """A trace pre-decoded for the :mod:`repro.fastpath` timing loop.
+
+    Plain Python lists (gaps, ops, block-aligned addresses): iterating
+    numpy arrays yields a fresh scalar object per element, so the hot
+    loop runs over native ints instead. Addresses are aligned with the
+    exact expression the reference loop uses, keeping results
+    byte-identical.
+    """
+
+    __slots__ = ("gaps", "ops", "addresses")
+
+    def __init__(self, gaps: list, ops: list, addresses: list):
+        self.gaps = gaps
+        self.ops = ops
+        self.addresses = addresses
+
+    def __len__(self) -> int:
+        return len(self.addresses)
+
+
 @dataclass
 class Trace:
     """Column-oriented access trace."""
@@ -69,6 +90,30 @@ class Trace:
         h.update(np.ascontiguousarray(self.ops, dtype="<u1").tobytes())
         h.update(np.ascontiguousarray(self.addresses, dtype="<u8").tobytes())
         return h.hexdigest()
+
+    def decoded(self) -> DecodedTrace:
+        """The pre-decoded form of this trace, computed once and memoized.
+
+        The numpy→list conversion was previously redone on every
+        ``TimingSimulator.run``; a trace is immutable in practice, so the
+        decoded columns are cached on the instance. The memo is dropped
+        on pickling (:meth:`__getstate__`) — process-pool workers rebuild
+        it locally rather than paying to ship three redundant lists.
+        """
+        cached = self.__dict__.get("_decoded")
+        if cached is None:
+            cached = DecodedTrace(
+                gaps=self.gaps.tolist(),
+                ops=self.ops.tolist(),
+                addresses=((self.addresses // BLOCK_SIZE) * BLOCK_SIZE).tolist(),
+            )
+            self.__dict__["_decoded"] = cached
+        return cached
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state.pop("_decoded", None)
+        return state
 
     def aligned(self) -> "Trace":
         """Return a copy with block-aligned addresses."""

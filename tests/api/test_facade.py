@@ -1,0 +1,162 @@
+"""The repro.api facade: equivalence with direct calls, presets, shims.
+
+The facade's contract is *no drift*: every facade call must produce
+exactly what the hand-built equivalent produces, because the CLI, the
+examples, and the docs all route through it (enforced by API001).
+"""
+
+import warnings
+
+import pytest
+
+from repro import api
+from repro.api import (
+    ConfigurationError,
+    MachineConfig,
+    SecureMemorySystem,
+    TimingSimulator,
+    Trace,
+    build_machine,
+    load_trace,
+    preset_names,
+    simulate,
+)
+from repro.core.config import (
+    _reset_deprecation_warnings,
+    aise_bmt_config,
+    baseline_config,
+    global64_mt_config,
+)
+
+PAGE = 4096
+
+
+class TestPresetGrammar:
+    def test_canonical_names_all_resolve(self):
+        for name in preset_names():
+            config = MachineConfig.preset(name)
+            assert isinstance(config, MachineConfig)
+
+    def test_base_alias(self):
+        config = MachineConfig.preset("base")
+        assert config.encryption == "none"
+        assert config.integrity == "none"
+
+    def test_integrity_aliases(self):
+        assert MachineConfig.preset("aise+bmt").integrity == "bonsai"
+        assert MachineConfig.preset("aise+mt").integrity == "merkle"
+
+    def test_registry_keys_pass_through(self):
+        # Non-alias scheme-registry keys are valid preset components.
+        assert MachineConfig.preset("aise+bonsai") == MachineConfig.preset("aise+bmt")
+        assert MachineConfig.preset("phys_addr+bonsai").encryption == "phys_addr"
+        assert MachineConfig.preset("aise+mac_only").integrity == "mac_only"
+
+    def test_overrides_pass_through(self):
+        config = MachineConfig.preset("aise+bmt", mac_bits=64, physical_bytes=1 << 20)
+        assert config.mac_bits == 64
+        assert config.physical_bytes == 1 << 20
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(ConfigurationError, match="no preset named"):
+            MachineConfig.preset("rot13+pinky_promise")
+
+
+class TestBuildMachine:
+    def test_builds_booted_machine(self):
+        machine = build_machine("aise+bmt", physical_bytes=4 * PAGE)
+        assert isinstance(machine, SecureMemorySystem)
+        machine.write_block(0, bytes(64))  # raises if unbooted
+        assert machine.read_block(0) == bytes(64)
+
+    def test_boot_false(self):
+        machine = build_machine("aise+bmt", boot=False, physical_bytes=4 * PAGE)
+        with pytest.raises(ConfigurationError):
+            machine.read_block(0)
+
+    def test_accepts_ready_config(self):
+        config = MachineConfig.preset("aise", physical_bytes=4 * PAGE)
+        machine = build_machine(config)
+        assert machine.config is config
+
+    def test_config_plus_overrides_rejected(self):
+        with pytest.raises(TypeError):
+            build_machine(MachineConfig.preset("aise"), physical_bytes=4 * PAGE)
+
+
+class TestLoadTrace:
+    def test_trace_passthrough_is_identity(self):
+        trace = load_trace("stream", 500)
+        assert load_trace(trace) is trace
+
+    def test_synthetics_and_spec(self):
+        for name in ("stream", "chase", "resident", "art"):
+            trace = load_trace(name, 400)
+            assert isinstance(trace, Trace)
+            assert len(trace) == 400
+
+    def test_unknown_workload(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            load_trace("quake3", 100)
+
+
+class TestSimulateEquivalence:
+    def test_matches_hand_built_simulator(self):
+        trace = load_trace("art", 4000)
+        via_facade = simulate(trace, "aise+bmt")
+        by_hand = TimingSimulator(MachineConfig.preset("aise+bmt"), overlap=0.7).run(
+            trace, label="aise+bmt", warmup=0.25
+        )
+        assert via_facade.to_dict() == by_hand.to_dict()
+
+    def test_label_defaults_to_preset(self):
+        result = simulate(load_trace("art", 2000), "global64+mt")
+        assert result.config_label == "global64+mt"
+
+    def test_sweep_rejects_unknown_labels_before_running(self):
+        with pytest.raises(ValueError, match="unknown configs"):
+            api.sweep(configs=["aise+bmt", "nope"], benchmarks=["art"], events=100)
+        with pytest.raises(ValueError, match="unknown benchmarks"):
+            api.sweep(configs=["base"], benchmarks=["quake3"], events=100)
+
+
+class TestFacadeSurface:
+    def test_all_exports_resolve(self):
+        for name in api.__all__:
+            assert getattr(api, name) is not None
+
+    def test_package_root_reexports_facade(self):
+        import repro
+
+        assert repro.api is api
+        assert repro.build_machine is build_machine
+
+    def test_preset_names_cover_sweep_registry(self):
+        from repro.evalx.runner import CONFIGS
+
+        assert tuple(CONFIGS) == preset_names()
+
+
+class TestDeprecatedShims:
+    def test_shims_delegate_to_preset(self):
+        _reset_deprecation_warnings()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            assert baseline_config() == MachineConfig.preset("base")
+            assert aise_bmt_config(mac_bits=64) == MachineConfig.preset(
+                "aise+bmt", mac_bits=64
+            )
+            assert global64_mt_config() == MachineConfig.preset("global64+mt")
+
+    def test_each_shim_warns_exactly_once_per_process(self):
+        _reset_deprecation_warnings()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            baseline_config()
+            baseline_config()
+            aise_bmt_config()
+        messages = [str(w.message) for w in caught if w.category is DeprecationWarning]
+        assert len(messages) == 2
+        assert any("baseline_config" in m for m in messages)
+        assert any("aise_bmt_config" in m for m in messages)
+        _reset_deprecation_warnings()

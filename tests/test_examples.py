@@ -23,8 +23,10 @@ EXAMPLES = [
 @pytest.mark.parametrize("script,args", EXAMPLES)
 def test_example_runs(script, args):
     path = os.path.join(EXAMPLES_DIR, script)
+    # Examples are held to the facade: any use of a deprecated
+    # constructor (or other DeprecationWarning) is a failure.
     result = subprocess.run(
-        [sys.executable, path, *args],
+        [sys.executable, "-W", "error::DeprecationWarning", path, *args],
         capture_output=True,
         text=True,
         timeout=300,
