@@ -7,14 +7,20 @@ counter freshness — and this package is the tooling that keeps new code
 honest about them.  It provides:
 
 * an AST-based lint engine with a rule registry, per-rule severity,
-  ``# repro: allow(RULE-ID)`` suppressions and text/JSON reporters
-  (:mod:`repro.analysis.engine`, :mod:`repro.analysis.reporters`);
-* the domain rules themselves (:mod:`repro.analysis.rules`):
-  SEC001-SEC003 for the paper's security invariants, DET001 for
+  ``# repro: allow(RULE-ID)`` suppressions, baseline files, and
+  text/JSON/SARIF reporters (:mod:`repro.analysis.engine`,
+  :mod:`repro.analysis.reporters`);
+* the per-file domain rules (:mod:`repro.analysis.rules`):
+  SEC001-SEC004 for the paper's security invariants, DET001 for
   trace-run determinism, SIM001 for timing-model discipline, and the
   generic GEN001/GEN002 hygiene rules;
-* a CLI: ``python -m repro.analysis src/repro`` (also installed as
-  ``repro-analyze`` and reachable via ``python -m repro analyze``).
+* the whole-program FLOW rules (:mod:`repro.analysis.flow`): an
+  import/call graph (:mod:`repro.analysis.graph`) and a taint lattice
+  (:mod:`repro.analysis.taint`) proving the chip-boundary (FLOW001),
+  seed-provenance (FLOW002), determinism (FLOW003), and memo-soundness
+  (FLOW004) invariants across function and module boundaries;
+* a CLI: ``python -m repro.analysis src/repro --flow`` (also installed
+  as ``repro-analyze`` and reachable via ``python -m repro analyze``).
 
 The static rules have a dynamic counterpart in
 :mod:`repro.core.sanitizer`, which arms cheap runtime assertions at the
@@ -24,26 +30,41 @@ same seams the rules guard.
 from __future__ import annotations
 
 from .engine import (
+    AnalyzerCrash,
     FileContext,
     Finding,
     Rule,
     all_rules,
     analyze_paths,
+    analyze_project,
     analyze_source,
+    apply_baseline,
+    baseline_key,
     get_rules,
+    load_baseline,
     register,
+    write_baseline,
 )
-from .reporters import render_json, render_text
+from .graph import ProjectGraph
+from .reporters import render_json, render_sarif, render_text
 
 __all__ = [
+    "AnalyzerCrash",
     "FileContext",
     "Finding",
+    "ProjectGraph",
     "Rule",
     "all_rules",
     "analyze_paths",
+    "analyze_project",
     "analyze_source",
+    "apply_baseline",
+    "baseline_key",
     "get_rules",
+    "load_baseline",
     "register",
     "render_json",
+    "render_sarif",
     "render_text",
+    "write_baseline",
 ]

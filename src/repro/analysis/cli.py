@@ -1,8 +1,10 @@
 """Command-line driver: ``python -m repro.analysis [paths...]``.
 
-Exit status is 0 when no (non-suppressed) findings remain, 1 otherwise —
-suitable for CI. Also installed as the ``repro-analyze`` console script
-and reachable as ``python -m repro analyze``.
+Exit status: 0 when no (non-suppressed, non-baselined) findings remain,
+1 when findings are reported, 2 when the analyzer itself failed (bad
+arguments, missing paths, or a rule crash — reported with the file it
+crashed on). Also installed as the ``repro-analyze`` console script and
+reachable as ``python -m repro analyze``.
 """
 
 from __future__ import annotations
@@ -10,8 +12,15 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .engine import analyze_paths
-from .reporters import render_json, render_rule_list, render_text
+from .engine import (
+    AnalyzerCrash,
+    analyze_paths,
+    analyze_project,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from .reporters import render_json, render_rule_list, render_sarif, render_text
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -26,17 +35,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="files or directories to analyze (default: src/repro)",
     )
     parser.add_argument(
+        "--flow",
+        action="store_true",
+        help="also run the whole-program FLOW rules (taint/call-graph pass)",
+    )
+    parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--sarif",
+        metavar="FILE",
+        default=None,
+        help="additionally write a SARIF 2.1.0 report to FILE",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="suppress findings recorded in this baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        default=None,
+        help="record the current findings as the accepted baseline and exit 0",
     )
     parser.add_argument(
         "--select",
         nargs="+",
         metavar="RULE",
         default=None,
-        help="run only these rule ids (e.g. SEC001 DET001)",
+        help="run only these rule ids (e.g. SEC001 FLOW001)",
     )
     parser.add_argument(
         "--ignore",
@@ -54,9 +86,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true", help="print the rule catalogue and exit"
     )
     parser.add_argument(
+        "--layers",
+        action="store_true",
+        help="print the package import-layering table and exit",
+    )
+    parser.add_argument(
         "--verbose", action="store_true", help="append rule rationales to text output"
     )
     return parser
+
+
+def _print_layers(paths: list[str]) -> int:
+    import ast
+
+    from .engine import FileContext, iter_python_files
+    from .graph import ProjectGraph
+
+    contexts = []
+    for file_path in iter_python_files(paths):
+        source = file_path.read_text(encoding="utf-8")
+        try:
+            ast.parse(source)
+        except SyntaxError:
+            continue
+        contexts.append(FileContext(str(file_path), source))
+    graph = ProjectGraph.build(contexts)
+    imports = graph.package_imports()
+    for depth, layer in enumerate(graph.package_layers()):
+        for package in layer:
+            deps = ", ".join(sorted(imports.get(package, ()))) or "-"
+            print(f"layer {depth}: {package:<12} imports: {deps}")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -65,17 +125,41 @@ def main(argv: list[str] | None = None) -> int:
         print(render_rule_list())
         return 0
     try:
-        findings = analyze_paths(
-            args.paths,
-            select=args.select,
-            ignore=args.ignore,
-            respect_suppressions=not args.no_suppressions,
-        )
+        if args.layers:
+            return _print_layers(args.paths)
+        if args.flow:
+            findings = analyze_project(
+                args.paths,
+                select=args.select,
+                ignore=args.ignore,
+                respect_suppressions=not args.no_suppressions,
+            )
+        else:
+            findings = analyze_paths(
+                args.paths,
+                select=args.select,
+                ignore=args.ignore,
+                respect_suppressions=not args.no_suppressions,
+            )
+        if args.baseline is not None:
+            findings = apply_baseline(findings, load_baseline(args.baseline))
+    except AnalyzerCrash as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
     except (FileNotFoundError, KeyError) as err:
         print(f"error: {err}", file=sys.stderr)
         return 2
+    if args.write_baseline is not None:
+        write_baseline(findings, args.write_baseline)
+        print(f"baseline with {len(findings)} finding(s) written to {args.write_baseline}")
+        return 0
+    if args.sarif is not None:
+        with open(args.sarif, "w", encoding="utf-8") as fh:
+            fh.write(render_sarif(findings) + "\n")
     if args.format == "json":
         print(render_json(findings))
+    elif args.format == "sarif":
+        print(render_sarif(findings))
     else:
         print(render_text(findings, verbose=args.verbose))
     return 1 if findings else 0

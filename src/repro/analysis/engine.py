@@ -33,7 +33,12 @@ _SUPPRESSION_RE = re.compile(r"#\s*repro:\s*allow\(\s*([A-Za-z0-9_,\-\s*]+?)\s*\
 
 @dataclass(frozen=True)
 class Finding:
-    """One rule violation at one source location."""
+    """One rule violation at one source location.
+
+    ``trace`` is the flow rules' witness path: one human-readable step
+    per line, source to sink, so a cross-module finding is actionable
+    without re-running the analysis in one's head.
+    """
 
     rule: str
     severity: str
@@ -41,9 +46,27 @@ class Finding:
     path: str
     line: int
     col: int = 0
+    trace: tuple = ()
 
     def location(self) -> str:
         return f"{self.path}:{self.line}:{self.col}"
+
+
+class AnalyzerCrash(Exception):
+    """A rule raised while analyzing a file (exit code 2, not 1).
+
+    Carries the file being analyzed so the CLI can report *where* the
+    analyzer fell over instead of dumping a bare traceback.
+    """
+
+    def __init__(self, path: str, rule_id: str, original: BaseException):
+        super().__init__(
+            f"analyzer crashed in rule {rule_id} while analyzing {path}: "
+            f"{type(original).__name__}: {original}"
+        )
+        self.path = path
+        self.rule_id = rule_id
+        self.original = original
 
 
 class FileContext:
@@ -75,14 +98,20 @@ class FileContext:
 def logical_path_for(path: str) -> str:
     """Path relative to the ``repro`` package (or the bare filename).
 
-    ``src/repro/core/seeds.py`` -> ``core/seeds.py``;  a path with no
-    ``repro`` component maps to its final components unchanged so the
-    engine still works on loose files.
+    ``src/repro/core/seeds.py`` -> ``core/seeds.py``.  Files under a
+    ``tests`` or ``benchmarks`` root keep that root as their first
+    logical component (``tests/analysis/test_flow.py``) so rules can
+    scope themselves with ``ctx.under("tests")``.  A path with neither
+    anchor maps to its bare filename so the engine still works on loose
+    files.
     """
     parts = Path(path).parts
     for i in range(len(parts) - 1, -1, -1):
         if parts[i] == "repro":
             return "/".join(parts[i + 1 :])
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] in ("tests", "benchmarks"):
+            return "/".join(parts[i:])
     return Path(path).name
 
 
@@ -126,6 +155,12 @@ class Rule:
     severity: str = "warning"
     title: str = ""
     rationale: str = ""  # the invariant this guards (shown by --list-rules)
+    #: Library-discipline rules don't lint tests/benchmarks (attack tests
+    #: deliberately violate the invariants they probe). Hygiene rules set
+    #: this False to cover the whole tree.
+    library_only: bool = True
+    #: Project rules analyze the assembled ProjectGraph, not single files.
+    is_project_rule: bool = False
 
     def applies(self, ctx: FileContext) -> bool:
         return True
@@ -159,6 +194,7 @@ def register(rule_cls: type[Rule]) -> type[Rule]:
 
 def all_rules() -> dict[str, type[Rule]]:
     from . import rules as _rules  # noqa: F401  (import registers the rules)
+    from . import flow as _flow  # noqa: F401  (FLOW rules register too)
 
     return dict(_REGISTRY)
 
@@ -203,12 +239,19 @@ def analyze_source(
         ]
     findings: list[Finding] = []
     for rule in rules if rules is not None else get_rules():
+        if rule.is_project_rule:
+            continue  # needs the whole program: see analyze_project
+        if rule.library_only and ctx.under("tests", "benchmarks"):
+            continue
         if not rule.applies(ctx):
             continue
-        for finding in rule.check(tree, ctx):
-            if respect_suppressions and ctx.suppressed(finding.rule, finding.line):
-                continue
-            findings.append(finding)
+        try:
+            for finding in rule.check(tree, ctx):
+                if respect_suppressions and ctx.suppressed(finding.rule, finding.line):
+                    continue
+                findings.append(finding)
+        except Exception as err:  # a rule bug must not masquerade as findings
+            raise AnalyzerCrash(path, rule.id, err) from err
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings
 
@@ -248,3 +291,99 @@ def analyze_paths(
             )
         )
     return findings
+
+
+def analyze_project(
+    paths: Iterable[str],
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+    respect_suppressions: bool = True,
+) -> list[Finding]:
+    """Per-file rules plus the whole-program FLOW rules over ``paths``.
+
+    The flow rules see every parseable file under ``paths`` as one
+    program (import graph, call graph, interprocedural taint), so run
+    this over a package root, not a single file, for meaningful results.
+    """
+    from .graph import ProjectGraph  # deferred: graph imports this module
+
+    rules = get_rules(select=select, ignore=ignore)
+    registry = all_rules()
+    contexts: list[FileContext] = []
+    findings: list[Finding] = []
+    for file_path in iter_python_files(paths):
+        source = file_path.read_text(encoding="utf-8")
+        ctx = FileContext(str(file_path), source)
+        file_findings = analyze_source(
+            source,
+            path=ctx.path,
+            logical_path=ctx.logical,
+            rules=rules,
+            respect_suppressions=respect_suppressions,
+        )
+        findings.extend(file_findings)
+        if not any(f.rule == "PARSE" for f in file_findings):
+            contexts.append(ctx)
+    ctx_by_path = {ctx.path: ctx for ctx in contexts}
+    project_rules = [r for r in rules if r.is_project_rule]
+    if project_rules and contexts:
+        graph = ProjectGraph.build(contexts)
+        for rule in project_rules:
+            try:
+                raw = list(rule.check_project(graph))
+            except AnalyzerCrash:
+                raise
+            except Exception as err:
+                raise AnalyzerCrash("<project>", rule.id, err) from err
+            for finding in raw:
+                ctx = ctx_by_path.get(finding.path)
+                if ctx is None:
+                    findings.append(finding)
+                    continue
+                if respect_suppressions and ctx.suppressed(finding.rule, finding.line):
+                    continue
+                rule_cls = registry.get(finding.rule)
+                if (
+                    rule_cls is not None
+                    and rule_cls.library_only
+                    and ctx.under("tests", "benchmarks")
+                ):
+                    continue
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+# -- baselines ---------------------------------------------------------------
+
+
+def baseline_key(finding: Finding) -> str:
+    """Stable identity for baseline matching: rule, logical path, message.
+
+    Line numbers are deliberately excluded so unrelated edits above a
+    known finding don't un-baseline it.
+    """
+    return f"{finding.rule}|{logical_path_for(finding.path)}|{finding.message}"
+
+
+def write_baseline(findings: Iterable[Finding], path: str) -> None:
+    """Record the current findings as the accepted baseline."""
+    import json
+
+    keys = sorted({baseline_key(f) for f in findings})
+    Path(path).write_text(
+        json.dumps({"version": 1, "accepted": keys}, indent=2) + "\n",
+        encoding="utf-8",
+    )
+
+
+def load_baseline(path: str) -> set[str]:
+    import json
+
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    return set(payload.get("accepted", []))
+
+
+def apply_baseline(findings: Iterable[Finding], accepted: set[str]) -> list[Finding]:
+    """Drop findings whose :func:`baseline_key` is in ``accepted``."""
+    return [f for f in findings if baseline_key(f) not in accepted]

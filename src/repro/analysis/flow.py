@@ -1,0 +1,523 @@
+"""The FLOW rule family: whole-program checks of the paper's invariants.
+
+Where the SEC/DET rules inspect one file at a time, these four rules run
+over the assembled :class:`~repro.analysis.graph.ProjectGraph` with the
+taint machinery from :mod:`repro.analysis.taint`:
+
+========  ==================================================================
+FLOW001   Plaintext stays on-chip: a value returned by a decryption path
+          must not reach a DRAM write, swap serialization, or trace/JSON
+          sink without passing back through an encryption engine — and,
+          dually, ciphertext fetched from attackable storage must not be
+          decrypted before an integrity check clears it (paper sections
+          3 and 5: the chip boundary IS the trust boundary).
+FLOW002   Seed provenance: every argument flowing into pad/keystream
+          generation must originate from a sanctioned counter API
+          (``seeds_for_block`` / ``SeedAudit.record_encryption``) — the
+          interprocedural generalization of SEC001/SEC003. Pad reuse is
+          a two-time pad (paper section 4).
+FLOW003   Nondeterminism taint: values derived from wall clocks, the
+          process environment, or ambient randomness must not reach
+          ``SimResult`` or cache fingerprints — the interprocedural
+          generalization of DET001 (trace-driven runs are bit-
+          reproducible).
+FLOW004   Memo soundness: a memo-cache insertion that records "this
+          verified" must be dominated by the verification it memoizes on
+          every path — the Freij-et-al. reorder bug class that PR 5's
+          fastpath memos make possible.
+========  ==================================================================
+
+All four share one :class:`FlowAnalysis` per graph (summary fixpoint +
+one taint run per function), cached on the graph object, so selecting
+multiple FLOW rules costs one analysis, not four.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from . import taint
+from .engine import AnalyzerCrash, Finding, Rule, register
+from .graph import CallSite, FunctionInfo, ProjectGraph
+
+#: Provenance labels planted on every parameter: must-polarity, so a
+#: value keeps PARAM:<name> only while it is the parameter on all paths.
+PARAM_PREFIX = "PARAM:"
+
+#: Functions whose seed parameter is discharged by checking *their* call
+#: sites against the consumer catalog instead of recursing further —
+#: the pad/cipher chokepoints themselves.
+KEYSTREAM_CHOKEPOINTS = frozenset(
+    {
+        "apply",
+        "encrypt",
+        "decrypt",
+        "pad",
+        "pad_int",
+        "block_pad_int",
+        "_generate",
+        "_apply_reference",
+        "decrypt_with_seeds",
+    }
+)
+
+
+def _param_labels_for(fn: FunctionInfo) -> dict:
+    return {
+        p: frozenset({PARAM_PREFIX + p})
+        for p in fn.params
+        if p not in ("self", "cls")
+    }
+
+
+class FlowAnalysis:
+    """Shared taint state for one :class:`ProjectGraph`.
+
+    Builds interprocedural return summaries to fixpoint (propagated only
+    through unambiguous names), then runs one final taint pass per
+    function whose recorded sink hits and per-call argument labels the
+    FLOW rules consume.
+    """
+
+    MAX_ROUNDS = 4
+
+    def __init__(self, graph: ProjectGraph):
+        self.graph = graph
+        self.summaries: dict[str, tuple] = {}
+        self.tainters: dict[str, taint.FunctionTainter] = {}
+        self._compute()
+
+    @classmethod
+    def of(cls, graph: ProjectGraph) -> "FlowAnalysis":
+        cached = getattr(graph, "_flow_analysis", None)
+        if cached is None:
+            cached = cls(graph)
+            graph._flow_analysis = cached
+        return cached
+
+    def _run(self, fn: FunctionInfo) -> taint.FunctionTainter:
+        try:
+            return taint.FunctionTainter(
+                fn.node,
+                fn.module.logical,
+                summaries=self.summaries,
+                param_labels=_param_labels_for(fn),
+            ).run()
+        except AnalyzerCrash:
+            raise
+        except Exception as err:
+            raise AnalyzerCrash(fn.module.ctx.path, "FLOW", err) from err
+
+    def _compute(self) -> None:
+        for _ in range(self.MAX_ROUNDS):
+            changed = False
+            for fn in self.graph.functions:
+                if self.graph.resolve_unique(fn.name) is not fn:
+                    continue  # ambiguous names never carry summaries
+                tainter = self._run(fn)
+                # Caller-relative PARAM labels don't survive into the
+                # summary; pass-through is approximated at the call site
+                # by unioning the arguments' may-taints.
+                labels = frozenset(
+                    label
+                    for label in tainter.return_labels
+                    if not label.startswith(PARAM_PREFIX)
+                )
+                if labels:
+                    entry = (labels, fn.qualname)
+                    if self.summaries.get(fn.name) != entry:
+                        self.summaries[fn.name] = entry
+                        changed = True
+                elif fn.name in self.summaries:
+                    del self.summaries[fn.name]
+                    changed = True
+            if not changed:
+                break
+        for fn in self.graph.functions:
+            self.tainters[fn.qualname] = self._run(fn)
+
+    def arg_labels(self, fn: FunctionInfo, call: CallSite, position: int, keyword: str | None):
+        """(labels, origin) the given argument carried at this call site."""
+        recorded = self.tainters[fn.qualname].call_args.get(id(call.node))
+        if recorded is None:
+            return taint.EMPTY, ""
+        if 0 <= position < len(call.node.args) and position < len(recorded["pos"]):
+            if not isinstance(call.node.args[position], ast.Starred):
+                return recorded["pos"][position]
+        if keyword is not None and keyword in recorded["kw"]:
+            return recorded["kw"][keyword]
+        return taint.EMPTY, ""
+
+
+class ProjectRule(Rule):
+    """A rule over the assembled program rather than a single file."""
+
+    is_project_rule = True
+
+    def check(self, tree: ast.Module, ctx) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, graph: ProjectGraph) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def flow_finding(
+        self, fn: FunctionInfo, node: ast.AST, message: str, trace: tuple = ()
+    ) -> Finding:
+        return Finding(
+            rule=self.id,
+            severity=self.severity,
+            message=message,
+            path=fn.module.ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            trace=trace,
+        )
+
+
+def _trace(origin: str, *steps: str) -> tuple:
+    return tuple(step for step in (origin, *steps) if step)
+
+
+# -- FLOW001: plaintext never crosses the chip boundary ----------------------
+
+
+@register
+class PlaintextEscapeRule(ProjectRule):
+    id = "FLOW001"
+    severity = "error"
+    title = "plaintext must not cross the chip boundary unencrypted"
+    rationale = (
+        "The processor chip is the trust boundary (paper section 3): "
+        "anything written to DRAM, serialized to the swap device, or "
+        "emitted into traces is adversary-visible, so a decrypted value "
+        "must pass back through an encryption engine first — and "
+        "ciphertext arriving from that same untrusted side must clear "
+        "an integrity check before it is decrypted and trusted."
+    )
+
+    def check_project(self, graph: ProjectGraph) -> Iterator[Finding]:
+        analysis = FlowAnalysis.of(graph)
+        for fn in graph.functions:
+            tainter = analysis.tainters[fn.qualname]
+            for hit in tainter.sink_hits:
+                if hit.sink.label != taint.PLAINTEXT:
+                    continue
+                yield self.flow_finding(
+                    fn,
+                    hit.node,
+                    f"decrypted plaintext reaches {hit.sink.describe} in "
+                    f"{fn.qualname} without re-encryption",
+                    trace=_trace(
+                        hit.origin,
+                        f"{fn.module.logical}:{hit.node.lineno}: "
+                        f"escapes the chip boundary via {hit.sink.describe}",
+                    ),
+                )
+            # The dual direction: decrypting bytes whose integrity was
+            # never verified trusts the memory adversary's input.
+            for call in fn.calls:
+                if not taint.match_any(
+                    taint.PLAINTEXT_SOURCES, call.name, call.dotted
+                ):
+                    continue
+                recorded = tainter.call_args.get(id(call.node), {"pos": [], "kw": {}})
+                for labels, origin in recorded["pos"]:
+                    if taint.UNVERIFIED in labels:
+                        yield self.flow_finding(
+                            fn,
+                            call.node,
+                            f"{fn.qualname} decrypts ciphertext that was "
+                            "never integrity-verified; call verify_data/"
+                            "metadata_verify on it first",
+                            trace=_trace(
+                                origin,
+                                f"{fn.module.logical}:{call.node.lineno}: "
+                                f"decrypted by {call.name}() before any "
+                                "verification",
+                            ),
+                        )
+                        break
+
+
+# -- FLOW002: seeds originate from sanctioned counter APIs --------------------
+
+
+@register
+class SeedProvenanceFlowRule(ProjectRule):
+    id = "FLOW002"
+    severity = "error"
+    title = "keystream seeds must come from sanctioned counter APIs"
+    rationale = (
+        "Every pad is E_K(seed) and a repeated seed is a two-time pad "
+        "(paper section 4); the only sound producers are the seed-scheme "
+        "APIs (seeds_for_block, SeedAudit.record_encryption), which "
+        "guarantee LPID + per-block-counter uniqueness. This is SEC001/"
+        "SEC003 made interprocedural: the argument is traced through "
+        "calls, not just within one expression."
+    )
+
+    def check_project(self, graph: ProjectGraph) -> Iterator[Finding]:
+        analysis = FlowAnalysis.of(graph)
+        for fn in graph.functions:
+            for call in fn.calls:
+                for pattern, position, keyword in taint.KEYSTREAM_CONSUMERS:
+                    if not pattern.matches(call.name, call.dotted):
+                        continue
+                    arg = call.arg(position, keyword)
+                    if arg is None:
+                        continue  # *args splat: nothing to trace
+                    yield from self._check_seed(
+                        graph, analysis, fn, call, position, keyword, set()
+                    )
+
+    def _check_seed(
+        self,
+        graph: ProjectGraph,
+        analysis: FlowAnalysis,
+        fn: FunctionInfo,
+        call: CallSite,
+        position: int,
+        keyword: str | None,
+        visited: set,
+        steps: tuple = (),
+    ) -> Iterator[Finding]:
+        labels, origin = analysis.arg_labels(fn, call, position, keyword)
+        if taint.SEED_MATERIAL in labels:
+            return
+        here = (
+            f"{fn.module.logical}:{call.node.lineno}: seed argument of "
+            f"{call.name}() in {fn.qualname}"
+        )
+        params = [
+            label[len(PARAM_PREFIX):]
+            for label in labels
+            if label.startswith(PARAM_PREFIX)
+        ]
+        if params:
+            param = params[0]
+            if fn.name in KEYSTREAM_CHOKEPOINTS:
+                return  # this function's own call sites carry the obligation
+            key = (fn.qualname, param)
+            if key in visited:
+                return
+            visited.add(key)
+            if graph.resolve_unique(fn.name) is not fn:
+                return  # ambiguous callee name: callers can't be attributed
+            index = fn.call_index_of_param(param)
+            for caller, site in graph.callers_of(fn.name):
+                caller_arg = (
+                    site.arg(index, param) if index is not None else site.arg(-1, param)
+                )
+                if caller_arg is None:
+                    continue
+                yield from self._check_seed(
+                    graph,
+                    analysis,
+                    caller,
+                    site,
+                    index if index is not None else -1,
+                    param,
+                    visited,
+                    steps + (here + f" <- parameter {param!r}",),
+                )
+            return
+        yield self.flow_finding(
+            fn,
+            call.node,
+            f"seed argument of {call.name}() in {fn.qualname} does not "
+            "originate from a sanctioned counter API (seeds_for_block / "
+            "record_encryption)",
+            trace=_trace(origin, *reversed(steps), here),
+        )
+
+
+# -- FLOW003: nondeterminism never reaches deterministic artifacts ------------
+
+
+@register
+class NondeterminismFlowRule(ProjectRule):
+    id = "FLOW003"
+    severity = "error"
+    title = "nondeterministic values must not reach results or fingerprints"
+    rationale = (
+        "Trace-driven runs are bit-reproducible: the committed goldens, "
+        "the evalx result cache, and every figure depend on it. A wall-"
+        "clock, os.environ, or ambient-randomness value flowing into a "
+        "SimResult or a cache fingerprint makes results differ run to "
+        "run — DET001 traced across function boundaries."
+    )
+
+    def check_project(self, graph: ProjectGraph) -> Iterator[Finding]:
+        analysis = FlowAnalysis.of(graph)
+        for fn in graph.functions:
+            for hit in analysis.tainters[fn.qualname].sink_hits:
+                if hit.sink.label != taint.NONDET:
+                    continue
+                yield self.flow_finding(
+                    fn,
+                    hit.node,
+                    f"nondeterministic value reaches {hit.sink.describe} in "
+                    f"{fn.qualname}; derive it from the config/trace instead",
+                    trace=_trace(
+                        hit.origin,
+                        f"{fn.module.logical}:{hit.node.lineno}: "
+                        f"flows into {hit.sink.describe}",
+                    ),
+                )
+
+
+# -- FLOW004: memo inserts are dominated by their verification ----------------
+
+_MEMO_HINTS = ("memo", "verified", "cache", "pads")
+
+
+def _memoish(name: str | None) -> bool:
+    if not name:
+        return False
+    lowered = name.lower()
+    return any(hint in lowered for hint in _MEMO_HINTS)
+
+
+def _base_name(node: ast.AST) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _memo_inserts(stmt: ast.stmt) -> list[tuple[ast.AST, str]]:
+    """(node, memo-name) for memo-style stores in one statement.
+
+    A store is ``memo[key] = value`` on a memo-named container, or a
+    ``.insert(...)`` call on one (the PadCache API). Nested function
+    bodies are the callee's problem, not this statement's.
+    """
+    inserts: list[tuple[ast.AST, str]] = []
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            if isinstance(target, ast.Subscript):
+                name = _base_name(target.value)
+                if _memoish(name):
+                    inserts.append((stmt, name))
+    elif isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+        func = stmt.value.func
+        if isinstance(func, ast.Attribute) and func.attr == "insert":
+            name = _base_name(func.value)
+            if _memoish(name):
+                inserts.append((stmt, name))
+    return inserts
+
+
+def _is_verify_stmt(stmt: ast.stmt) -> bool:
+    """True if executing ``stmt`` performs an integrity verification."""
+    for sub in ast.walk(stmt):
+        if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return False  # don't credit verification inside nested defs
+        if isinstance(sub, ast.Call):
+            name = None
+            if isinstance(sub.func, ast.Attribute):
+                name = sub.func.attr
+            elif isinstance(sub.func, ast.Name):
+                name = sub.func.id
+            if name is not None and "verify" in name.lower():
+                return True
+    return False
+
+
+def _block_raises(body: list) -> bool:
+    for stmt in body:
+        for sub in ast.walk(stmt):
+            if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                break
+            if isinstance(sub, ast.Raise):
+                return True
+    return False
+
+
+def _terminates(body: list) -> bool:
+    return bool(body) and isinstance(
+        body[-1], (ast.Return, ast.Raise, ast.Continue, ast.Break)
+    )
+
+
+@register
+class MemoSoundnessRule(ProjectRule):
+    id = "FLOW004"
+    severity = "error"
+    title = "memo inserts must be dominated by the verification they memoize"
+    rationale = (
+        "A verified-state memo (the bonsai MAC memo, the pad memos) is "
+        "sound only if every insertion happens after the verification it "
+        "caches succeeded on that path; an insert that precedes (or can "
+        "bypass) the check turns the fastpath into an undetectable-"
+        "tamper primitive — the verify/update reorder bug class of "
+        "Freij et al."
+    )
+
+    def check_project(self, graph: ProjectGraph) -> Iterator[Finding]:
+        for fn in graph.functions:
+            verify_somewhere = any(
+                _is_verify_stmt(stmt)
+                for stmt in ast.walk(fn.node)
+                if isinstance(stmt, ast.stmt)
+            )
+            hits: list[tuple[ast.AST, str]] = []
+            self._scan(fn.node.body, False, hits)
+            for node, memo_name in hits:
+                # Only memos that assert verification are in scope: the
+                # function verifies somewhere (so ordering matters) or
+                # the container's own name claims verified-ness.
+                if not verify_somewhere and "verified" not in memo_name.lower():
+                    continue
+                yield self.flow_finding(
+                    fn,
+                    node,
+                    f"memo insert into {memo_name!r} in {fn.qualname} is not "
+                    "dominated by the verification that should guard it; "
+                    "move the insert after the check succeeds on every path",
+                    trace=(
+                        f"{fn.module.logical}:{getattr(node, 'lineno', 1)}: "
+                        f"insert into {memo_name!r} reachable with no prior "
+                        "verification on this path",
+                    ),
+                )
+
+    def _scan(self, body: list, verified: bool, hits: list) -> bool:
+        """Walk ``body`` tracking the must-verified state; returns the
+        state after the block for its fallthrough paths."""
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue  # nested defs are scanned as their own functions
+            for node, memo_name in _memo_inserts(stmt):
+                if not verified:
+                    hits.append((node, memo_name))
+            if isinstance(stmt, ast.If):
+                after_then = self._scan(stmt.body, verified, hits)
+                after_else = self._scan(stmt.orelse, verified, hits)
+                if _block_raises(stmt.body) or _block_raises(stmt.orelse):
+                    # Compare-and-raise guard: surviving it means the
+                    # check passed (the verify_data idiom).
+                    verified = True
+                else:
+                    branches = []
+                    if not _terminates(stmt.body):
+                        branches.append(after_then)
+                    if not _terminates(stmt.orelse):
+                        branches.append(after_else)
+                    verified = all(branches) if branches else verified
+            elif isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+                verified = self._scan(stmt.body, verified, hits)
+                self._scan(stmt.orelse, verified, hits)
+            elif isinstance(stmt, ast.Try):
+                after_body = self._scan(stmt.body, verified, hits)
+                for handler in stmt.handlers:
+                    self._scan(handler.body, verified, hits)
+                after_else = self._scan(stmt.orelse, after_body, hits)
+                verified = self._scan(stmt.finalbody, after_else, hits)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                verified = self._scan(stmt.body, verified, hits)
+            if _is_verify_stmt(stmt):
+                verified = True
+        return verified

@@ -10,11 +10,13 @@ from .engine import Finding, all_rules
 
 
 def render_text(findings: Iterable[Finding], verbose: bool = False) -> str:
-    """One line per finding plus a per-rule summary."""
+    """One line per finding (plus its flow trace) and a per-rule summary."""
     findings = list(findings)
-    lines = [
-        f"{f.location()}: {f.severity} {f.rule}: {f.message}" for f in findings
-    ]
+    lines = []
+    for f in findings:
+        lines.append(f"{f.location()}: {f.severity} {f.rule}: {f.message}")
+        for step in f.trace:
+            lines.append(f"    flow: {step}")
     if not findings:
         lines.append("no findings")
     else:
@@ -42,6 +44,7 @@ def render_json(findings: Iterable[Finding]) -> str:
                 "path": f.path,
                 "line": f.line,
                 "col": f.col,
+                "trace": list(f.trace),
             }
             for f in findings
         ],
@@ -54,6 +57,65 @@ def render_json(findings: Iterable[Finding]) -> str:
         },
     }
     return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_sarif(findings: Iterable[Finding]) -> str:
+    """SARIF 2.1.0 document, one run, for code-scanning upload/artifacts."""
+    findings = list(findings)
+    registry = all_rules()
+    used = sorted({f.rule for f in findings} | set(registry))
+    rules = []
+    for rule_id in used:
+        rule_cls = registry.get(rule_id)
+        entry = {"id": rule_id}
+        if rule_cls is not None:
+            entry["shortDescription"] = {"text": rule_cls.title or rule_id}
+            if rule_cls.rationale:
+                entry["fullDescription"] = {"text": rule_cls.rationale}
+            entry["defaultConfiguration"] = {
+                "level": "error" if rule_cls.severity == "error" else "warning"
+            }
+        rules.append(entry)
+    results = []
+    for f in findings:
+        result = {
+            "ruleId": f.rule,
+            "level": "error" if f.severity == "error" else "warning",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": f.path.replace("\\", "/")},
+                        "region": {
+                            "startLine": max(1, f.line),
+                            "startColumn": max(1, f.col + 1),
+                        },
+                    }
+                }
+            ],
+        }
+        if f.trace:
+            result["message"]["text"] += "\n" + "\n".join(
+                f"flow: {step}" for step in f.trace
+            )
+        results.append(result)
+    document = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-analyze",
+                        "informationUri": "docs/static-analysis.md",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
 
 
 def render_rule_list() -> str:

@@ -396,6 +396,10 @@ class DeterminismRule(Rule):
     id = "DET001"
     severity = "error"
     title = "no wall-clock time or unseeded randomness in the library"
+    # Applies to tests/benchmarks too: a wall-clock read in a test makes
+    # its failures irreproducible (benchmarks time themselves with the
+    # allowed perf_counter).
+    library_only = False
     rationale = (
         "Trace-driven evaluation must be bit-reproducible run to run; "
         "wall-clock reads and unseeded RNGs make results (and test "
@@ -685,6 +689,7 @@ class BareExceptRule(Rule):
     id = "GEN001"
     severity = "warning"
     title = "no bare except clauses"
+    library_only = False  # hygiene holds in tests and benchmarks too
     rationale = (
         "A bare except swallows IntegrityError and SanitizerError alike, "
         "turning a detected attack into silence; catch specific exceptions."
@@ -703,6 +708,7 @@ class MutableDefaultRule(Rule):
     id = "GEN002"
     severity = "warning"
     title = "no mutable default arguments"
+    library_only = False  # hygiene holds in tests and benchmarks too
     rationale = (
         "A mutable default is shared across calls — for stateful machine "
         "models that means state leaking between supposedly independent "

@@ -1,0 +1,578 @@
+"""The taint lattice and the per-function taint tracker.
+
+Four labels model the paper's threat boundary:
+
+* ``PLAINTEXT`` — a value that came back through a decryption path and
+  must therefore never cross the chip boundary (DRAM, swap, traces)
+  without passing through an encryption engine again;
+* ``NONDET`` — derived from wall-clock time, ambient randomness, or the
+  process environment; must never reach deterministic artifacts
+  (``SimResult``, cache fingerprints, goldens);
+* ``UNVERIFIED`` — bytes fetched from attackable storage (DRAM, the
+  swap device) whose integrity has not yet been checked; must not be
+  decrypted or parsed into trusted state;
+* ``SEED_MATERIAL`` — produced by a sanctioned seed/counter API
+  (``seeds_for_block``, ``record_encryption``); the *only* thing that
+  may flow into pad/keystream generation.
+
+The first three are **may**-taints: at a control-flow join a value is
+tainted if it is tainted on *any* incoming path, so sets join by union.
+``SEED_MATERIAL`` is a **must**-property: a seed argument is sanctioned
+only if it is sanctioned on *every* path, so it joins by intersection.
+:class:`TaintEnv` keeps the two polarities separate; getting the join
+direction wrong is exactly how an analysis silently stops seeing the
+bug it was built for.
+
+:class:`FunctionTainter` runs the abstract interpretation over one
+function body in statement order: assignments propagate, catalog calls
+introduce or clear labels, interprocedural effects come from summaries
+computed by :mod:`repro.analysis.flow`. It is flow-sensitive down
+straight-line code and joins at branches; loop bodies run twice so a
+loop-carried taint reaches its own first iteration's uses.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+PLAINTEXT = "PLAINTEXT"
+SEED_MATERIAL = "SEED_MATERIAL"
+NONDET = "NONDET"
+UNVERIFIED = "UNVERIFIED"
+
+LABELS = (PLAINTEXT, SEED_MATERIAL, NONDET, UNVERIFIED)
+
+#: May-taints join by union; the must-property SEED_MATERIAL by intersection.
+MAY_LABELS = frozenset({PLAINTEXT, NONDET, UNVERIFIED})
+MUST_LABELS = frozenset({SEED_MATERIAL})
+
+EMPTY: frozenset = frozenset()
+
+
+def join(a: frozenset, b: frozenset) -> frozenset:
+    """Lattice join of two label sets attached to the *same* value.
+
+    Everything outside MAY_LABELS joins by intersection: that covers
+    SEED_MATERIAL and the ``PARAM:<name>`` provenance labels the flow
+    engine plants on function parameters.
+    """
+    return frozenset(((a | b) & MAY_LABELS) | ((a & b) - MAY_LABELS))
+
+
+# -- catalogs ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CallPattern:
+    """Matches a call by terminal name, with optional receiver constraints.
+
+    ``receivers`` restricts to calls whose receiver name contains one of
+    the substrings ("memory" matches ``self.memory.write_block``);
+    ``dotted`` restricts to exact dotted prefixes ("time.time").
+    """
+
+    names: frozenset
+    receivers: tuple = ()
+    dotted: tuple = ()
+
+    def matches(self, name: str, dotted_path: str | None) -> bool:
+        if self.dotted:
+            return dotted_path is not None and any(
+                dotted_path == d or dotted_path.endswith("." + d) for d in self.dotted
+            )
+        if name not in self.names:
+            return False
+        if self.receivers:
+            if dotted_path is None or "." not in dotted_path:
+                return False
+            receiver = dotted_path.split(".")[-2]
+            return any(hint in receiver for hint in self.receivers)
+        return True
+
+
+def pattern(*names: str, receivers: tuple = (), dotted: tuple = ()) -> CallPattern:
+    return CallPattern(frozenset(names), receivers=receivers, dotted=dotted)
+
+
+#: Calls whose return value is freshly decrypted plaintext.
+PLAINTEXT_SOURCES = (
+    pattern("decrypt", "decrypt_with_seeds", "decrypt_block", "apply_pad_int"),
+)
+
+#: Calls that re-encrypt: their return value is safe for DRAM/swap/traces.
+PLAINTEXT_SANITIZERS = (
+    pattern("encrypt", "encrypt_for_write", "encrypt_block",
+            "reencrypt_block_for_move"),
+)
+
+#: Calls yielding wall-clock / environment / ambient-randomness values.
+NONDET_SOURCES = (
+    pattern("time", "time_ns", "perf_counter", "monotonic",
+            dotted=("time.time", "time.time_ns", "time.perf_counter",
+                    "time.monotonic")),
+    pattern("now", "utcnow", dotted=("datetime.now", "datetime.utcnow",
+                                     "datetime.datetime.now",
+                                     "datetime.datetime.utcnow")),
+    pattern("get", "getenv", dotted=("os.environ.get", "os.getenv")),
+    pattern("random", "randint", "randrange", "choice", "shuffle", "uniform",
+            "getrandbits", "randbytes", receivers=("random",)),
+    pattern("uuid4", dotted=("uuid.uuid4",)),
+)
+
+#: Bytes arriving from attackable storage, unchecked.
+UNVERIFIED_SOURCES = (
+    pattern("read_block", receivers=("memory", "storage", "dram")),
+    pattern("dma_read", "snapshot_slot", "load_image", "_load_image"),
+)
+
+#: Calls that perform (or model) integrity verification of their byte
+#: arguments; passing a value through one clears UNVERIFIED.
+VERIFIERS = (
+    pattern("verify", "verify_data", "verify_metadata", "metadata_verify",
+            "verify_block", "verify_root", "compute_data_mac",
+            "page_root_of_image", "check_image"),
+)
+
+#: Sanctioned producers of seed material (FLOW002's provenance anchor).
+SEED_PRODUCERS = (
+    pattern("seeds_for_block", "record_encryption", "next_generation"),
+)
+
+
+@dataclass(frozen=True)
+class SinkSpec:
+    """A call that must not receive a given taint on given arguments."""
+
+    pattern: CallPattern
+    label: str
+    describe: str
+    #: argument positions to check; () means every argument.
+    args: tuple = ()
+
+
+#: FLOW001: plaintext escaping the chip boundary.
+PLAINTEXT_SINKS = (
+    SinkSpec(pattern("write_block", receivers=("memory", "storage", "dram")),
+             PLAINTEXT, "a DRAM write"),
+    SinkSpec(pattern("dma_write", "replay_slot", "_store_image", "store_image"),
+             PLAINTEXT, "swap serialization"),
+    SinkSpec(pattern("dump", "dumps", receivers=("json",)),
+             PLAINTEXT, "a JSON artifact"),
+    SinkSpec(pattern("emit", receivers=("obs", "tracer", "hooks", "_hooks")),
+             PLAINTEXT, "an event-trace record"),
+)
+
+#: FLOW003: nondeterminism reaching deterministic artifacts.
+NONDET_SINKS = (
+    SinkSpec(pattern("SimResult"), NONDET, "a SimResult"),
+    SinkSpec(pattern("config_fingerprint", "model_fingerprint", "cache_key",
+                     "cell_key", "_cell_key", "trace_digest", "fingerprint"),
+             NONDET, "a cache fingerprint"),
+)
+
+#: Keystream consumers: (pattern, seed-argument position, parameter name).
+#: The named argument must carry SEED_MATERIAL (FLOW002).
+KEYSTREAM_CONSUMERS = (
+    (pattern("pad_int", "block_pad_int"), 0, "seeds"),
+    (pattern("pad", receivers=("pads", "_pads", "generator")), 0, "seed"),
+    (pattern("encrypt", "decrypt", "apply", receivers=("cipher",)), 1, "seeds"),
+    (pattern("decrypt_with_seeds"), 1, "seeds"),
+)
+
+
+def match_any(patterns, name: str, dotted: str | None) -> bool:
+    return any(p.matches(name, dotted) for p in patterns)
+
+
+# -- the per-function tracker -------------------------------------------------
+
+
+@dataclass
+class TaintedValue:
+    """Where a variable picked up its labels (for flow traces)."""
+
+    labels: frozenset
+    origin: str = ""  # "core/encryption.py:327: PLAINTEXT from decrypt()"
+
+
+class TaintEnv:
+    """Variable -> labels, with polarity-correct joins."""
+
+    def __init__(self, values: dict | None = None):
+        self.values: dict[str, TaintedValue] = dict(values or {})
+
+    def get(self, name: str) -> frozenset:
+        value = self.values.get(name)
+        return value.labels if value is not None else EMPTY
+
+    def origin(self, name: str) -> str:
+        value = self.values.get(name)
+        return value.origin if value is not None else ""
+
+    def set(self, name: str, labels: frozenset, origin: str = "") -> None:
+        if labels:
+            self.values[name] = TaintedValue(labels, origin)
+        else:
+            self.values.pop(name, None)
+
+    def copy(self) -> "TaintEnv":
+        return TaintEnv(self.values)
+
+    def merge(self, *others: "TaintEnv") -> None:
+        """Join this env with sibling branch envs, in place."""
+        names = set(self.values)
+        for other in others:
+            names |= set(other.values)
+        for name in names:
+            labels = self.get(name)
+            origin = self.origin(name)
+            for other in others:
+                other_labels = other.get(name)
+                labels = join(labels, other_labels)
+                origin = origin or other.origin(name)
+            self.set(name, labels, origin)
+
+
+@dataclass
+class SinkHit:
+    """One tainted value arriving at a sink call."""
+
+    sink: SinkSpec
+    node: ast.Call
+    labels: frozenset
+    origin: str
+
+
+class FunctionTainter:
+    """Abstract interpretation of one function body.
+
+    ``summaries`` maps *unambiguous* function names to the label set of
+    their return value (computed to fixpoint by the flow engine);
+    ``param_labels`` seeds the environment for interprocedural checks.
+    """
+
+    def __init__(
+        self,
+        fn_node: ast.FunctionDef | ast.AsyncFunctionDef,
+        logical: str,
+        summaries: dict | None = None,
+        param_labels: dict | None = None,
+    ):
+        self.node = fn_node
+        self.logical = logical
+        self.summaries = summaries or {}
+        self.env = TaintEnv()
+        self.return_labels: frozenset = EMPTY
+        self.return_origin = ""
+        self._saw_return = False
+        self.sink_hits: list[SinkHit] = []
+        #: id(ast.Call) -> {"pos": [(labels, origin), ...], "kw": {name: ...}}
+        #: — the labels each argument carried when the call was reached.
+        self.call_args: dict[int, dict] = {}
+        args = fn_node.args
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            labels = (param_labels or {}).get(arg.arg, EMPTY)
+            if labels:
+                self.env.set(arg.arg, labels,
+                             f"{logical}:{fn_node.lineno}: parameter {arg.arg!r}")
+
+    # -- driving ------------------------------------------------------------
+
+    def run(self) -> "FunctionTainter":
+        # Two passes so loop-carried taints stabilise (labels only grow
+        # for may-taints; the must-property can only shrink, which a
+        # second pass also captures).
+        self._exec_block(self.node.body, self.env)
+        self._exec_block(self.node.body, self.env)
+        # The double pass records every sink hit twice; keep the second
+        # (stabilised) record per (call, sink).
+        unique: dict[tuple, SinkHit] = {}
+        for hit in self.sink_hits:
+            unique[(id(hit.node), hit.sink.label, hit.sink.describe)] = hit
+        self.sink_hits = list(unique.values())
+        return self
+
+    def _exec_block(self, body, env: TaintEnv) -> None:
+        for stmt in body:
+            self._exec_stmt(stmt, env)
+
+    def _exec_stmt(self, stmt: ast.stmt, env: TaintEnv) -> None:
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            value = getattr(stmt, "value", None)
+            if value is None:
+                return
+            labels, origin = self._eval(value, env)
+            targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            for target in targets:
+                self._assign(target, value, labels, origin, env)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                labels, origin = self._eval(stmt.value, env)
+                if self._saw_return:
+                    # join() intersects must-properties across returns.
+                    self.return_labels = join(self.return_labels, labels)
+                else:
+                    self.return_labels = labels
+                    self._saw_return = True
+                self.return_origin = self.return_origin or origin
+        elif isinstance(stmt, ast.If):
+            self._eval(stmt.test, env)
+            then_env, else_env = env.copy(), env.copy()
+            self._exec_block(stmt.body, then_env)
+            self._exec_block(stmt.orelse, else_env)
+            env.values = then_env.values
+            env.merge(else_env)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            labels, origin = self._eval_iteration(stmt.iter, env)
+            self._assign(stmt.target, stmt.iter, labels, origin, env)
+            # Twice, so a taint born late in the body reaches the body's
+            # own earlier uses (the loop-carried case).
+            self._exec_block(stmt.body, env)
+            self._exec_block(stmt.body, env)
+            self._exec_block(stmt.orelse, env)
+        elif isinstance(stmt, ast.While):
+            self._eval(stmt.test, env)
+            self._exec_block(stmt.body, env)
+            self._exec_block(stmt.body, env)
+            self._exec_block(stmt.orelse, env)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                labels, origin = self._eval(item.context_expr, env)
+                if item.optional_vars is not None:
+                    self._assign(item.optional_vars, item.context_expr,
+                                 labels, origin, env)
+            self._exec_block(stmt.body, env)
+        elif isinstance(stmt, ast.Try):
+            self._exec_block(stmt.body, env)
+            for handler in stmt.handlers:
+                self._exec_block(handler.body, env)
+            self._exec_block(stmt.orelse, env)
+            self._exec_block(stmt.finalbody, env)
+        elif isinstance(stmt, ast.Expr):
+            self._eval(stmt.value, env)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # nested defs analyzed as their own functions
+        else:
+            for value in ast.iter_child_nodes(stmt):
+                if isinstance(value, ast.expr):
+                    self._eval(value, env)
+
+    # -- assignment targets --------------------------------------------------
+
+    def _assign(self, target, value_node, labels, origin, env: TaintEnv) -> None:
+        if isinstance(target, ast.Name):
+            env.set(target.id, labels, origin)
+        elif isinstance(target, ast.Attribute):
+            # self.x = tainted: track the attribute name locally too.
+            env.set(target.attr, labels, origin)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            # enumerate(x) unpacks (index, element-of-x); otherwise every
+            # element conservatively carries the iterated value's labels.
+            element_labels = [labels] * len(target.elts)
+            if (
+                isinstance(value_node, ast.Call)
+                and isinstance(value_node.func, ast.Name)
+                and value_node.func.id == "enumerate"
+                and len(target.elts) == 2
+            ):
+                element_labels = [EMPTY, labels]
+            for element, elabels in zip(target.elts, element_labels):
+                self._assign(element, value_node, elabels, origin, env)
+
+    # -- expressions ---------------------------------------------------------
+
+    def _eval_iteration(self, node: ast.expr, env: TaintEnv):
+        """Labels of elements yielded by iterating ``node``."""
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("enumerate", "sorted", "reversed", "list", "tuple")
+            and node.args
+        ):
+            return self._eval(node.args[0], env)
+        return self._eval(node, env)
+
+    def _eval(self, node: ast.expr, env: TaintEnv):
+        """(labels, origin) of an expression; records sink hits en route."""
+        if isinstance(node, ast.Name):
+            return env.get(node.id), env.origin(node.id)
+        if isinstance(node, ast.Attribute):
+            dotted = _expr_dotted(node)
+            if dotted in ("os.environ",):
+                return frozenset({NONDET}), self._where(node, "os.environ")
+            # a.b.c: taint tracked by terminal attribute name if we saw
+            # an assignment to it; otherwise the root name's taint.
+            labels, origin = env.get(node.attr), env.origin(node.attr)
+            if labels:
+                return labels, origin
+            root = node
+            while isinstance(root, ast.Attribute):
+                root = root.value
+            if isinstance(root, ast.Name):
+                return env.get(root.id), env.origin(root.id)
+            return self._eval(root, env) if isinstance(root, ast.expr) else (EMPTY, "")
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, env)
+        if isinstance(node, ast.Subscript):
+            base_labels, origin = self._eval(node.value, env)
+            if _expr_dotted(node.value) == "os.environ":
+                return frozenset({NONDET}), self._where(node, "os.environ[...]")
+            self._eval(node.slice, env)
+            return base_labels, origin
+        if isinstance(node, ast.IfExp):
+            self._eval(node.test, env)
+            then_labels, then_origin = self._eval(node.body, env)
+            else_labels, else_origin = self._eval(node.orelse, env)
+            return join(then_labels, else_labels), then_origin or else_origin
+        if isinstance(node, ast.BoolOp):
+            labels, origin = EMPTY, ""
+            for value in node.values:
+                vlabels, vorigin = self._eval(value, env)
+                labels, origin = join(labels, vlabels), origin or vorigin
+            return labels, origin
+        if isinstance(node, ast.BinOp):
+            left, lorigin = self._eval(node.left, env)
+            right, rorigin = self._eval(node.right, env)
+            # Derivation through arithmetic keeps may-taints and loses
+            # the must-property (a doctored seed is no longer sanctioned).
+            return (left | right) & MAY_LABELS, lorigin or rorigin
+        if isinstance(node, ast.UnaryOp):
+            labels, origin = self._eval(node.operand, env)
+            return labels & MAY_LABELS, origin
+        if isinstance(node, ast.Compare):
+            self._eval(node.left, env)
+            for comp in node.comparators:
+                self._eval(comp, env)
+            return EMPTY, ""
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            labels, origin = EMPTY, ""
+            for element in node.elts:
+                elabels, eorigin = self._eval(element, env)
+                labels |= elabels & MAY_LABELS
+                origin = origin or eorigin
+            return labels, origin
+        if isinstance(node, ast.Dict):
+            labels, origin = EMPTY, ""
+            for value in node.values:
+                if value is not None:
+                    vlabels, vorigin = self._eval(value, env)
+                    labels |= vlabels & MAY_LABELS
+                    origin = origin or vorigin
+            return labels, origin
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            labels, origin = EMPTY, ""
+            for generator in node.generators:
+                glabels, gorigin = self._eval(generator.iter, env)
+                labels |= glabels & MAY_LABELS
+                origin = origin or gorigin
+            elabels, eorigin = self._eval(node.elt, env)
+            return labels | (elabels & MAY_LABELS), origin or eorigin
+        if isinstance(node, ast.Starred):
+            return self._eval(node.value, env)
+        if isinstance(node, ast.JoinedStr):
+            for value in node.values:
+                if isinstance(value, ast.FormattedValue):
+                    self._eval(value.value, env)
+            return EMPTY, ""
+        if isinstance(node, ast.FormattedValue):
+            return self._eval(node.value, env)
+        return EMPTY, ""
+
+    def _eval_call(self, node: ast.Call, env: TaintEnv):
+        func = node.func
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None
+        )
+        dotted = _expr_dotted(func)
+        pos_results = [self._eval(arg, env) for arg in node.args]
+        kw_results = {
+            kw.arg: self._eval(kw.value, env)
+            for kw in node.keywords
+            if kw.arg is not None
+        }
+        for kw in node.keywords:  # **kwargs splat: evaluate, don't record
+            if kw.arg is None:
+                self._eval(kw.value, env)
+        arg_results = pos_results + list(kw_results.values())
+        self.call_args[id(node)] = {"pos": pos_results, "kw": kw_results}
+        if name is None:
+            return EMPTY, ""
+
+        # Verifier calls clear UNVERIFIED from their byte arguments.
+        if match_any(VERIFIERS, name, dotted):
+            for arg in node.args:
+                self._clear(arg, UNVERIFIED, env)
+
+        # Sink checks happen before sanitizer rewriting: the arguments
+        # were evaluated with their incoming labels.
+        for sink in self.sinks():
+            if not sink.pattern.matches(name, dotted):
+                continue
+            if sink.args:
+                checked = [
+                    pos_results[p] for p in sink.args if p < len(pos_results)
+                ]
+            else:  # every argument, keywords included (SimResult(ipc=...))
+                checked = arg_results
+            for labels, origin in checked:
+                if sink.label in labels:
+                    self.sink_hits.append(SinkHit(sink, node, labels, origin))
+
+        # Sources / sanitizers / summaries decide the return labels.
+        if match_any(PLAINTEXT_SANITIZERS, name, dotted):
+            return EMPTY, ""
+        if match_any(PLAINTEXT_SOURCES, name, dotted):
+            return frozenset({PLAINTEXT}), self._where(node, f"{name}()")
+        if match_any(NONDET_SOURCES, name, dotted):
+            return frozenset({NONDET}), self._where(node, f"{name}()")
+        if match_any(UNVERIFIED_SOURCES, name, dotted):
+            return frozenset({UNVERIFIED}), self._where(node, f"{name}()")
+        if match_any(SEED_PRODUCERS, name, dotted):
+            return frozenset({SEED_MATERIAL}), self._where(node, f"{name}()")
+        summary = self.summaries.get(name)
+        if summary:
+            labels, summary_origin = summary
+            # Union in the arguments' may-taints: a summarised helper may
+            # also pass tainted arguments through to its return value.
+            for alabels, _ in arg_results:
+                labels = labels | (alabels & MAY_LABELS)
+            return labels, self._where(node, f"call to {name}() [{summary_origin}]")
+        # Unknown call: derived from arguments, may-taints only (a pure
+        # transformation keeps plaintext plaintext); bytes()/int.from_bytes
+        # style conversions are the common carrier.
+        labels, origin = EMPTY, ""
+        for alabels, aorigin in arg_results:
+            labels |= alabels & MAY_LABELS
+            origin = origin or aorigin
+        return labels, origin
+
+    def sinks(self) -> tuple:
+        """Sink catalog; FLOW rules override to focus one family."""
+        return PLAINTEXT_SINKS + NONDET_SINKS
+
+    def _clear(self, node: ast.expr, label: str, env: TaintEnv) -> None:
+        name = None
+        if isinstance(node, ast.Name):
+            name = node.id
+        elif isinstance(node, ast.Attribute):
+            name = node.attr
+        if name is None:
+            return
+        labels = env.get(name)
+        if label in labels:
+            env.set(name, labels - {label}, env.origin(name))
+
+    def _where(self, node: ast.AST, what: str) -> str:
+        return f"{self.logical}:{getattr(node, 'lineno', 1)}: {what}"
+
+
+def _expr_dotted(node: ast.AST) -> str | None:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None

@@ -74,10 +74,12 @@ class EncryptionEngine:
     uses_counters = False
 
     # Wired by the machine: called to verify/update counter-region blocks
-    # through the integrity scheme, and to rewrite data blocks during
-    # page/memory re-encryption.
+    # through the integrity scheme, to verify data blocks (ciphertext +
+    # counter tag) before a re-encryption path trusts their plaintext,
+    # and to rewrite data blocks during page/memory re-encryption.
     metadata_verify = staticmethod(lambda addr, raw: None)
     metadata_update = staticmethod(lambda addr, raw: None)
+    verify_block = staticmethod(lambda addr, cipher, tag: None)
     rewrite_block = staticmethod(lambda addr, cipher, tag: None)
 
     def counter_tag(self, paddr: int, ctx: AccessContext = NULL_CONTEXT) -> int:
@@ -321,6 +323,10 @@ class AiseEncryption(EncryptionEngine):
                 continue  # about to be overwritten by the caller anyway
             paddr = page_base + bip * BLOCK_SIZE
             old_cipher = self.memory.read_block(paddr)
+            # The page's blocks were fetched from attackable DRAM: check
+            # them against their MACs before trusting their plaintext
+            # enough to re-encrypt it under the fresh LPID.
+            self.verify_block(paddr, old_cipher, self._tag(old.lpid, old.minors[bip]))
             old_seeds = self.scheme.seeds_for_block(
                 SeedInput(paddr=paddr, lpid=old.lpid, counter=old.minors[bip])
             )
@@ -377,6 +383,9 @@ class SplitCounterEncryption(AiseEncryption):
                 continue
             paddr = page_base + bip * BLOCK_SIZE
             old_cipher = self.memory.read_block(paddr)
+            # Verify against the stored MAC before trusting the block's
+            # plaintext on the major-counter-bump re-encryption path.
+            self.verify_block(paddr, old_cipher, self._tag(old.lpid, old.minors[bip]))
             plain = self._cipher.decrypt(
                 old_cipher,
                 self.scheme.seeds_for_block(
@@ -484,6 +493,9 @@ class GlobalCounterEncryption(EncryptionEngine):
         for paddr in sorted(self._written):
             stamp = self._read_stamp(paddr)
             raw = self.memory.read_block(paddr)
+            # Each live block is checked against its MAC (bound to the
+            # verified stamp) before its plaintext is re-keyed.
+            self.verify_block(paddr, raw, stamp)
             seeds = self.scheme.seeds_for_block(SeedInput(paddr=paddr, counter=stamp))
             plain = old_cipher_engine.decrypt(raw, seeds)
             new_stamp = self.global_counter.next_value()
@@ -586,5 +598,8 @@ class AddressSeedEncryption(EncryptionEngine):
         self, old_paddr: int, new_paddr: int, ctx: AccessContext = NULL_CONTEXT
     ) -> tuple[bytes, int]:
         old_cipher = self.memory.read_block(old_paddr)
+        # MAC-check the block at its old frame before its plaintext is
+        # re-encrypted for the new one (frame moves are adversary-visible).
+        self.verify_block(old_paddr, old_cipher, self._read_counter(old_paddr))
         plain = self.decrypt(old_paddr, old_cipher, ctx)
         return self.encrypt_for_write(new_paddr, plain, ctx)

@@ -177,6 +177,7 @@ class SecureMemorySystem:
         # Wire the engine's metadata path through the integrity scheme.
         self.encryption.metadata_verify = self.integrity.verify_metadata
         self.encryption.metadata_update = self.integrity.update_metadata
+        self.encryption.verify_block = self.integrity.verify_data
         self.encryption.rewrite_block = self._rewrite_block
 
         # Page-root directory (swap protection), verified through the tree.

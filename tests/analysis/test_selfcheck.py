@@ -41,3 +41,37 @@ def test_repro_analyze_subcommand_exits_zero():
         cwd=REPO_ROOT,
     )
     assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_library_flow_analysis_is_clean(capsys):
+    """The whole-program FLOW rules must hold on the committed tree."""
+    assert cli_main([str(LIBRARY), "--flow"]) == 0
+    assert "no findings" in capsys.readouterr().out
+
+
+def test_flow_sarif_selfcheck(tmp_path):
+    import json
+
+    out = tmp_path / "flow.sarif"
+    assert cli_main([str(LIBRARY), "--flow", "--sarif", str(out)]) == 0
+    payload = json.loads(out.read_text(encoding="utf-8"))
+    driver = payload["runs"][0]["tool"]["driver"]
+    assert driver["name"] == "repro-analyze"
+    assert any(rule["id"] == "FLOW001" for rule in driver["rules"])
+    assert payload["runs"][0]["results"] == []
+
+
+def test_layers_table_prints_every_package(capsys):
+    assert cli_main([str(LIBRARY), "--layers"]) == 0
+    out = capsys.readouterr().out
+    assert "layer 0" in out
+    for package in ("core", "crypto", "integrity", "osmodel", "sim"):
+        assert package in out
+
+
+def test_tests_and_benchmarks_pass_hygiene_rules():
+    """The hygiene rules (GEN/DET) cover the whole tree, not just src/."""
+    targets = [str(REPO_ROOT / "tests")]
+    if (REPO_ROOT / "benchmarks").is_dir():
+        targets.append(str(REPO_ROOT / "benchmarks"))
+    assert cli_main(targets) == 0

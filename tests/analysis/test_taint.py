@@ -1,0 +1,242 @@
+"""Unit tests for the taint lattice and the per-function tracker."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.analysis import taint
+from repro.analysis.taint import (
+    EMPTY,
+    NONDET,
+    PLAINTEXT,
+    SEED_MATERIAL,
+    UNVERIFIED,
+    FunctionTainter,
+    TaintEnv,
+    join,
+    pattern,
+)
+
+
+def run_tainter(
+    source: str,
+    name: str | None = None,
+    summaries: dict | None = None,
+    param_labels: dict | None = None,
+) -> FunctionTainter:
+    tree = ast.parse(textwrap.dedent(source))
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef) and (name is None or node.name == name):
+            return FunctionTainter(
+                node, "core/fixture.py", summaries=summaries, param_labels=param_labels
+            ).run()
+    raise AssertionError(f"no function {name!r} in fixture")
+
+
+class TestJoin:
+    def test_may_taints_join_by_union(self):
+        assert join(frozenset({PLAINTEXT}), EMPTY) == frozenset({PLAINTEXT})
+        assert join(frozenset({NONDET}), frozenset({UNVERIFIED})) == frozenset(
+            {NONDET, UNVERIFIED}
+        )
+
+    def test_must_property_joins_by_intersection(self):
+        assert join(frozenset({SEED_MATERIAL}), EMPTY) == EMPTY
+        assert join(
+            frozenset({SEED_MATERIAL}), frozenset({SEED_MATERIAL})
+        ) == frozenset({SEED_MATERIAL})
+
+    def test_param_provenance_labels_are_must(self):
+        assert join(frozenset({"PARAM:seed"}), EMPTY) == EMPTY
+        assert join(
+            frozenset({"PARAM:seed", PLAINTEXT}), frozenset({"PARAM:seed"})
+        ) == frozenset({"PARAM:seed", PLAINTEXT})
+
+    def test_env_merge_uses_join(self):
+        a, b = TaintEnv(), TaintEnv()
+        a.set("x", frozenset({SEED_MATERIAL}))
+        b.set("x", frozenset({SEED_MATERIAL, PLAINTEXT}))
+        b.set("y", frozenset({NONDET}))
+        a.merge(b)
+        assert a.get("x") == frozenset({SEED_MATERIAL, PLAINTEXT})
+        assert a.get("y") == frozenset({NONDET})
+
+
+class TestCallPattern:
+    def test_receiver_hint_is_substring(self):
+        p = pattern("decrypt", receivers=("cipher",))
+        assert p.matches("decrypt", "self._cipher.decrypt")
+        assert not p.matches("decrypt", "self.memory.decrypt")
+        assert not p.matches("decrypt", "decrypt")  # bare call: no receiver
+
+    def test_dotted_pattern_matches_suffix(self):
+        p = pattern("time", dotted=("time.time",))
+        assert p.matches("time", "time.time")
+        assert not p.matches("time", "self.time")
+
+
+class TestSourcesAndSinks:
+    def test_decrypt_taints_and_write_block_fires(self):
+        tainter = run_tainter(
+            """
+            def f(self, paddr, raw, seeds):
+                plain = self._cipher.decrypt(raw, seeds)
+                self.memory.write_block(paddr, plain)
+            """
+        )
+        (hit,) = tainter.sink_hits
+        assert hit.sink.label == PLAINTEXT
+        assert "decrypt()" in hit.origin
+
+    def test_sanitizer_clears_plaintext(self):
+        tainter = run_tainter(
+            """
+            def f(self, paddr, raw, seeds, ctx):
+                plain = self._cipher.decrypt(raw, seeds)
+                cipher = self.encryption.encrypt_for_write(paddr, plain, ctx)
+                self.memory.write_block(paddr, cipher)
+            """
+        )
+        assert tainter.sink_hits == []
+
+    def test_verifier_clears_unverified(self):
+        tainter = run_tainter(
+            """
+            def f(self, paddr, tag):
+                raw = self.memory.read_block(paddr)
+                self.integrity.verify_data(paddr, raw, tag)
+                use(raw)
+            """
+        )
+        use_call = next(
+            c for c in ast.walk(tainter.node)
+            if isinstance(c, ast.Call) and getattr(c.func, "id", None) == "use"
+        )
+        labels, _ = tainter.call_args[id(use_call)]["pos"][0]
+        assert UNVERIFIED not in labels
+
+    def test_unverified_survives_without_verifier(self):
+        tainter = run_tainter(
+            """
+            def f(self, paddr):
+                raw = self.memory.read_block(paddr)
+                use(raw)
+            """
+        )
+        use_call = next(
+            c for c in ast.walk(tainter.node)
+            if isinstance(c, ast.Call) and getattr(c.func, "id", None) == "use"
+        )
+        labels, _ = tainter.call_args[id(use_call)]["pos"][0]
+        assert UNVERIFIED in labels
+
+    def test_nondet_reaches_simresult_keyword(self):
+        tainter = run_tainter(
+            """
+            import time
+
+            def f():
+                started = time.time()
+                return SimResult(cycles=1, wall=started)
+            """
+        )
+        (hit,) = tainter.sink_hits
+        assert hit.sink.label == NONDET
+
+    def test_os_environ_is_nondet(self):
+        tainter = run_tainter(
+            """
+            import os
+
+            def f():
+                flag = os.environ["REPRO_FLAG"]
+                return config_fingerprint(flag)
+            """
+        )
+        (hit,) = tainter.sink_hits
+        assert hit.sink.label == NONDET
+        assert "os.environ" in hit.origin
+
+
+class TestSeedMaterial:
+    def test_seed_producer_labels_value(self):
+        tainter = run_tainter(
+            """
+            def f(self, paddr):
+                return self.scheme.seeds_for_block(paddr)
+            """
+        )
+        assert tainter.return_labels == frozenset({SEED_MATERIAL})
+
+    def test_arithmetic_strips_the_must_property(self):
+        tainter = run_tainter(
+            """
+            def f(self, paddr):
+                seeds = self.scheme.seeds_for_block(paddr)
+                return seeds ^ 1
+            """
+        )
+        assert SEED_MATERIAL not in tainter.return_labels
+
+    def test_returns_join_across_paths(self):
+        tainter = run_tainter(
+            """
+            def f(self, paddr, fast):
+                if fast:
+                    return self.scheme.seeds_for_block(paddr)
+                return paddr
+            """
+        )
+        # sanctioned on one path only: the must-property does not survive
+        assert SEED_MATERIAL not in tainter.return_labels
+
+
+class TestFlowSensitivity:
+    def test_loop_carried_taint_reaches_first_use(self):
+        tainter = run_tainter(
+            """
+            def f(self, seeds):
+                plain = b""
+                for i in range(4):
+                    self.memory.write_block(i, plain)
+                    plain = self._cipher.decrypt(self.memory.read_block(i), seeds)
+            """
+        )
+        assert any(h.sink.label == PLAINTEXT for h in tainter.sink_hits)
+
+    def test_branch_taint_joins_as_may(self):
+        tainter = run_tainter(
+            """
+            def f(self, raw, seeds, cond, paddr):
+                if cond:
+                    value = self._cipher.decrypt(raw, seeds)
+                else:
+                    value = b""
+                self.memory.write_block(paddr, value)
+            """
+        )
+        assert any(h.sink.label == PLAINTEXT for h in tainter.sink_hits)
+
+    def test_summary_passes_through_call(self):
+        summaries = {"helper": (frozenset({PLAINTEXT}), "core/other.py::helper")}
+        tainter = run_tainter(
+            """
+            def f(self, paddr):
+                plain = helper(paddr)
+                self.memory.write_block(paddr, plain)
+            """,
+            summaries=summaries,
+        )
+        (hit,) = tainter.sink_hits
+        assert hit.sink.label == PLAINTEXT
+
+    def test_param_labels_seed_the_environment(self):
+        tainter = run_tainter(
+            """
+            def f(self, seed):
+                return seed
+            """,
+            param_labels={"seed": frozenset({"PARAM:seed"})},
+        )
+        assert tainter.return_labels == frozenset({"PARAM:seed"})
