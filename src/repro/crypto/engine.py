@@ -97,9 +97,16 @@ class PadCache:
         return pad
 
     def insert(self, key: bytes, seed: int, pad: bytes) -> None:
-        """Memoize a freshly generated pad, evicting LRU past capacity."""
+        """Memoize a freshly generated pad, evicting LRU past capacity.
+
+        Re-inserting a resident ``(key, seed)`` refreshes its recency:
+        assigning into an existing ``OrderedDict`` slot keeps the stale
+        LRU position, so without the ``move_to_end`` a just-regenerated
+        pad could be evicted as if cold.
+        """
         pads = self._pads
         pads[(key, seed)] = pad
+        pads.move_to_end((key, seed))
         if len(pads) > self.capacity:
             pads.popitem(last=False)
 

@@ -113,10 +113,17 @@ def timing_modules() -> tuple[str, ...]:
 
     from .. import schemes
 
+    from .. import fastpath
+
     names = set(_STATIC_TIMING_MODULES)
     names.add("repro.schemes")
     names.update(
         info.name for info in pkgutil.iter_modules(schemes.__path__, "repro.schemes.")
+    )
+    # repro.fastpath is a package (per-event engine + trace pre-compiler);
+    # walk it like repro.schemes so every engine module is fingerprinted.
+    names.update(
+        info.name for info in pkgutil.iter_modules(fastpath.__path__, "repro.fastpath.")
     )
     names.update(type(scheme).__module__ for scheme in schemes.registered_schemes())
     return tuple(sorted(names))
@@ -189,15 +196,36 @@ class Cell:
         return (self.bench, self.label, self.mac_bits)
 
 
+# Worker-local trace memo: a pool worker executes many cells, typically
+# cycling over few benchmarks, and a kept Trace carries its decoded form
+# and compiled lowerings (repro.fastpath.compiled) with it — so sweep
+# cells sharing a trace replay one lowering instead of re-generating and
+# re-lowering per cell. Bounded: a grid rarely cycles more benchmarks
+# than this concurrently, and each entry holds megabytes.
+_worker_traces: dict[tuple, "object"] = {}
+_WORKER_TRACE_CAPACITY = 8
+
+
+def _worker_trace(bench: str, events: int):
+    key = (bench, events)
+    trace = _worker_traces.get(key)
+    if trace is None:
+        while len(_worker_traces) >= _WORKER_TRACE_CAPACITY:
+            _worker_traces.pop(next(iter(_worker_traces)))
+        trace = _worker_traces[key] = spec_trace(bench, events)
+    return trace
+
+
 def _simulate_cell(payload: tuple) -> dict:
     """Worker entry point: simulate one cell, return the result as a dict.
 
-    Module-level (picklable under both fork and spawn); regenerates the
-    trace locally from (bench, events) — trace generation is seeded by
-    benchmark name, so every process sees the identical event stream.
+    Module-level (picklable under both fork and spawn); obtains the trace
+    from the worker-local memo (regenerated on first use) — trace
+    generation is seeded by benchmark name, so every process sees the
+    identical event stream.
     """
     bench, events, config, label, overlap, warmup, metrics = payload
-    trace = spec_trace(bench, events)
+    trace = _worker_trace(bench, events)
     result = TimingSimulator(config, overlap=overlap).run(
         trace, label=label, warmup=warmup, collect_metrics=metrics
     )
@@ -224,6 +252,17 @@ class ResultCache:
         self.misses = 0
         self.writes = 0
         self.corrupt = 0
+        # A worker killed between mkstemp and os.replace leaves its temp
+        # file behind; nothing ever references one again, so sweep them
+        # here. Records themselves are immune — the rename is atomic.
+        self.stale_tmp = 0
+        for name in os.listdir(root):
+            if name.endswith(".tmp"):
+                try:
+                    os.remove(os.path.join(root, name))
+                except OSError:
+                    continue
+                self.stale_tmp += 1
 
     def key_for(self, trace_digest: str, config: MachineConfig,
                 overlap: float, warmup: float, metrics: bool = False) -> str:
@@ -327,7 +366,19 @@ def run_cells(
     distinct: list[Cell] = list(dict.fromkeys(cells))
     if workers == 0:
         workers = default_workers()
-    provider = trace_provider or (lambda bench: spec_trace(bench, events))
+    base_provider = trace_provider or (lambda bench: spec_trace(bench, events))
+    # Memoize per sweep: the digest pass and the serial path then share
+    # one Trace per benchmark, and with it the decoded columns and the
+    # compiled lowering — every serial cell on the same trace replays one
+    # pre-compilation (the multiplicative evalx win; pool workers get the
+    # same effect from the module-level memo above).
+    trace_memo: dict[str, object] = {}
+
+    def provider(bench: str):
+        trace = trace_memo.get(bench)
+        if trace is None:
+            trace = trace_memo[bench] = base_provider(bench)
+        return trace
     # Collapse cells that would run the identical simulation.
     twins: dict[tuple, list[Cell]] = {}
     for cell in distinct:

@@ -1,0 +1,109 @@
+"""repro.fastpath: the batched and compiled execution engines.
+
+The timing simulator's event loop and the functional crypto path are the
+two hot paths of the repository. This package owns the *fast* versions
+of both and the switches that select them:
+
+* :func:`enabled` / :func:`forced` — one feature gate (``REPRO_FASTPATH``,
+  default on) shared by every optimization layer: the keystream pad memo
+  (:class:`repro.crypto.engine.PadCache`), the interned seed tuples
+  (:meth:`repro.core.seeds.SeedScheme.seeds_for_block`), the integer-XOR
+  block cipher application (:mod:`repro.crypto.ctr_mode`), and the
+  batched timing loops below. Disabling the gate restores the reference
+  implementations byte-for-byte — ``benchmarks/bench_throughput.py``
+  runs both sides in the same process and reports the speedup, and the
+  equivalence tests assert identical output either way.
+* :func:`compiled_enabled` / :func:`forced_compiled` — a second gate
+  (``REPRO_COMPILED``, default on, subordinate to the first) for the
+  trace **pre-compiler** (:mod:`repro.fastpath.compiled`): a ``Trace``
+  is lowered once into typed arrays plus a recorded traffic program,
+  then replayed through a lean arithmetic loop. The lowering is
+  memoized on the trace and reused by every run that shares its
+  traffic-shaping geometry — repeated runs, golden regeneration, and
+  grid sweeps that vary only timing parameters.
+* :func:`execute` (:mod:`repro.fastpath.engine`) — the batched event
+  loop for :meth:`repro.sim.TimingSimulator.run`. It dispatches to the
+  compiled replay when one is applicable (cold caches, no armed
+  sanitizer) and otherwise runs the inlined per-event engine. Either
+  way the arithmetic is identical operation for operation to the
+  instrumented reference loop, so results — including the committed
+  figure-6 golden sweep — are byte-identical.
+
+The simulator falls back to its instrumented reference loop whenever a
+:mod:`repro.obs` session is active (live hooks need per-event callbacks)
+or the gate is off.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+_FORCED: bool | None = None
+_FORCED_COMPILED: bool | None = None
+_FALSEY = ("0", "off", "false", "no")
+
+
+def enabled() -> bool:
+    """Whether the fast paths are active (default: yes).
+
+    ``REPRO_FASTPATH=0`` (or ``off``/``false``/``no``) selects the
+    reference implementations; :func:`forced` overrides the environment
+    for a scope (benchmarks, equivalence tests).
+    """
+    if _FORCED is not None:
+        return _FORCED
+    return os.environ.get("REPRO_FASTPATH", "1").lower() not in _FALSEY
+
+
+@contextmanager
+def forced(state: bool):
+    """Force the gate on or off within a ``with`` block.
+
+    Only components *constructed or run* inside the block are affected:
+    engines resolve the gate when built, the simulator on each ``run()``.
+    """
+    global _FORCED
+    previous = _FORCED
+    _FORCED = bool(state)
+    try:
+        yield
+    finally:
+        _FORCED = previous
+
+
+def compiled_enabled() -> bool:
+    """Whether the compiled trace replay may be used (default: yes).
+
+    Subordinate to :func:`enabled`: the compiled engine is one of the
+    fast paths, so ``REPRO_FASTPATH=0`` disables it too. Setting
+    ``REPRO_COMPILED=0`` keeps the batched per-event engine while
+    skipping the pre-compiler — the mode ``bench_throughput.py`` uses to
+    price the two layers separately.
+    """
+    if _FORCED_COMPILED is not None:
+        return _FORCED_COMPILED
+    return os.environ.get("REPRO_COMPILED", "1").lower() not in _FALSEY
+
+
+@contextmanager
+def forced_compiled(state: bool):
+    """Force the compiled-replay gate on or off within a ``with`` block."""
+    global _FORCED_COMPILED
+    previous = _FORCED_COMPILED
+    _FORCED_COMPILED = bool(state)
+    try:
+        yield
+    finally:
+        _FORCED_COMPILED = previous
+
+
+from .engine import execute  # noqa: E402  (the gates above must exist first)
+
+__all__ = [
+    "compiled_enabled",
+    "enabled",
+    "execute",
+    "forced",
+    "forced_compiled",
+]

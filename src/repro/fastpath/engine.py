@@ -1,70 +1,27 @@
-"""repro.fastpath: the batched execution engine for the timing core.
+"""The batched per-event execution engine for the timing core.
 
-The timing simulator's event loop and the functional crypto path are the
-two hot paths of the repository. This module owns the *fast* versions of
-both and the switch that selects them:
+:func:`execute` is the batched event loop behind
+:meth:`repro.sim.TimingSimulator.run`. It consumes a pre-decoded trace
+(:meth:`repro.sim.trace.Trace.decoded`: the per-run numpy→list
+conversion done once and memoized) and turns the per-access attribute
+chases of the reference loop into a tight local-variable loop: cache
+sets, bound methods, and latency parameters are resolved once, demand
+hit/miss tallies accumulate in locals and are credited back in bulk
+through the owning cache's :meth:`~repro.mem.cache.SetAssociativeCache.
+credit_demand`. The arithmetic is identical operation for operation, so
+results — including the committed figure-6 golden sweep — are
+byte-identical to the reference loop.
 
-* :func:`enabled` / :func:`forced` — one feature gate (``REPRO_FASTPATH``,
-  default on) shared by every optimization layer: the keystream pad memo
-  (:class:`repro.crypto.engine.PadCache`), the interned seed tuples
-  (:meth:`repro.core.seeds.SeedScheme.seeds_for_block`), the integer-XOR
-  block cipher application (:mod:`repro.crypto.ctr_mode`), and the
-  batched timing loop below. Disabling the gate restores the reference
-  implementations byte-for-byte — ``benchmarks/bench_throughput.py``
-  runs both sides in the same process and reports the speedup, and the
-  equivalence tests assert identical output either way.
-* :func:`execute` — the batched event loop for
-  :meth:`repro.sim.TimingSimulator.run`. It consumes a pre-decoded trace
-  (:meth:`repro.sim.trace.Trace.decoded`: the per-run numpy→list
-  conversion done once and memoized) and turns the per-access attribute
-  chases of the reference loop into a tight local-variable loop: cache
-  sets, bound methods, and latency parameters are resolved once, demand
-  hit/miss tallies accumulate in locals and are credited back in bulk
-  through the owning cache's :meth:`~repro.mem.cache.SetAssociativeCache.
-  credit_demand`. The arithmetic is identical operation for operation,
-  so results — including the committed figure-6 golden sweep — are
-  byte-identical to the reference loop.
-
-The simulator falls back to its instrumented reference loop whenever a
-:mod:`repro.obs` session is active (live hooks need per-event callbacks)
-or the gate is off.
+When the compiled-replay gate is on (see the package docstring) and the
+run qualifies — cold caches, no armed sanitizer — ``execute`` instead
+dispatches to :func:`repro.fastpath.compiled.execute_compiled`, which
+replays the trace's memoized lowering through an even leaner loop with,
+again, bit-identical arithmetic.
 """
 
 from __future__ import annotations
 
-import os
-from contextlib import contextmanager
-
-_FORCED: bool | None = None
-_FALSEY = ("0", "off", "false", "no")
-
-
-def enabled() -> bool:
-    """Whether the fast paths are active (default: yes).
-
-    ``REPRO_FASTPATH=0`` (or ``off``/``false``/``no``) selects the
-    reference implementations; :func:`forced` overrides the environment
-    for a scope (benchmarks, equivalence tests).
-    """
-    if _FORCED is not None:
-        return _FORCED
-    return os.environ.get("REPRO_FASTPATH", "1").lower() not in _FALSEY
-
-
-@contextmanager
-def forced(state: bool):
-    """Force the gate on or off within a ``with`` block.
-
-    Only components *constructed or run* inside the block are affected:
-    engines resolve the gate when built, the simulator on each ``run()``.
-    """
-    global _FORCED
-    previous = _FORCED
-    _FORCED = bool(state)
-    try:
-        yield
-    finally:
-        _FORCED = previous
+from .compiled import execute_compiled
 
 
 def execute(sim, trace, warmup: float, sample_period: int) -> tuple[float, float, int]:
@@ -76,6 +33,13 @@ def execute(sim, trace, warmup: float, sample_period: int) -> tuple[float, float
     obs hooks must NOT be armed (the fast path has no per-event
     callback sites).
     """
+    from . import compiled_enabled
+
+    if compiled_enabled():
+        outcome = execute_compiled(sim, trace, warmup, sample_period)
+        if outcome is not None:
+            return outcome
+
     decoded = trace.decoded()
     gaps = decoded.gaps
     ops = decoded.ops
@@ -173,9 +137,9 @@ def _make_miss_engine(sim):
     (the reference helpers carry the sanitizer's per-insert checks) —
     the caller then falls back to ``sim._miss``.
     """
-    from .core import sanitizer
-    from .mem.cache import COUNTER, DATA, MAC, MERKLE
-    from .mem.layout import BLOCK_SIZE
+    from ..core import sanitizer
+    from ..mem.cache import COUNTER, DATA, MAC, MERKLE
+    from ..mem.layout import BLOCK_SIZE
 
     if sanitizer.active() is not None:
         return None

@@ -102,7 +102,11 @@ class MemoryBus:
             stats.transfers_by_kind[kind] = (
                 stats.transfers_by_kind.get(kind, 0) + count
             )
-        self._free_at = free_at
+        # Monotonic clamp: a batch settled after interleaved request()
+        # traffic (or out of order) must never move bus time backwards
+        # behind already-settled transfers.
+        if free_at > self._free_at:
+            self._free_at = free_at
 
     @property
     def free_at(self) -> float:

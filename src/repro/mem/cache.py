@@ -128,6 +128,42 @@ class SetAssociativeCache:
         self.stats.misses += misses
         self.stats.writebacks += writebacks
 
+    def credit_occupancy(self, samples: int, by_class: dict) -> None:
+        """Credit batched occupancy samples to the statistics.
+
+        The compiled trace replay (:mod:`repro.fastpath.compiled`)
+        records the periodic occupancy ticks during lowering and settles
+        the measured interval's totals here in one call — ``samples``
+        line-samples plus per-class line counts (with free lines already
+        folded into the DATA class, exactly as :meth:`tick_occupancy`
+        folds them). Routing through the owning cache preserves the
+        OBS001 invariant, as with :meth:`credit_demand`.
+        """
+        stats = self.stats
+        stats.occupancy_samples += samples
+        for line_class, count in by_class.items():
+            stats.occupancy_by_class[line_class] = (
+                stats.occupancy_by_class.get(line_class, 0) + count
+            )
+
+    def restore_state(self, sets, class_lines: dict) -> None:
+        """Install recorded contents and LRU order, leaving stats alone.
+
+        The sanctioned hand-off from the compiled trace replay: the
+        lowering evolves a model of this cache off the clock and records
+        where every line ended up; installing that snapshot afterwards
+        makes warm reuse and the live ``lines.*`` gauges behave exactly
+        as if the per-event engine had run. ``sets`` is one iterable of
+        ``(block, (dirty, line_class))`` items per set, LRU first —
+        the same shape ``OrderedDict(items)`` rebuilds.
+        """
+        if len(sets) != self.num_sets:
+            raise ValueError(
+                f"snapshot has {len(sets)} sets, cache has {self.num_sets}"
+            )
+        self._sets = [OrderedDict(items) for items in sets]
+        self._class_lines = dict(class_lines)
+
     # -- core operations ----------------------------------------------------
 
     def lookup(self, address: int, write: bool = False) -> bool:

@@ -46,12 +46,16 @@ MODEL_VERSION = "2"
 class TimingSimulator:
     """Runs traces against one machine configuration.
 
-    ``run()`` has two interchangeable event loops: the batched
-    :func:`repro.fastpath.execute` loop (the default) and the
-    instrumented reference loop in :meth:`_run_reference`, required
-    whenever a :mod:`repro.obs` session is active. Both compute the
-    identical arithmetic in the identical order, so results — including
-    the committed figure-6 golden sweep — are byte-identical either way.
+    ``run()`` has three interchangeable execution engines: the compiled
+    trace replay (:mod:`repro.fastpath.compiled` — a memoized lowering
+    of the trace replayed per configuration; the default for cold-start
+    runs), the batched per-event loop (:mod:`repro.fastpath.engine` —
+    warm reuse, or ``REPRO_COMPILED=0``), and the instrumented reference
+    loop in :meth:`_run_reference`, required whenever a
+    :mod:`repro.obs` session is active or the sanitizer is armed. All
+    three compute the identical arithmetic in the identical order, so
+    results — including the committed figure-6 golden sweep — are
+    byte-identical whichever runs.
     """
 
     __slots__ = (
@@ -358,8 +362,10 @@ class TimingSimulator:
         attribution) are armed at the warmup boundary — the tracer clock
         is rebased there, so warmup activity never appears in the measured
         timeline. With no session active and :mod:`repro.fastpath`
-        enabled (the default), the batched fast loop runs instead of the
-        instrumented one; either way results are bit-identical.
+        enabled (the default), the fast engines run instead of the
+        instrumented loop — the compiled trace replay when this run
+        starts cold, the batched per-event loop otherwise; every engine
+        produces bit-identical results.
         """
         self.bus.rebase(0.0)
         self._hooks = None

@@ -113,6 +113,7 @@ class Trace:
     def __getstate__(self):
         state = dict(self.__dict__)
         state.pop("_decoded", None)
+        state.pop("_compiled", None)  # lowerings rebuild cheaply in-process
         return state
 
     def aligned(self) -> "Trace":

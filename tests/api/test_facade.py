@@ -160,3 +160,22 @@ class TestDeprecatedShims:
         assert any("baseline_config" in m for m in messages)
         assert any("aise_bmt_config" in m for m in messages)
         _reset_deprecation_warnings()
+
+
+class TestPrecompile:
+    def test_precompile_warms_the_lowering(self):
+        summary = api.precompile("art", "aise+bmt", events=3000)
+        assert summary["events"] == 3000
+        assert summary["misses"] > 0
+        assert summary["patterns"] > 0
+        assert summary["cached"] is False
+        # Same trace, same geometry: memo hit.
+        again = api.precompile(summary["trace"], "aise+bmt")
+        assert again["cached"] is True
+        assert again["misses"] == summary["misses"]
+
+    def test_precompiled_trace_simulates_identically(self):
+        summary = api.precompile("gcc", "aise+bmt", events=3000)
+        warmed = api.simulate(summary["trace"], "aise+bmt")
+        fresh = api.simulate("gcc", "aise+bmt", events=3000)
+        assert warmed == fresh

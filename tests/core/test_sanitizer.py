@@ -29,8 +29,13 @@ def _pristine_sanitizer():
     previous = sanitizer.active()
     sanitizer.disarm()
     yield
+    # Restore the pre-test state either way: re-arm what was armed, and
+    # disarm anything a test armed and left behind (otherwise an armed
+    # config leaks into the rest of the suite).
     if previous is not None:
         sanitizer.arm(previous)
+    else:
+        sanitizer.disarm()
 
 
 class TestArming:

@@ -56,6 +56,22 @@ class TestPadCache:
         assert cache.lookup(KEY, 1) is not None
         assert cache.lookup(KEY, 2) is None
 
+    def test_insert_refreshes_lru(self):
+        """Regression: re-inserting a resident pad must refresh recency.
+
+        ``OrderedDict`` assignment to an existing key keeps the old
+        position, so without an explicit ``move_to_end`` a freshly
+        re-inserted pad kept its stale LRU slot and was evicted as if
+        cold.
+        """
+        cache = PadCache(capacity=2)
+        cache.insert(KEY, 1, b"a" * 16)
+        cache.insert(KEY, 2, b"b" * 16)
+        cache.insert(KEY, 1, b"a" * 16)  # re-insert: 1 becomes MRU
+        cache.insert(KEY, 3, b"c" * 16)  # must evict 2, not 1
+        assert cache.lookup(KEY, 1) is not None
+        assert cache.lookup(KEY, 2) is None
+
     def test_capacity_validation(self):
         with pytest.raises(ValueError):
             PadCache(capacity=0)

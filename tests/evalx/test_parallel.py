@@ -243,3 +243,31 @@ class TestMetricsPlumbing:
         for cell in cells:
             assert pooled[cell] == serial[cell]
             assert pooled[cell].metrics == serial[cell].metrics != {}
+
+
+class TestStaleTmpRecovery:
+    def test_init_sweeps_orphaned_tmp_files(self, tmp_path):
+        """Regression: a worker killed between ``mkstemp`` and
+
+        ``os.replace`` leaves an orphaned ``*.tmp`` in the cache root
+        forever — nothing references it again. Init now sweeps them
+        (they are by construction not yet renamed, hence dead) and
+        counts the recovery in ``stale_tmp``.
+        """
+        cache_dir = str(tmp_path)
+        grid = small_grid(cache_dir=cache_dir)
+        records = sorted(os.listdir(cache_dir))
+        # Fake two mid-write worker deaths.
+        for name in ("tmpabc123.tmp", "tmpxyz789.tmp"):
+            with open(os.path.join(cache_dir, name), "w") as f:
+                f.write('{"key": "half-writ')
+        recovered = ResultCache(cache_dir)
+        assert recovered.stale_tmp == 2
+        assert sorted(os.listdir(cache_dir)) == records  # only records left
+        # The real records still serve: a warm re-run simulates nothing.
+        rerun = Runner(events=EVENTS, benchmarks=BENCHES, cache_dir=cache_dir)
+        assert rerun.run_grid(labels=("base", "aise+bmt")) == grid
+        assert rerun.cache.misses == 0
+
+    def test_fresh_cache_reports_no_stale_tmp(self, tmp_path):
+        assert ResultCache(str(tmp_path / "new")).stale_tmp == 0

@@ -68,3 +68,39 @@ class TestStats:
         bus.reset()
         assert bus.free_at == 0
         assert bus.stats.transfers == 0
+
+
+class TestCredit:
+    def test_credit_settles_batched_tallies(self):
+        bus = MemoryBus(cycles_per_block=16)
+        bus.credit(3, 48.0, 5.0, {"data": 2, "merkle": 1}, 90.0)
+        assert bus.stats.transfers == 3
+        assert bus.stats.busy_cycles == 48.0
+        assert bus.stats.queue_cycles == 5.0
+        assert bus.stats.transfers_by_kind == {"data": 2, "merkle": 1}
+        assert bus.free_at == 90.0
+
+    def test_credit_never_moves_bus_time_backwards(self):
+        """Regression: settling a batch out of order must clamp, not
+
+        overwrite — ``_free_at = free_at`` unconditionally let a stale
+        batch rewind bus time behind already-settled traffic, making the
+        next request start inside a block the bus already shipped.
+        """
+        bus = MemoryBus(cycles_per_block=16)
+        bus.request(100)  # bus busy until 116
+        bus.credit(1, 16.0, 0.0, {"data": 1}, 50.0)  # stale batch
+        assert bus.free_at == 116
+        start, _ = bus.request(100)
+        assert start == 116  # still queues behind the live transfer
+
+    def test_interleaved_credit_and_request(self):
+        bus = MemoryBus(cycles_per_block=10)
+        bus.request(0)  # busy until 10
+        bus.credit(2, 20.0, 0.0, {"data": 2}, 40.0)  # later batch wins
+        start, end = bus.request(5)
+        assert (start, end) == (40, 50)
+        bus.credit(1, 10.0, 0.0, {"data": 1}, 45.0)  # stale again
+        start, _ = bus.request(5)
+        assert start == 50
+        assert bus.stats.transfers == 6  # three live + three credited
