@@ -10,6 +10,9 @@ Commands:
 * ``trace``    — run one workload under full observability: Chrome trace-event
   JSON (Perfetto-loadable), optional JSONL event stream and interval
   snapshots (see docs/observability.md).
+* ``metrics``  — export a metric snapshot (a ``sweep --fleet`` report, a
+  ``trace --snapshots`` file, or a bare snapshot) as Prometheus text
+  format or JSON.
 * ``attacks``  — print the attack-detection matrix for a configuration.
 * ``storage``  — print the analytic storage breakdown (Table 2 model).
 * ``analyze``  — run the security-invariant linter (see docs/static-analysis.md).
@@ -46,9 +49,19 @@ def _cmd_sweep(args) -> int:
     from . import api
     from .evalx.report import render_table
     from .evalx.tables import results_table
+    from .obs import fleet as fleet_mod
     from .obs.log import get_logger
 
     log = get_logger("cli")
+    # Fleet capture rides along whenever any observability output is
+    # requested; it never changes the result payload (byte-identical
+    # with or without, a CI-enforced invariant).
+    want_fleet = bool(args.fleet or args.fleet_chrome)
+    sinks = []
+    if args.live:
+        sinks.append(fleet_mod.TtyProgressSink())
+    if args.live_jsonl:
+        sinks.append(fleet_mod.JsonlProgressSink(args.live_jsonl))
     try:
         run = api.sweep(
             configs=args.configs or None,
@@ -58,6 +71,8 @@ def _cmd_sweep(args) -> int:
             workers=args.workers,
             cache_dir=args.cache,
             metrics=args.metrics,
+            fleet=want_fleet,
+            live_sinks=sinks or None,
         )
     except ValueError as exc:
         log.error("%s", exc)
@@ -71,10 +86,36 @@ def _cmd_sweep(args) -> int:
         log.info("%d cells written to %s", len(run.grid), args.out)
     else:
         print(text)
+    if args.live_jsonl:
+        log.info("progress stream written to %s", args.live_jsonl)
+    if run.fleet is not None:
+        report = run.fleet
+        if args.fleet:
+            with open(args.fleet, "w") as f:
+                json.dump(report.to_payload(), f, indent=2, sort_keys=True)
+                f.write("\n")
+            log.info("fleet report (%d cells, %d aggregated metrics) "
+                     "written to %s", report.total, len(report.aggregate),
+                     args.fleet)
+        if args.fleet_chrome:
+            with open(args.fleet_chrome, "w") as f:
+                json.dump(fleet_mod.fleet_chrome_trace(report), f,
+                          indent=2, sort_keys=True)
+                f.write("\n")
+            log.info("fleet chrome trace written to %s", args.fleet_chrome)
+        log.info("engines: %s; fallback reasons: %s",
+                 dict(sorted(report.engines.items())),
+                 dict(sorted(report.fallback_reasons.items())) or "none")
     if run.runner.cache is not None:
         c = run.runner.cache
-        log.info("cache %s: %d hits, %d misses, %d writes, %d corrupt",
-                 c.root, c.hits, c.misses, c.writes, c.corrupt)
+        log.info("cache %s: %d hits, %d misses, %d writes, %d corrupt, "
+                 "%d stale tmp swept", c.root, c.hits, c.misses, c.writes,
+                 c.corrupt, c.stale_tmp)
+        if c.worker_hits or c.worker_misses or c.worker_writes:
+            log.info("cache (workers): %d hits, %d misses, %d writes, "
+                     "%d corrupt, %d stale tmp swept", c.worker_hits,
+                     c.worker_misses, c.worker_writes, c.worker_corrupt,
+                     c.worker_stale_tmp)
     if args.summary:
         summary_labels = [label for label in run.labels if label != "base"]
         if "base" in run.labels and summary_labels:
@@ -196,6 +237,41 @@ def _cmd_storage(args) -> int:
     return 0
 
 
+def _cmd_metrics(args) -> int:
+    import json
+
+    from .obs import fleet as fleet_mod
+    from .obs import prom
+    from .obs.log import get_logger
+
+    log = get_logger("cli")
+    try:
+        with open(args.input) as f:
+            doc = json.load(f)
+        snapshot = fleet_mod.extract_snapshot(doc)
+    except (OSError, ValueError) as exc:
+        log.error("%s: %s", args.input, exc)
+        return 2
+    if args.format == "prometheus":
+        text = prom.prometheus_exposition(snapshot, prefix=args.prefix)
+        if args.check:
+            problems = prom.validate_prometheus_text(text)
+            if problems:
+                for problem in problems[:20]:
+                    log.error("invalid exposition: %s", problem)
+                return 1
+    else:
+        text = json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(text)
+        log.info("%d metrics written to %s (%s)",
+                 len(snapshot), args.out, args.format)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
 def _cmd_analyze(args) -> int:
     from .analysis.cli import main as analyze_main
 
@@ -250,6 +326,18 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--metrics", action="store_true",
                    help="attach per-cell metrics-registry snapshots to the "
                         "JSON results")
+    p.add_argument("--live", action="store_true",
+                   help="render live sweep progress on stderr (cells done, "
+                        "cells/sec, ETA, cache hit ratio)")
+    p.add_argument("--live-jsonl", default=None, metavar="FILE",
+                   help="stream typed progress records as JSON Lines")
+    p.add_argument("--fleet", default=None, metavar="FILE",
+                   help="write the aggregated fleet observability report "
+                        "(per-cell engine attribution, merged metrics, "
+                        "per-worker utilization)")
+    p.add_argument("--fleet-chrome", default=None, metavar="FILE",
+                   help="write a whole-sweep Chrome trace, one lane per "
+                        "worker process (Perfetto-loadable)")
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("simulate", help="simulate one benchmark/configuration")
@@ -288,6 +376,21 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--mac-bits", type=int, default=128)
     p.add_argument("--data-mb", type=int, default=1024)
     p.set_defaults(func=_cmd_storage)
+
+    p = sub.add_parser("metrics",
+                       help="export a metric snapshot (fleet report, traced "
+                            "run, or bare snapshot) as Prometheus text or JSON")
+    p.add_argument("input", help="JSON file holding the snapshot (e.g. a "
+                                 "--fleet report or trace --snapshots file)")
+    p.add_argument("--format", default="prometheus",
+                   choices=["prometheus", "json"])
+    p.add_argument("--prefix", default="repro",
+                   help="metric-name prefix for Prometheus output")
+    p.add_argument("--out", default=None, metavar="FILE",
+                   help="write here instead of stdout")
+    p.add_argument("--check", action="store_true",
+                   help="validate the Prometheus exposition before emitting")
+    p.set_defaults(func=_cmd_metrics)
 
     p = sub.add_parser("analyze", help="run the security-invariant linter",
                        add_help=False)

@@ -31,6 +31,10 @@ OBS001    Statistics objects mutate only inside their owning component;
           everyone else observes them through the pull-model adapters in
           :mod:`repro.obs.adapters` (and resets via ``reset_stats()``),
           so reported numbers have exactly one source of truth.
+OBS002    Metrics register only through :mod:`repro.obs.adapters` — no
+          ad-hoc ``registry.counter()/bind()/...`` from engine code, so
+          the metric namespace (and the fleet merge semantics and
+          exporters built on it) is auditable in one module.
 API001    Example scripts (the tutorial surface) import only the
           :mod:`repro.api` facade — never ``repro.*`` internals — so the
           facade provably covers every documented workflow and internal
@@ -627,6 +631,65 @@ class StatsMutationRule(Rule):
                         "component; call the owner's reset_stats() or read "
                         "values through repro.obs.adapters bindings",
                     )
+
+
+# -- OBS002: fleet/engine metrics register through obs/adapters.py ------------
+
+
+@register
+class RegistryWriteRule(Rule):
+    id = "OBS002"
+    severity = "warning"
+    title = "metrics register only through repro.obs.adapters"
+    rationale = (
+        "Every metric a registry exposes — including the engine-selection "
+        "telemetry the fleet pipeline aggregates — is bound in "
+        "repro.obs.adapters, so the full metric namespace (names, kinds, "
+        "merge semantics, Prometheus exposition) is auditable in one "
+        "module. An ad-hoc registry.counter()/bind() from engine code "
+        "creates a metric the fleet merge rules and exporters never "
+        "heard of; add a register_* adapter instead."
+    )
+
+    # The registration surface of MetricsRegistry/Scope. Reads
+    # (get, snapshot) and scoping are fine anywhere; creating or binding
+    # a metric is what must stay in the adapters module.
+    REGISTER_METHODS = ("counter", "gauge", "bind", "histogram")
+
+    def applies(self, ctx: FileContext) -> bool:
+        return not ctx.under("obs")
+
+    @staticmethod
+    def _is_registry_like(node: ast.expr) -> bool:
+        dotted = _dotted(node)
+        if dotted is None:
+            return False
+        return any(
+            segment in ("registry", "scope")
+            or segment.endswith(("_registry", "_scope"))
+            for segment in dotted.split(".")
+        )
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr not in self.REGISTER_METHODS:
+                continue
+            if not self._is_registry_like(func.value):
+                continue
+            receiver = _dotted(func.value) or "a registry"
+            yield self.finding(
+                ctx,
+                node,
+                f"ad-hoc metric registration {receiver}.{func.attr}(...) "
+                "outside repro.obs; route it through a register_* adapter "
+                "in repro.obs.adapters so the fleet merge semantics and "
+                "exporters cover it",
+            )
 
 
 # -- API001: examples import only the repro.api facade -----------------------

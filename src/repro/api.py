@@ -207,6 +207,10 @@ class SweepRun:
     labels: tuple
     benchmarks: tuple
     events: int
+    # Fleet observability (repro.obs.fleet.FleetReport) when the sweep ran
+    # with fleet=True; deliberately NOT part of to_payload() — the result
+    # payload stays byte-identical with capture on or off.
+    fleet: object | None = None
 
     def to_payload(self) -> dict:
         """The deterministic JSON payload of ``python -m repro sweep``.
@@ -237,6 +241,8 @@ def sweep(
     metrics: bool = False,
     overlap: float = 0.7,
     warmup: float = 0.25,
+    fleet: bool = False,
+    live_sinks=None,
 ) -> SweepRun:
     """Simulate a (benchmark x configuration) grid.
 
@@ -244,8 +250,20 @@ def sweep(
     ``workers > 1`` fans out over a process pool (0 = one per core);
     ``cache_dir`` shares a persistent on-disk result cache. Unknown
     labels or benchmarks raise ValueError before any simulation runs.
+
+    ``fleet=True`` captures per-cell observability (registry snapshots,
+    engine attribution, worker timings) and attaches the aggregated
+    :class:`~repro.obs.fleet.FleetReport` as ``SweepRun.fleet``;
+    ``live_sinks`` is an iterable of progress sinks (objects with
+    ``emit(record)``/``close()``, e.g.
+    :class:`~repro.obs.fleet.JsonlProgressSink` or
+    :class:`~repro.obs.fleet.TtyProgressSink`) that receive the typed
+    progress stream while the sweep runs. Both are observers only: the
+    grid, its payload, and every cache record are byte-identical with
+    them on or off.
     """
     from .evalx.runner import CONFIGS, Runner
+    from .obs.fleet import FleetCollector, ProgressStream
     from .workloads.spec2k import SPEC2K_BENCHMARKS
 
     labels = tuple(configs) if configs else tuple(CONFIGS)
@@ -267,8 +285,17 @@ def sweep(
         cache_dir=cache_dir,
         metrics=metrics,
     )
-    grid = runner.run_grid(labels=labels, mac_bits=tuple(mac_bits))
-    return SweepRun(grid=grid, runner=runner, labels=labels, benchmarks=benches, events=events)
+    collector = FleetCollector() if fleet else None
+    stream = ProgressStream(live_sinks) if live_sinks else None
+    try:
+        grid = runner.run_grid(labels=labels, mac_bits=tuple(mac_bits),
+                               fleet=collector, live=stream)
+    finally:
+        if stream is not None:
+            stream.close()
+    return SweepRun(grid=grid, runner=runner, labels=labels,
+                    benchmarks=benches, events=events,
+                    fleet=collector.report if collector is not None else None)
 
 
 @dataclass

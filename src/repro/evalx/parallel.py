@@ -26,10 +26,13 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass
 
 from ..core.config import CacheConfig, MachineConfig
+from ..obs import fleet as fleet_obs
 from ..obs.log import get_logger
 from ..sim.results import SimResult
 from ..sim.simulator import MODEL_VERSION, TimingSimulator
@@ -216,20 +219,104 @@ def _worker_trace(bench: str, events: int):
     return trace
 
 
+# Worker-side progress queue: installed by the pool initializer when the
+# parent streams live progress; workers put `cell_start` records on it
+# the moment a cell begins simulating (the parent can only observe when
+# a future *resolves*, which lags by a full cell).
+_worker_queue = None
+
+
+def _worker_init(queue) -> None:
+    """Pool initializer: remember the parent's progress queue (or None)."""
+    global _worker_queue
+    _worker_queue = queue
+
+
+# Worker-side result caches, one per cache root. Until workers opened
+# their own cache, every `ResultCache.hits` bump a worker would have
+# made was process-local and silently lost — the parent's hit ratio
+# under-reported any concurrent sweep sharing the cache directory.
+# `_worker_cache_delta` hands the parent counter *deltas* (including the
+# construction-time stale-tmp sweep), so parent-side absorption is exact
+# no matter how cells interleave across workers.
+_CACHE_COUNTERS = ("hits", "misses", "writes", "corrupt", "stale_tmp")
+_worker_caches: dict[str, "ResultCache"] = {}
+_worker_cache_reported: dict[str, dict] = {}
+
+
+def _worker_cache(root: str) -> "ResultCache":
+    cache = _worker_caches.get(root)
+    if cache is None:
+        cache = _worker_caches[root] = ResultCache(root)
+        _worker_cache_reported[root] = dict.fromkeys(_CACHE_COUNTERS, 0)
+    return cache
+
+
+def _worker_cache_delta(root: str) -> dict:
+    """Counter movement since the last report (first call includes the
+    construction-time stale-tmp sweep)."""
+    cache = _worker_caches[root]
+    reported = _worker_cache_reported[root]
+    delta = {}
+    for name in _CACHE_COUNTERS:
+        value = getattr(cache, name)
+        delta[name] = value - reported[name]
+        reported[name] = value
+    return delta
+
+
 def _simulate_cell(payload: tuple) -> dict:
-    """Worker entry point: simulate one cell, return the result as a dict.
+    """Worker entry point: resolve one cell, return a result envelope.
 
     Module-level (picklable under both fork and spawn); obtains the trace
     from the worker-local memo (regenerated on first use) — trace
     generation is seeded by benchmark name, so every process sees the
     identical event stream.
+
+    The envelope is ``{"result": SimResult dict, "cached": bool,
+    "capture": per-cell fleet record or None, "cache": counter delta or
+    None}``. When the parent passed a cache root, the worker checks the
+    disk cache itself first (serving records a concurrent sweep landed
+    after the parent's check) and writes its fresh result directly, so
+    the parent never re-serializes it; when capture is on, the envelope
+    carries the registry snapshot, engine attribution, and wall/CPU
+    timings of the run. The SimResult itself is never touched — capture
+    rides the envelope, keeping cached records and result JSON
+    byte-identical with capture on or off.
     """
-    bench, events, config, label, overlap, warmup, metrics = payload
+    (bench, events, config, label, mac_bits, overlap, warmup, metrics,
+     capture, cache_root, key) = payload
+    if _worker_queue is not None:
+        _worker_queue.put({"event": "cell_start", "bench": bench,
+                           "label": label, "worker": os.getpid()})
+    out = {"result": None, "cached": False, "capture": None, "cache": None}
+    cache = None
+    if cache_root is not None and key is not None:
+        cache = _worker_cache(cache_root)
+        hit = cache.get(key)
+        if hit is not None:
+            out["result"] = hit.to_dict()
+            out["cached"] = True
+            out["cache"] = _worker_cache_delta(cache_root)
+            return out
     trace = _worker_trace(bench, events)
-    result = TimingSimulator(config, overlap=overlap).run(
-        trace, label=label, warmup=warmup, collect_metrics=metrics
-    )
-    return result.to_dict()
+    sim = TimingSimulator(config, overlap=overlap)
+    t_start = time.time()
+    p_start = time.perf_counter()
+    c_start = time.process_time()
+    result = sim.run(trace, label=label, warmup=warmup, collect_metrics=metrics)
+    wall_s = time.perf_counter() - p_start
+    cpu_s = time.process_time() - c_start
+    t_end = time.time()
+    if cache is not None:
+        cache.put(key, result, Cell(bench, label, config, mac_bits))
+        out["cache"] = _worker_cache_delta(cache_root)
+    if capture:
+        record = fleet_obs.capture_cell(sim)
+        record.update(wall_s=wall_s, cpu_s=cpu_s, t_start=t_start, t_end=t_end)
+        out["capture"] = record
+    out["result"] = result.to_dict()
+    return out
 
 
 # -- the persistent cache -----------------------------------------------------
@@ -252,6 +339,14 @@ class ResultCache:
         self.misses = 0
         self.writes = 0
         self.corrupt = 0
+        # Counter movement absorbed from pool workers' own ResultCache
+        # instances on this root (see ``absorb_worker``); kept separate
+        # from this process's counts so hit ratios stay attributable.
+        self.worker_hits = 0
+        self.worker_misses = 0
+        self.worker_writes = 0
+        self.worker_corrupt = 0
+        self.worker_stale_tmp = 0
         # A worker killed between mkstemp and os.replace leaves its temp
         # file behind; nothing ever references one again, so sweep them
         # here. Records themselves are immune — the rename is atomic.
@@ -324,6 +419,25 @@ class ResultCache:
             raise
         self.writes += 1
 
+    def absorb_worker(self, delta: dict) -> None:
+        """Fold one worker's counter delta into the ``worker_*`` totals.
+
+        ``delta`` comes from ``_worker_cache_delta`` — strictly the
+        movement since that worker's last report, so absorbing every
+        envelope double-counts nothing.
+        """
+        for name in _CACHE_COUNTERS:
+            setattr(self, f"worker_{name}",
+                    getattr(self, f"worker_{name}") + delta.get(name, 0))
+
+    def counts(self) -> dict:
+        """Every counter (this process's and absorbed worker movement)
+        as a plain dict — the cache block of a fleet report."""
+        out = {name: getattr(self, name) for name in _CACHE_COUNTERS}
+        for name in _CACHE_COUNTERS:
+            out[f"worker_{name}"] = getattr(self, f"worker_{name}")
+        return out
+
     def __len__(self) -> int:
         return sum(1 for name in os.listdir(self.root) if name.endswith(".json"))
 
@@ -341,6 +455,8 @@ def run_cells(
     trace_provider=None,
     progress=None,
     metrics: bool = False,
+    fleet: "fleet_obs.FleetCollector | None" = None,
+    live: "fleet_obs.ProgressStream | None" = None,
 ) -> dict[Cell, SimResult]:
     """Simulate every cell, fanning out across ``workers`` processes.
 
@@ -348,7 +464,11 @@ def run_cells(
       the reference the determinism tests compare the pool against;
       ``workers == 0`` means "one per core".
     * ``cache`` short-circuits cells whose results are already on disk
-      and persists fresh ones.
+      and persists fresh ones. Pool workers open their own handle on the
+      same directory (serving concurrent sweeps' records, writing fresh
+      results in-worker) and every counter they move is absorbed back
+      into this cache's ``worker_*`` totals — nothing stays
+      process-local.
     * ``trace_provider`` (bench -> Trace) supplies traces for digest
       computation; defaults to regenerating via ``spec_trace``. Callers
       with memoized traces (the Runner) pass theirs to avoid regeneration.
@@ -356,6 +476,18 @@ def run_cells(
     * ``metrics`` attaches each cell's metrics-registry snapshot to its
       ``SimResult.metrics`` (cached under distinct keys, so metric-free
       and metric-carrying sweeps never serve each other stale records).
+    * ``fleet`` (a :class:`repro.obs.fleet.FleetCollector`) collects one
+      observability record per cell — registry snapshot, engine
+      attribution, wall/CPU timings, worker pid — and, at sweep end, the
+      finished :class:`~repro.obs.fleet.FleetReport` (``fleet.report``).
+    * ``live`` (a :class:`repro.obs.fleet.ProgressStream`) receives the
+      typed progress stream: ``sweep_begin``, worker-emitted
+      ``cell_start`` (via the pool's queue), per-cell ``cell_done`` with
+      throughput/ETA/cache-hit-ratio, ``sweep_end``.
+
+    Fleet capture and the live stream are observers only: they never
+    touch a ``SimResult``, a cache record, or a cache key, so results
+    are byte-identical with either enabled or not.
 
     Returns {cell: SimResult}, one entry per *distinct* cell. Cells that
     simulate the same (bench, config, label) — e.g. mac_bits=None and an
@@ -389,6 +521,11 @@ def run_cells(
     digests: dict[str, str] = {}
     pending: list[Cell] = []
 
+    # Baselines before the cache-filter pass: the sweep's wall clock and
+    # the fleet report's cache delta both cover the parent's own gets.
+    start = time.perf_counter()
+    cache_base = cache.counts() if cache is not None else None
+
     for cell in unique:
         if cache is None:
             pending.append(cell)
@@ -405,25 +542,96 @@ def run_cells(
             pending.append(cell)
 
     total = len(unique)
-    done = total - len(pending)
-    if cache is not None and done:
-        log.info("result cache: %d/%d cells already on disk", done, total)
+    prehits = [cell for cell in unique if cell in results]
+    if cache is not None and prehits:
+        log.info("result cache: %d/%d cells already on disk",
+                 len(prehits), total)
 
-    def finish(cell: Cell, result: SimResult) -> None:
-        nonlocal done
-        results[cell] = result
-        if cache is not None:
-            cache.put(keys[cell], result, cell)
+    done = 0
+    cached_done = 0
+    capture = fleet is not None or live is not None
+    if live is not None:
+        live.emit("sweep_begin", total=total, workers=workers, events=events)
+    if fleet is not None:
+        fleet.begin(total=total, workers=workers, events=events)
+
+    def rates() -> tuple[float, float, float]:
+        elapsed = max(time.perf_counter() - start, 1e-9)
+        rate = done / elapsed
+        eta = (total - done) / rate if rate > 0 else 0.0
+        ratio = cached_done / done if done else 0.0
+        return rate, eta, ratio
+
+    def account(cell: Cell, source: str, capture_rec: dict | None = None) -> None:
+        """One cell resolved: fleet record, progress, logging."""
+        nonlocal done, cached_done
         done += 1
+        if source == fleet_obs.SOURCE_CACHE:
+            cached_done += 1
+        engine = "cached" if source == fleet_obs.SOURCE_CACHE else "unknown"
+        reason = None
+        wall = 0.0
+        worker = os.getpid()
+        if capture_rec is not None:
+            engine = capture_rec.get("engine") or engine
+            reason = capture_rec.get("fallback_reason")
+            wall = capture_rec.get("wall_s", 0.0)
+            worker = capture_rec.get("worker", worker)
+        if fleet is not None:
+            record = {"bench": cell.bench, "label": cell.label,
+                      "mac_bits": cell.mac_bits, "source": source,
+                      "engine": engine, "fallback_reason": reason}
+            if capture_rec is not None:
+                record.update(capture_rec)
+            else:
+                record.update(t_start=time.time(), wall_s=0.0, worker=worker)
+            fleet.add_cell(record)
+        if live is not None:
+            rate, eta, ratio = rates()
+            live.emit("cell_done", bench=cell.bench, label=cell.label,
+                      done=done, total=total, source=source, engine=engine,
+                      fallback_reason=reason, wall_s=wall,
+                      cells_per_sec=rate, eta_s=eta,
+                      cache_hit_ratio=ratio, worker=worker)
         log.info("cell %d/%d: %s/%s done", done, total, cell.bench, cell.label)
         if progress is not None:
             progress(done, total, cell)
 
-    def serial(cell: Cell) -> SimResult:
+    def finish(cell: Cell, result: SimResult, source: str,
+               capture_rec: dict | None = None,
+               worker_wrote: bool = False) -> None:
+        results[cell] = result
+        if cache is not None and not worker_wrote:
+            cache.put(keys[cell], result, cell)
+        account(cell, source, capture_rec)
+
+    def serial(cell: Cell) -> tuple[SimResult, dict | None]:
         trace = provider(cell.bench)
         sim = TimingSimulator(cell.config, overlap=overlap)
-        return sim.run(trace, label=cell.label, warmup=warmup,
-                       collect_metrics=metrics)
+        t_start = time.time()
+        p_start = time.perf_counter()
+        c_start = time.process_time()
+        result = sim.run(trace, label=cell.label, warmup=warmup,
+                         collect_metrics=metrics)
+        capture_rec = None
+        if capture:
+            capture_rec = fleet_obs.capture_cell(sim)
+            capture_rec.update(wall_s=time.perf_counter() - p_start,
+                               cpu_s=time.process_time() - c_start,
+                               t_start=t_start, t_end=time.time())
+        return result, capture_rec
+
+    def finalize() -> None:
+        wall = time.perf_counter() - start
+        if fleet is not None:
+            if cache_base is not None:
+                now = cache.counts()
+                fleet.absorb_cache({name: now[name] - cache_base[name]
+                                    for name in now})
+            fleet.finish(wall)
+        if live is not None:
+            live.emit("sweep_end", total=total, simulated=done - cached_done,
+                      cached=cached_done, wall_s=wall)
 
     def spread() -> dict[Cell, SimResult]:
         """Fan each group's one result back out to its twin cells."""
@@ -432,28 +640,86 @@ def run_cells(
                 results[twin] = results[group[0]]
         return {cell: results[cell] for cell in distinct}
 
+    for cell in prehits:
+        account(cell, fleet_obs.SOURCE_CACHE)
+
     if not pending:
+        finalize()
         return spread()
 
     if workers <= 1:
         for cell in pending:
-            finish(cell, serial(cell))
+            result, capture_rec = serial(cell)
+            finish(cell, result, fleet_obs.SOURCE_SERIAL, capture_rec)
+        finalize()
         return spread()
 
     payloads = {
-        cell: (cell.bench, events, cell.config, cell.label, overlap, warmup, metrics)
+        cell: (cell.bench, events, cell.config, cell.label, cell.mac_bits,
+               overlap, warmup, metrics, capture,
+               cache.root if cache is not None else None, keys.get(cell))
         for cell in pending
     }
     retry: list[Cell] = []
-    with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
-        futures = {pool.submit(_simulate_cell, payloads[cell]): cell for cell in pending}
-        for future, cell in futures.items():
-            try:
-                finish(cell, SimResult.from_dict(future.result()))
-            except Exception as exc:  # worker crash / broken pool
-                log.warning("worker failed on %s/%s (%s); retrying serially",
-                            cell.bench, cell.label, exc)
-                retry.append(cell)
+    queue = manager = drain = None
+    if live is not None:
+        # Workers announce cell starts over a manager queue (the proxy is
+        # picklable, so this works under spawn too); a parent-side thread
+        # drains it into the stream while futures are in flight.
+        import multiprocessing
+
+        manager = multiprocessing.Manager()
+        queue = manager.Queue()
+        drain = threading.Thread(target=_drain_progress, args=(queue, live),
+                                 daemon=True)
+        drain.start()
+    try:
+        with ProcessPoolExecutor(max_workers=min(workers, len(pending)),
+                                 initializer=_worker_init,
+                                 initargs=(queue,)) as pool:
+            futures = {pool.submit(_simulate_cell, payloads[cell]): cell
+                       for cell in pending}
+            for future, cell in futures.items():
+                try:
+                    envelope = future.result()
+                    if cache is not None and envelope.get("cache"):
+                        cache.absorb_worker(envelope["cache"])
+                    source = (fleet_obs.SOURCE_CACHE if envelope["cached"]
+                              else fleet_obs.SOURCE_POOL)
+                    finish(cell, SimResult.from_dict(envelope["result"]),
+                           source, envelope.get("capture"),
+                           worker_wrote=cache is not None)
+                except Exception as exc:  # worker crash / broken pool
+                    log.warning("worker failed on %s/%s (%s); retrying serially",
+                                cell.bench, cell.label, exc)
+                    retry.append(cell)
+    finally:
+        if queue is not None:
+            queue.put(None)
+            drain.join(timeout=5.0)
+            manager.shutdown()
     for cell in retry:
-        finish(cell, serial(cell))
+        result, capture_rec = serial(cell)
+        finish(cell, result, fleet_obs.SOURCE_RETRY, capture_rec)
+    if cache is not None and (cache.worker_hits or cache.worker_misses):
+        log.info("worker cache: %d hits, %d misses, %d writes, %d corrupt, "
+                 "%d stale tmp swept", cache.worker_hits, cache.worker_misses,
+                 cache.worker_writes, cache.worker_corrupt,
+                 cache.worker_stale_tmp)
+    finalize()
     return spread()
+
+
+def _drain_progress(queue, stream) -> None:
+    """Forward worker progress records from the pool queue to the stream
+    until the parent posts the ``None`` sentinel."""
+    while True:
+        try:
+            record = queue.get()
+        except (EOFError, OSError):
+            return
+        if record is None:
+            return
+        event = record.pop("event", None)
+        if event:
+            stream.emit(event, **record)

@@ -106,13 +106,20 @@ class Runner:
         mac_bits=(None,),
         benchmarks=None,
         workers: int | None = None,
+        fleet=None,
+        live=None,
     ) -> dict[tuple, SimResult]:
         """Simulate a (benchmark x label x mac_bits) grid, parallel if asked.
 
         Returns {(bench, label, mac_bits): SimResult} and populates the
         in-memory memo, so subsequent :meth:`result`/:meth:`overhead`
         calls are free. Results are identical to the serial path cell by
-        cell (a repo invariant; see tests/evalx/test_parallel.py).
+        cell (a repo invariant; see tests/evalx/test_parallel.py) — with
+        or without fleet observability: ``fleet`` (a
+        :class:`~repro.obs.fleet.FleetCollector`) and ``live`` (a
+        :class:`~repro.obs.fleet.ProgressStream`) pass straight through
+        to :func:`~repro.evalx.parallel.run_cells` and never touch
+        results or cache keys.
         """
         labels = tuple(labels) if labels is not None else tuple(CONFIGS)
         benchmarks = tuple(benchmarks) if benchmarks is not None else self.benchmarks
@@ -131,6 +138,8 @@ class Runner:
             warmup=self.warmup,
             trace_provider=self.trace,
             metrics=self.metrics,
+            fleet=fleet,
+            live=live,
         )
         grid = {cell.key: result for cell, result in computed.items()}
         self._results.update(grid)

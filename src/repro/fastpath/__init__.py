@@ -43,6 +43,80 @@ _FORCED: bool | None = None
 _FORCED_COMPILED: bool | None = None
 _FALSEY = ("0", "off", "false", "no")
 
+# The engine-attribution vocabulary. Every TimingSimulator.run() is
+# attributed to exactly one engine; a run on anything but the compiled
+# replay also carries the *reason* the faster engine was passed over.
+ENGINE_COMPILED = "compiled"
+ENGINE_PER_EVENT = "per_event"
+ENGINE_REFERENCE = "reference"
+ENGINES = (ENGINE_COMPILED, ENGINE_PER_EVENT, ENGINE_REFERENCE)
+FALLBACK_REASONS = (
+    "obs_session",        # reference: live hooks need per-event callbacks
+    "fastpath_gate_off",  # reference: REPRO_FASTPATH=0 / forced(False)
+    "compiled_gate_off",  # per-event: REPRO_COMPILED=0 / forced_compiled(False)
+    "sanitizer_armed",    # per-event: reference helpers carry its checks
+    "warm_caches",        # per-event: the lowering replays onto cold caches only
+    "empty_trace",        # per-event: nothing to replay
+)
+
+
+class EngineTelemetry:
+    """Per-simulator record of which execution engine each run() used.
+
+    Mutated only by the engine-selection code (this package and
+    :meth:`TimingSimulator.run`); everyone else reads it through the
+    pull-model gauges :func:`repro.obs.adapters.register_engine_telemetry`
+    binds — the OBS002 lint rule holds engine code to exactly that
+    split. Recording is one attribute bump per *run* (never per event),
+    so disabled-mode output and cost are untouched.
+    """
+
+    __slots__ = ("compiled", "per_event", "reference", "fallbacks",
+                 "lowering_hits", "lowering_misses",
+                 "last_engine", "last_reason")
+
+    def __init__(self):
+        self.compiled = 0
+        self.per_event = 0
+        self.reference = 0
+        # {reason: runs}; only reasons that actually occurred appear.
+        self.fallbacks: dict[str, int] = {}
+        self.lowering_hits = 0
+        self.lowering_misses = 0
+        self.last_engine: str | None = None
+        self.last_reason: str | None = None
+
+    def record(self, engine: str, reason: str | None = None) -> None:
+        """Attribute one run; ``reason`` is required unless compiled."""
+        if engine == ENGINE_COMPILED:
+            self.compiled += 1
+        elif engine == ENGINE_PER_EVENT:
+            self.per_event += 1
+        elif engine == ENGINE_REFERENCE:
+            self.reference += 1
+        else:
+            raise ValueError(f"unknown engine {engine!r}")
+        if reason is not None:
+            self.fallbacks[reason] = self.fallbacks.get(reason, 0) + 1
+        self.last_engine = engine
+        self.last_reason = reason
+
+    def record_lowering(self, hit: bool) -> None:
+        """One compiled-lowering memo probe (see ``compiled_for``)."""
+        if hit:
+            self.lowering_hits += 1
+        else:
+            self.lowering_misses += 1
+
+    @property
+    def runs(self) -> int:
+        return self.compiled + self.per_event + self.reference
+
+    @property
+    def lowering_hit_rate(self) -> float:
+        probes = self.lowering_hits + self.lowering_misses
+        return self.lowering_hits / probes if probes else 0.0
+
 
 def enabled() -> bool:
     """Whether the fast paths are active (default: yes).
@@ -101,6 +175,12 @@ def forced_compiled(state: bool):
 from .engine import execute  # noqa: E402  (the gates above must exist first)
 
 __all__ = [
+    "ENGINES",
+    "ENGINE_COMPILED",
+    "ENGINE_PER_EVENT",
+    "ENGINE_REFERENCE",
+    "EngineTelemetry",
+    "FALLBACK_REASONS",
     "compiled_enabled",
     "enabled",
     "execute",

@@ -506,16 +506,40 @@ def compiled_for(sim, trace, sample_period: int) -> CompiledTrace:
     Cached on the trace instance (like :meth:`Trace.decoded`, and
     likewise dropped on pickling) with a small capacity bound: a sweep
     replays one geometry per trace, so a deep artifact stack would only
-    hold memory hostage.
+    hold memory hostage. Each probe is recorded on the simulator's
+    :class:`~repro.fastpath.EngineTelemetry` (hit = the lowering was
+    already memoized).
     """
     key = classification_key(sim, sample_period)
     memo = trace.__dict__.setdefault("_compiled", {})
     artifact = memo.get(key)
+    telemetry = getattr(sim, "engine_telemetry", None)
+    if telemetry is not None:
+        telemetry.record_lowering(artifact is not None)
     if artifact is None:
         while len(memo) >= _MEMO_CAPACITY:
             memo.pop(next(iter(memo)))
         artifact = memo[key] = lower(sim, trace, sample_period)
     return artifact
+
+
+def ineligibility(sim, trace) -> str | None:
+    """Why a compiled replay cannot run, or ``None`` when it can.
+
+    The checks mirror :func:`execute_compiled`'s gate exactly, in the
+    same order; the returned string is one of
+    :data:`repro.fastpath.FALLBACK_REASONS` and feeds the
+    engine-selection telemetry.
+    """
+    if sanitizer.active() is not None:
+        return "sanitizer_armed"
+    node_cache = sim.node_cache
+    if (sim.l2.occupied_lines or sim.counter_cache.occupied_lines
+            or (node_cache is not None and node_cache.occupied_lines)):
+        return "warm_caches"
+    if len(trace) == 0:
+        return "empty_trace"
+    return None
 
 
 def _run_segment(pres, mflags, prog, i0, i1, mp, now, bf, queue, exposed,
@@ -572,19 +596,15 @@ def execute_compiled(sim, trace, warmup: float, sample_period: int):
     cold caches — the lowering starts from empty contents, and the
     recorded final state is installed on the real caches afterwards so
     warm reuse (and the live line-count gauges) behave exactly as if
-    the per-event engine had run.
+    the per-event engine had run. :func:`ineligibility` names the reason
+    a run is turned away.
     """
-    if sanitizer.active() is not None:
+    if ineligibility(sim, trace) is not None:
         return None
     l2 = sim.l2
     counter_cache = sim.counter_cache
     node_cache = sim.node_cache
-    if (l2.occupied_lines or counter_cache.occupied_lines
-            or (node_cache is not None and node_cache.occupied_lines)):
-        return None
     n = len(trace)
-    if n == 0:
-        return None
 
     artifact = compiled_for(sim, trace, sample_period)
     bus = sim.bus

@@ -21,7 +21,7 @@ again, bit-identical arithmetic.
 
 from __future__ import annotations
 
-from .compiled import execute_compiled
+from .compiled import execute_compiled, ineligibility
 
 
 def execute(sim, trace, warmup: float, sample_period: int) -> tuple[float, float, int]:
@@ -31,14 +31,22 @@ def execute(sim, trace, warmup: float, sample_period: int) -> tuple[float, float
     the reference loop in :meth:`TimingSimulator.run` would compute them.
     The caller has already rebased the bus and reset statistics; live
     obs hooks must NOT be armed (the fast path has no per-event
-    callback sites).
+    callback sites). Each run is attributed on the simulator's
+    :class:`~repro.fastpath.EngineTelemetry`: compiled replay when
+    eligible, otherwise the batched loop with the reason compiled
+    replay was passed over.
     """
-    from . import compiled_enabled
+    from . import ENGINE_COMPILED, ENGINE_PER_EVENT, compiled_enabled
 
+    telemetry = sim.engine_telemetry
     if compiled_enabled():
-        outcome = execute_compiled(sim, trace, warmup, sample_period)
-        if outcome is not None:
-            return outcome
+        reason = ineligibility(sim, trace)
+        if reason is None:
+            telemetry.record(ENGINE_COMPILED)
+            return execute_compiled(sim, trace, warmup, sample_period)
+    else:
+        reason = "compiled_gate_off"
+    telemetry.record(ENGINE_PER_EVENT, reason)
 
     decoded = trace.decoded()
     gaps = decoded.gaps

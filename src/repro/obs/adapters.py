@@ -70,7 +70,32 @@ def register_simulator(registry, sim):
     if sim.node_cache is not None:
         register_cache(registry, sim.node_cache, "node_cache")
     register_bus(registry, sim.bus)
+    register_engine_telemetry(registry, sim)
     return registry
+
+
+def register_engine_telemetry(registry, sim, prefix: str = "engine"):
+    """Bind a simulator's engine-selection telemetry.
+
+    The engine code (:mod:`repro.fastpath`, :meth:`TimingSimulator.run`)
+    mutates the :class:`~repro.fastpath.EngineTelemetry` it owns — one
+    attribute bump per run — and this adapter is the one sanctioned
+    route from those counts into the registry (and thus into fleet
+    snapshots, the Prometheus exposition, and progress records); the
+    OBS002 lint rule flags registry writes from engine code directly.
+    Gauges resolve the telemetry through the simulator on every read,
+    matching the owning-object discipline above.
+    """
+    scope = registry.scoped(prefix)
+    scope.bind("runs.compiled", lambda: sim.engine_telemetry.compiled)
+    scope.bind("runs.per_event", lambda: sim.engine_telemetry.per_event)
+    scope.bind("runs.reference", lambda: sim.engine_telemetry.reference)
+    scope.bind("fallback_reasons", lambda: dict(sim.engine_telemetry.fallbacks))
+    memo = scope.scoped("lowering_memo")
+    memo.bind("hits", lambda: sim.engine_telemetry.lowering_hits)
+    memo.bind("misses", lambda: sim.engine_telemetry.lowering_misses)
+    memo.bind("hit_rate", lambda: sim.engine_telemetry.lowering_hit_rate)
+    return scope
 
 
 def register_kernel(registry, kernel, prefix: str = "kernel"):

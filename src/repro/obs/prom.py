@@ -1,0 +1,159 @@
+"""Prometheus text-format exposition for registry snapshots.
+
+Renders any :meth:`MetricsRegistry.snapshot` dict — a single run's, or
+a fleet report's ``aggregate`` — in the Prometheus text exposition
+format (version 0.0.4), without importing any Prometheus client:
+
+* scalar metrics become ``gauge`` samples (``repro_bus_transfers 42``),
+* dict-valued gauges become one labeled sample per key
+  (``repro_bus_transfers_by_kind{kind="data"} 17``),
+* fixed-edge histograms become the canonical cumulative
+  ``_bucket{le="..."}`` series plus ``_sum`` and ``_count``.
+
+Metric names are sanitized to ``[a-zA-Z_][a-zA-Z0-9_]*`` (dots and any
+other separators collapse to underscores) and prefixed (default
+``repro_``). ``validate_prometheus_text`` is a self-contained checker
+for tests and the CI fleet job; ``python -m repro metrics`` is the CLI
+front-end for both directions.
+"""
+
+from __future__ import annotations
+
+import re
+
+_NAME_OK = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*\Z")
+_SANITIZE = re.compile(r"[^a-zA-Z0-9_]+")
+_SAMPLE = re.compile(
+    r"(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)\Z"
+)
+_LABEL = re.compile(r'\s*(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<val>[^"]*)"\s*(?:,|\Z)')
+
+
+def metric_name(name: str, prefix: str = "repro") -> str:
+    """Sanitize a registry metric name for Prometheus exposition."""
+    flat = _SANITIZE.sub("_", f"{prefix}_{name}" if prefix else name).strip("_")
+    if not flat or flat[0].isdigit():
+        flat = "_" + flat
+    return flat
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _labels(pairs: dict) -> str:
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{_escape(str(v))}"' for k, v in sorted(pairs.items()))
+    return "{" + body + "}"
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def _is_histogram(value: dict) -> bool:
+    return set(value) == {"edges", "counts", "sum", "count"}
+
+
+def prometheus_exposition(snapshot: dict, prefix: str = "repro",
+                          labels: dict | None = None) -> str:
+    """Render a snapshot dict as Prometheus text format.
+
+    ``labels`` (e.g. ``{"bench": "gcc", "config": "aise+bmt"}``) are
+    attached to every sample. Non-numeric scalars are skipped —
+    exposition is lossy by design; the JSON snapshot stays the complete
+    record.
+    """
+    base = dict(labels or {})
+    lines: list[str] = []
+    for name in sorted(snapshot):
+        value = snapshot[name]
+        flat = metric_name(name, prefix)
+        if isinstance(value, dict):
+            if _is_histogram(value):
+                lines.append(f"# TYPE {flat} histogram")
+                cumulative = 0
+                for edge, count in zip(value["edges"], value["counts"]):
+                    cumulative += count
+                    lines.append(
+                        f"{flat}_bucket"
+                        f"{_labels({**base, 'le': _format_value(edge)})}"
+                        f" {cumulative}"
+                    )
+                cumulative += value["counts"][len(value["edges"])]
+                lines.append(
+                    f"{flat}_bucket{_labels({**base, 'le': '+Inf'})} {cumulative}"
+                )
+                lines.append(f"{flat}_sum{_labels(base)} {_format_value(value['sum'])}")
+                lines.append(f"{flat}_count{_labels(base)} {value['count']}")
+            else:
+                lines.append(f"# TYPE {flat} gauge")
+                for key in sorted(value):
+                    entry = value[key]
+                    if not isinstance(entry, (int, float)) or isinstance(entry, bool):
+                        continue
+                    lines.append(
+                        f"{flat}{_labels({**base, 'kind': key})} "
+                        f"{_format_value(entry)}"
+                    )
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            lines.append(f"# TYPE {flat} gauge")
+            lines.append(f"{flat}{_labels(base)} {_format_value(value)}")
+    return "\n".join(lines) + "\n"
+
+
+def validate_prometheus_text(text: str) -> list[str]:
+    """Check a text-format exposition; returns problems, [] = valid.
+
+    Validates line shape (comments, ``name{labels} value``), metric and
+    label name charsets, parseable sample values, and — for histograms
+    — that ``le`` bucket values are cumulative (non-decreasing) and end
+    with ``+Inf``.
+    """
+    problems: list[str] = []
+    buckets: dict[str, list[tuple[float, float]]] = {}
+    for i, line in enumerate(text.splitlines(), start=1):
+        if not line.strip() or line.startswith("#"):
+            continue
+        m = _SAMPLE.match(line.strip())
+        if m is None:
+            problems.append(f"line {i}: unparseable sample {line!r}")
+            continue
+        name = m.group("name")
+        if not _NAME_OK.match(name):
+            problems.append(f"line {i}: invalid metric name {name!r}")
+        raw_labels = m.group("labels")
+        le = None
+        if raw_labels:
+            consumed = 0
+            for lm in _LABEL.finditer(raw_labels):
+                consumed = lm.end()
+                if lm.group("key") == "le":
+                    le = lm.group("val")
+            if consumed != len(raw_labels):
+                problems.append(f"line {i}: malformed labels {{{raw_labels}}}")
+        try:
+            value = float(m.group("value"))
+        except ValueError:
+            problems.append(f"line {i}: unparseable value {m.group('value')!r}")
+            continue
+        if name.endswith("_bucket") and le is not None:
+            edge = float("inf") if le == "+Inf" else float(le)
+            buckets.setdefault(name, []).append((edge, value))
+    for name, series in buckets.items():
+        edges = [edge for edge, _ in series]
+        counts = [count for _, count in series]
+        if edges != sorted(edges):
+            problems.append(f"{name}: bucket le values not sorted")
+        if counts != sorted(counts):
+            problems.append(f"{name}: bucket counts not cumulative")
+        if not edges or edges[-1] != float("inf"):
+            problems.append(f"{name}: missing +Inf bucket")
+    return problems

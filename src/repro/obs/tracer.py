@@ -92,8 +92,29 @@ class JsonlSink:
         self.stream.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")
         self.written += 1
 
-    def clear(self) -> None:  # streamed output cannot be unwritten
-        pass
+    def clear(self) -> None:
+        """Refused (with a RuntimeWarning): streamed output cannot be
+        unwritten.
+
+        Sink clearing semantics: ``clear()`` discards *retained* events
+        so a sink can be reused across runs — RingSink and ListSink drop
+        their buffers, TeeSink fans out to its children. A streaming
+        sink has no retained events to discard; lines already written
+        stay on disk, and silently pretending otherwise let tracer
+        reuse bugs (two runs concatenated into one file) pass unnoticed.
+        Reuse a fresh JsonlSink (or a fresh file) per run instead. The
+        ``written`` counter is part of the permanent record and is
+        deliberately not reset.
+        """
+        import warnings
+
+        warnings.warn(
+            "JsonlSink.clear(): streamed output cannot be unwritten; "
+            "already-written lines remain in the file. Use a fresh "
+            "JsonlSink per run instead of clearing.",
+            RuntimeWarning,
+            stacklevel=2,
+        )
 
     def __len__(self) -> int:
         return self.written

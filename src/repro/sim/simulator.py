@@ -94,6 +94,7 @@ class TimingSimulator:
         "counter_accesses",
         "counter_misses",
         "registry",
+        "engine_telemetry",
         "_hooks",
     )
 
@@ -176,8 +177,11 @@ class TimingSimulator:
         # Observability. The registry always exists: its gauges are
         # pull-model bindings over the stats above, read only when a
         # snapshot is taken, so registration costs nothing per event.
+        # ``engine_telemetry`` attributes each run() to the engine that
+        # executed it (one attribute bump per run, never per event);
         # ``_hooks`` (live event tracing) is non-None only inside the
         # measured interval of a run under an active obs session.
+        self.engine_telemetry = fastpath.EngineTelemetry()
         self.registry = MetricsRegistry()
         register_simulator(self.registry, self)
         self._hooks = None
@@ -376,18 +380,32 @@ class TimingSimulator:
                 self, trace, warmup, _OCCUPANCY_SAMPLE_PERIOD
             )
         else:
+            self.engine_telemetry.record(
+                fastpath.ENGINE_REFERENCE,
+                "obs_session" if session is not None else "fastpath_gate_off",
+            )
             now, measured_from, measured_instructions = self._run_reference(
                 trace, warmup, session
             )
 
         measured_cycles = now - measured_from
         snapshot = self.registry.snapshot()
+        # SimResult.metrics is the *model* metric snapshot: identical for
+        # the same (trace, config) no matter which engine executed the
+        # run or how a sweep distributed cells over workers. The engine.*
+        # telemetry gauges are execution-mode metadata (which engine ran,
+        # memo hit rates) and so are excluded here; fleet capture
+        # (repro.obs.fleet.capture_cell) reads the full snapshot instead.
+        metrics = {}
+        if collect_metrics:
+            metrics = {name: value for name, value in snapshot.items()
+                       if not name.startswith("engine.")}
         return SimResult(
             name=trace.name,
             config_label=label or f"{self.config.encryption}+{self.config.integrity}",
             cycles=measured_cycles,
             instructions=measured_instructions,
-            metrics=snapshot if collect_metrics else {},
+            metrics=metrics,
             **sim_result_fields(snapshot, measured_cycles),
         )
 

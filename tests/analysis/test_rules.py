@@ -249,3 +249,33 @@ class TestObs001StatsMutation:
     def test_non_stats_assignment_is_fine(self):
         src = "self.l2.tracer = tracer\n"
         assert not triggers("OBS001", src, "sim/simulator.py")
+
+
+class TestObs002RegistryWrites:
+    def test_flags_ad_hoc_counter_from_engine_code(self):
+        src = "registry.counter('engine.runs')\n"
+        assert triggers("OBS002", src, "fastpath/engine.py")
+
+    def test_flags_bind_on_simulator_registry(self):
+        src = "self.registry.bind('engine.runs', lambda: 1)\n"
+        assert triggers("OBS002", src, "sim/simulator.py")
+
+    def test_flags_scope_registration(self):
+        src = "scope.histogram('lat', (1, 2))\n"
+        assert triggers("OBS002", src, "fastpath/compiled.py")
+
+    def test_flags_attribute_chained_registry(self):
+        src = "sim.registry.gauge('x', 1.0)\n"
+        assert triggers("OBS002", src, "evalx/parallel.py")
+
+    def test_obs_package_is_exempt(self):
+        src = "registry.bind('engine.runs', lambda: 1)\n"
+        assert not triggers("OBS002", src, "obs/adapters.py")
+
+    def test_reading_the_registry_is_fine(self):
+        src = "snap = self.registry.snapshot()\nh = registry.get('x')\n"
+        assert not triggers("OBS002", src, "sim/simulator.py")
+
+    def test_non_registry_receivers_are_fine(self):
+        src = "socket.bind(('', 80))\nconfig.counter('x')\n"
+        assert not triggers("OBS002", src, "evalx/report.py")

@@ -172,7 +172,7 @@ class TestDiskCache:
 class _BrokenPool:
     """A ProcessPoolExecutor stand-in whose every future fails."""
 
-    def __init__(self, max_workers=None):
+    def __init__(self, max_workers=None, initializer=None, initargs=()):
         pass
 
     def __enter__(self):

@@ -78,3 +78,42 @@ class TestDisabledRunLeavesNoResidue:
         # The registry exists (pull-model, zero hot-path cost) but holds
         # no push-model residue a future enabled run could inherit.
         assert sim.registry.read("sim.miss_latency")["count"] == 0
+
+
+class TestEngineTelemetryOverhead:
+    """The engine-selection counters cost O(runs), never O(events)."""
+
+    def test_counters_scale_with_runs_not_events(self):
+        import pytest
+
+        from repro.core import sanitizer
+
+        if sanitizer.active() is not None:
+            pytest.skip("armed sanitizer skips the lowering-memo probe")
+        sim = TimingSimulator(config_named("aise+bmt"))
+        sim.run(resident_trace(8000), label="aise+bmt")
+        t = sim.engine_telemetry
+        # One engine decision, one memo probe — regardless of how many
+        # events the trace carried.
+        assert t.runs == 1
+        assert t.lowering_hits + t.lowering_misses == 1
+
+    def test_record_is_cheap(self):
+        from repro.fastpath import ENGINE_PER_EVENT, EngineTelemetry
+
+        t = EngineTelemetry()
+
+        def loop():
+            for _ in range(ROUNDS):
+                t.record(ENGINE_PER_EVENT, "warm_caches")
+
+        assert best_of(loop) / ROUNDS < CEILING
+
+    def test_disabled_mode_result_carries_no_telemetry(self):
+        # The telemetry lives on the simulator and in fleet captures;
+        # the SimResult (the byte-identity surface) never sees it.
+        sim = TimingSimulator(config_named("aise+bmt"))
+        result = sim.run(resident_trace(4000), label="aise+bmt",
+                         collect_metrics=True)
+        assert not any(name.startswith("engine.") for name in result.metrics)
+        assert "engine.runs.compiled" in sim.registry.snapshot()

@@ -3,6 +3,8 @@
 import io
 import json
 
+import pytest
+
 import repro.obs as obs
 from repro.obs.tracer import (
     Event,
@@ -45,6 +47,28 @@ class TestSinks:
         tracer = EventTracer(TeeSink([a, b]))
         tracer.emit("x")
         assert len(a.events) == len(b.events) == 1
+
+    def test_jsonl_sink_clear_warns_and_keeps_output(self):
+        # Streamed lines cannot be unwritten: clear() must say so loudly
+        # and must not pretend the file shrank.
+        buf = io.StringIO()
+        sink = JsonlSink(buf)
+        tracer = EventTracer(sink)
+        tracer.emit("e", ts=1.0)
+        with pytest.warns(RuntimeWarning, match="cannot be unwritten"):
+            tracer.clear()
+        assert len(buf.getvalue().splitlines()) == 1
+        assert sink.written == 1  # the lifetime counter survives clear()
+
+    def test_retained_sink_clear_is_silent(self):
+        import warnings
+
+        tracer = EventTracer(ListSink())
+        tracer.emit("e")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            tracer.clear()
+        assert tracer.events() == []
 
 
 class TestTracerClock:

@@ -63,6 +63,66 @@ class TestSweepCommand:
     def test_rejects_unknown_benchmark(self, capsys):
         assert main(["sweep", "--benchmarks", "doom3"]) == 2
 
+    def test_live_and_fleet_leave_output_byte_identical(self, tmp_path):
+        import json
+
+        from repro.obs import fleet
+
+        plain = tmp_path / "plain.json"
+        observed = tmp_path / "observed.json"
+        progress = tmp_path / "progress.jsonl"
+        report = tmp_path / "fleet.json"
+        trace = tmp_path / "fleet-trace.json"
+        assert main([*self.ARGS, "--out", str(plain)]) == 0
+        assert main([*self.ARGS, "--live", "--live-jsonl", str(progress),
+                     "--fleet", str(report), "--fleet-chrome", str(trace),
+                     "--out", str(observed)]) == 0
+        assert observed.read_text() == plain.read_text()
+
+        lines = progress.read_text().splitlines()
+        assert fleet.validate_progress_jsonl(lines) == []
+        doc = json.loads(report.read_text())
+        assert fleet.validate_fleet_payload(doc) == []
+        assert doc["total"] == 4
+
+        from repro.obs.chrome import validate_chrome_trace
+
+        assert validate_chrome_trace(json.loads(trace.read_text())) == []
+
+
+class TestMetricsCommand:
+    def fleet_report(self, tmp_path):
+        report = tmp_path / "fleet.json"
+        assert main(["sweep", "--events", "2000", "--benchmarks", "gzip",
+                     "--configs", "base", "aise+bmt",
+                     "--fleet", str(report),
+                     "--out", str(tmp_path / "sweep.json")]) == 0
+        return report
+
+    def test_prometheus_export_validates(self, tmp_path):
+        from repro.obs.prom import validate_prometheus_text
+
+        report = self.fleet_report(tmp_path)
+        out = tmp_path / "metrics.prom"
+        assert main(["metrics", str(report), "--check", "--out", str(out)]) == 0
+        text = out.read_text()
+        assert validate_prometheus_text(text) == []
+        assert "repro_bus_transfers" in text
+
+    def test_json_format(self, tmp_path, capsys):
+        import json
+
+        report = self.fleet_report(tmp_path)
+        capsys.readouterr()
+        assert main(["metrics", str(report), "--format", "json"]) == 0
+        snap = json.loads(capsys.readouterr().out)
+        assert "bus.transfers" in snap
+
+    def test_rejects_unreadable_input(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        assert main(["metrics", str(bad)]) == 2
+
 
 class TestSimulateCommand:
     def test_runs_and_reports(self, capsys):
