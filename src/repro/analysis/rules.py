@@ -27,6 +27,13 @@ SCH001    The functional machine, the timing simulator, and the kernel
           never branch on ``ENC_*``/``INT_*`` scheme constants — scheme
           behavior lives in the :mod:`repro.schemes` descriptors, so a
           new scheme is one new file, not a hunt through if/elif chains.
+SCH002    Merkle tree node state mutates only through the tree's own
+          update/scheduler API (``update``/``flush_pending``/``drain``/
+          ``build``) — no direct writes to a tree's node stores or root
+          register outside :mod:`repro.integrity`. The incremental
+          engine's soundness argument (dirty write-back cache is
+          authoritative; drains are bottom-up) holds only if every
+          mutation goes through it.
 OBS001    Statistics objects mutate only inside their owning component;
           everyone else observes them through the pull-model adapters in
           :mod:`repro.obs.adapters` (and resets via ``reset_stats()``),
@@ -390,6 +397,90 @@ class SchemeConstantDispatchRule(Rule):
                     f"reference to scheme constant {node.id!r}; scheme-"
                     "specific behavior belongs in a repro.schemes descriptor",
                 )
+
+
+# -- SCH002: tree node state mutates only through the tree's own API ---------
+
+
+@register
+class TreeNodeMutationRule(Rule):
+    id = "SCH002"
+    severity = "error"
+    title = "no direct tree node-state mutation outside repro.integrity"
+    rationale = (
+        "The Merkle engines' soundness argument depends on every node "
+        "mutation flowing through the tree's update/scheduler API "
+        "(update, flush_pending, drain, build): the incremental engine "
+        "treats its dirty write-back cache as authoritative and drains "
+        "bottom-up, so a direct write to a node store or the root "
+        "register from outside repro.integrity silently forks the "
+        "tree's view of memory."
+    )
+
+    # The node-state containers of MerkleTree / IncrementalMerkleTree.
+    NODE_STATE = frozenset({"_dirty", "_trusted", "_materialized", "nodes"})
+    # Mutating container methods (set/dict/OrderedDict surface).
+    MUTATORS = frozenset(
+        {"add", "discard", "remove", "pop", "popitem", "clear",
+         "update", "setdefault", "move_to_end"}
+    )
+
+    def applies(self, ctx: FileContext) -> bool:
+        return not ctx.under("integrity")
+
+    @staticmethod
+    def _via_tree(node: ast.AST) -> bool:
+        """True if the attribute chain is rooted in something tree-ish
+        (``tree``, ``self.tree``, ``machine.tree``, ``self._tree``...)."""
+        while isinstance(node, ast.Attribute):
+            if "tree" in node.attr.lower():
+                return True
+            node = node.value
+        return isinstance(node, ast.Name) and "tree" in node.id.lower()
+
+    def _is_node_state(self, expr: ast.AST) -> bool:
+        if isinstance(expr, ast.Subscript):
+            expr = expr.value
+        return (
+            isinstance(expr, ast.Attribute)
+            and expr.attr in self.NODE_STATE
+            and self._via_tree(expr.value)
+        )
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            for target in _assign_targets(node):
+                if self._is_node_state(target):
+                    dotted = _dotted(target) or _dotted(getattr(target, "value", target))
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"direct write to tree node state {dotted or '<expr>'!r}; "
+                        "mutate through the tree's update/flush_pending/drain API",
+                    )
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                func = node.func
+                # tree._dirty.pop(...), machine.tree._materialized.add(...)
+                if func.attr in self.MUTATORS and self._is_node_state(func.value):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"mutating call {func.attr!r} on tree node state; "
+                        "mutate through the tree's update/flush_pending/drain API",
+                    )
+                # tree.root.store(...): the root register is tree state too.
+                elif (
+                    func.attr == "store"
+                    and isinstance(func.value, ast.Attribute)
+                    and func.value.attr == "root"
+                    and self._via_tree(func.value.value)
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "direct root-register store through a tree; the root "
+                        "refreshes only from the tree's own drain/build",
+                    )
 
 
 # -- DET001: determinism of trace-driven runs --------------------------------

@@ -267,9 +267,23 @@ def sweep(
     from .workloads.spec2k import SPEC2K_BENCHMARKS
 
     labels = tuple(configs) if configs else tuple(CONFIGS)
-    unknown = [label for label in labels if label not in CONFIGS]
+    # Canonical labels pass as-is; anything else must be a registry-valid
+    # ``encryption[+integrity]`` preset (e.g. aise+bmt_lazy, or a
+    # registered third-party scheme pair).
+    unknown = []
+    for label in labels:
+        if label in CONFIGS:
+            continue
+        try:
+            MachineConfig.preset(label)
+        except ConfigurationError:
+            unknown.append(label)
     if unknown:
-        raise ValueError(f"unknown configs {unknown}; choose from {', '.join(CONFIGS)}")
+        raise ValueError(
+            f"unknown configs {unknown}; choose a canonical label "
+            f"({', '.join(CONFIGS)}) or any registered "
+            "'<encryption>[+<integrity>]' pair"
+        )
     benches = tuple(benchmarks) if benchmarks else SPEC2K_BENCHMARKS
     unknown = [b for b in benches if b not in SPEC2K_BENCHMARKS]
     if unknown:

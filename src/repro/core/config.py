@@ -32,8 +32,9 @@ INT_NONE = "none"
 INT_MAC = "mac_only"
 INT_MT = "merkle"
 INT_BMT = "bonsai"
+INT_BMT_LAZY = "bmt_lazy"  # BMT on the incremental (lazy, deferred) tree engine
 INT_LOGHASH = "loghash"
-INTEGRITY_SCHEMES = (INT_NONE, INT_MAC, INT_MT, INT_BMT, INT_LOGHASH)
+INTEGRITY_SCHEMES = (INT_NONE, INT_MAC, INT_MT, INT_BMT, INT_BMT_LAZY, INT_LOGHASH)
 
 
 @dataclass(frozen=True)

@@ -238,9 +238,14 @@ class SecureMemorySystem:
         the root from NVRAM rather than recomputing it, so any tampering
         of the sleeping image is caught on first use.
         """
+        if self.tree is not None:
+            # A deferred tree's pending queue is volatile: flush it so the
+            # persisted root covers what the sleeping image actually holds.
+            self.tree.flush_pending()
         nonvolatile = {
             "gpc": self.gpc.save_state(),
             "root": self.tree.root.value if self.tree is not None else None,
+            "tree_state": self.tree.persist_state() if self.tree is not None else None,
             "config": (self.config.encryption, self.config.integrity, self.config.mac_bits,
                        self.config.physical_bytes, self.config.swap_bytes),
         }
@@ -265,7 +270,11 @@ class SecureMemorySystem:
         machine.memory.restore_blocks(memory_image)
         machine.gpc.restore_state(nonvolatile["gpc"])
         if machine.tree is not None:
-            machine.tree.root.store(nonvolatile["root"])
+            machine.tree.restore_root(nonvolatile["root"])
+            # A lazy tree's materialization set is part of the sealed
+            # state: without it a resumed tree would re-measure (and
+            # silently bless) leaves tampered while powered down.
+            machine.tree.restore_state(nonvolatile.get("tree_state"))
         machine._booted = True
         return machine
 
@@ -375,6 +384,12 @@ class SecureMemorySystem:
         counter_lo = IMAGE_HEADER + PAGE_SIZE
         counter_raw = image[counter_lo : counter_lo + self.image_counter_blocks * BLOCK_SIZE]
         self.enc_scheme.install_counter_run(self, frame_index, counter_raw)
+        if self.tree is not None:
+            # A deferred tree must anchor the freshly installed counter
+            # run before the page's data MACs can ever verify against it.
+            run = self.enc_scheme.counter_run_range(self, frame_index)
+            if run is not None:
+                self.tree.flush_pending(run[0], run[1])
         for block in range(BLOCKS_PER_PAGE):
             paddr = page_base + block * BLOCK_SIZE
             cipher = image[offset : offset + BLOCK_SIZE]

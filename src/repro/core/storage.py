@@ -32,6 +32,7 @@ from .config import (
     ENC_GLOBAL64,
     ENC_NONE,
     INT_BMT,
+    INT_BMT_LAZY,
     INT_MAC,
     INT_MT,
     INT_NONE,
@@ -125,7 +126,9 @@ def storage_breakdown(
     elif integrity == INT_MT:
         merkle = tree_bytes(data_bytes + counters, mac_bytes)
         page_roots = swap_bytes / PAGE_SIZE * mac_bytes
-    elif integrity == INT_BMT:
+    elif integrity in (INT_BMT, INT_BMT_LAZY):
+        # The lazy engine reserves the same node region; it just fills
+        # it on demand, so the Table 2 breakdown is identical.
         per_block_macs = data_bytes * mac_bytes / BLOCK_SIZE
         merkle = per_block_macs + tree_bytes(counters, mac_bytes)
         page_roots = swap_bytes / PAGE_SIZE * mac_bytes

@@ -110,7 +110,11 @@ def timing_modules() -> tuple[str, ...]:
     The static core above, plus the whole :mod:`repro.schemes` package
     (walked, not hard-coded), plus the defining module of every
     *registered* scheme descriptor — so third-party schemes registered
-    from outside the package are fingerprinted too.
+    from outside the package are fingerprinted too — plus each
+    descriptor's declared tree-engine modules
+    (:meth:`~repro.schemes.base.IntegrityScheme.tree_modules`), so a
+    cached cell from one tree implementation is never served after
+    another implementation (or an edit to one) changes the model.
     """
     import pkgutil
 
@@ -128,7 +132,9 @@ def timing_modules() -> tuple[str, ...]:
     names.update(
         info.name for info in pkgutil.iter_modules(fastpath.__path__, "repro.fastpath.")
     )
-    names.update(type(scheme).__module__ for scheme in schemes.registered_schemes())
+    for scheme in schemes.registered_schemes():
+        names.add(type(scheme).__module__)
+        names.update(getattr(scheme, "tree_modules", tuple)())
     return tuple(sorted(names))
 
 

@@ -27,8 +27,17 @@ CONFIGS: dict[str, MachineConfig] = {
 
 
 def config_named(label: str, mac_bits: int | None = None) -> MachineConfig:
-    """Resolve a registry label (optionally with a MAC-size override)."""
-    config = CONFIGS[label]
+    """Resolve a registry label (optionally with a MAC-size override).
+
+    The canonical labels resolve through :data:`CONFIGS`; any other
+    registry-valid ``encryption[+integrity]`` pair — e.g. a registered
+    third-party scheme, or ``aise+bmt_lazy`` — resolves through
+    :meth:`MachineConfig.preset`, so explicitly requested sweeps are not
+    limited to the figure-6 grid (whose default label set, and the
+    committed golden, stay exactly :data:`CONFIGS`)."""
+    config = CONFIGS.get(label)
+    if config is None:
+        config = MachineConfig.preset(label)
     if mac_bits is not None and mac_bits != config.mac_bits:
         from dataclasses import replace
 

@@ -57,6 +57,7 @@ FALLBACK_REASONS = (
     "sanitizer_armed",    # per-event: reference helpers carry its checks
     "warm_caches",        # per-event: the lowering replays onto cold caches only
     "empty_trace",        # per-event: nothing to replay
+    "deferred_updates",   # per-event: reference helpers own the pending-walk queue
 )
 
 

@@ -533,6 +533,10 @@ def ineligibility(sim, trace) -> str | None:
     """
     if sanitizer.active() is not None:
         return "sanitizer_armed"
+    if sim._deferred_updates:
+        # The lowering records synchronous tree-walk traffic; a deferred
+        # scheme's pending-walk queue lives in the reference helpers.
+        return "deferred_updates"
     node_cache = sim.node_cache
     if (sim.l2.occupied_lines or sim.counter_cache.occupied_lines
             or (node_cache is not None and node_cache.occupied_lines)):

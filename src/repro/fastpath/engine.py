@@ -142,14 +142,16 @@ def _make_miss_engine(sim):
     reference helpers; the committed figure-6 golden pins that.
 
     Returns None when a :mod:`repro.core.sanitizer` config is armed
-    (the reference helpers carry the sanitizer's per-insert checks) —
-    the caller then falls back to ``sim._miss``.
+    (the reference helpers carry the sanitizer's per-insert checks) or
+    the scheme defers tree updates (the reference helpers own the
+    pending-walk queue the end-of-run drain settles) — the caller then
+    falls back to ``sim._miss``.
     """
     from ..core import sanitizer
     from ..mem.cache import COUNTER, DATA, MAC, MERKLE
     from ..mem.layout import BLOCK_SIZE
 
-    if sanitizer.active() is not None:
+    if sanitizer.active() is not None or sim._deferred_updates:
         return None
 
     bus = sim.bus

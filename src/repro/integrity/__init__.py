@@ -6,19 +6,26 @@
   counter-bound per-block MACs for data.
 * :class:`LogHashIntegrity` — deferred log-hash baseline.
 * :class:`PageRootDirectory` — swap-extension of Merkle protection.
+
+Two functional tree engines share the :class:`MerkleTreeBase` interface:
+the eager :class:`MerkleTree` and the lazy, deferred-update
+:class:`IncrementalMerkleTree`.
 """
 
 from .bonsai import BonsaiMerkleIntegrity, StandardMerkleIntegrity
 from .geometry import NodeRef, TreeGeometry
+from .incremental import IncrementalMerkleTree
 from .loghash import LogHashIntegrity
 from .macs import MacOnlyIntegrity, MacStore
-from .merkle import MerkleTree, RootRegister
+from .merkle import MerkleTree, MerkleTreeBase, RootRegister
 from .pageroot import PageRootDirectory
 
 __all__ = [
     "TreeGeometry",
     "NodeRef",
+    "MerkleTreeBase",
     "MerkleTree",
+    "IncrementalMerkleTree",
     "RootRegister",
     "MacStore",
     "MacOnlyIntegrity",

@@ -1,0 +1,352 @@
+"""Incremental Merkle tree: lazy subtrees plus a deferred-update scheduler.
+
+The eager :class:`~repro.integrity.merkle.MerkleTree` materializes every
+node at ``build()`` and walks to the root on every update — fine for the
+paper's working-set sizes, prohibitive for multi-GB covered ranges where
+a workload only ever touches a sparse sliver. This implementation follows
+the deferred-maintenance direction of Freij et al. (*Streamlining
+Integrity Tree Updates for Secure Persistent Non-Volatile Memory*):
+
+Lazy subtrees
+    ``build()`` is O(1): it anchors the root over the deterministic
+    zero-fill image and materializes nothing. An *unmaterialized* node is
+    definitionally the zero block — the on-chip materialization set (the
+    complement of what has been written) vouches for it, so it costs no
+    memory read and no MAC check. A level-1 node is *adopted* on first
+    touch: its MAC slots are computed from the covered blocks' current
+    memory content (lazy measurement, the same trust step as an eager
+    boot-time ``build()``, taken per-subtree on demand).
+
+Scheduled, coalesced updates
+    ``update()`` touches exactly one node: the leaf's parent is patched
+    in an on-chip *dirty set* — a write-back cache of node blocks whose
+    current bytes have not reached memory. Re-hashing of the levels above
+    is deferred to :meth:`drain`, which walks the dirty set bottom-up:
+    each dirty node is written back once, its MAC patched into its parent
+    (dirtying it in turn), and the root register is refreshed once per
+    batch when the top node lands. Overlapping dirty paths therefore
+    merge — ``arity`` leaf updates under one parent cost one node write
+    and one parent patch instead of ``arity`` full walks.
+
+Soundness through the half-built tree
+    Verification resolves nodes dirty-first: a dirty node's bytes are
+    on-chip and trusted outright; a clean materialized node is fetched
+    from memory and checked against its parent's *effective* (dirty or
+    verified) bytes. The invariant is that a clean child's MAC slot in
+    its parent's effective bytes always matches the child's memory
+    content, so any tamper after a block was first measured raises
+    :class:`IntegrityError` at any point mid-amortization, with any
+    partial drain in between. What the lazy tree deliberately does not
+    detect is tampering with blocks *never yet touched* — they have not
+    been measured, exactly as pre-boot memory is unmeasured for the
+    eager tree.
+
+After ``drain(full=True)`` — adopt every level-1 node, then drain — the
+tree is node-for-node identical to an eager build over the same memory;
+property tests pin that root equality.
+"""
+
+from __future__ import annotations
+
+from ..mem.layout import BLOCK_SIZE, block_address
+from ..core.errors import IntegrityError
+from .merkle import MerkleTreeBase
+
+
+class IncrementalMerkleTree(MerkleTreeBase):
+    """Lazy-materialization tree with a coalescing update scheduler.
+
+    ``coalesce=True`` (the default) queues dirty paths and merges them at
+    the next :meth:`drain` / :meth:`flush_pending`; ``coalesce=False``
+    keeps the lazy subtrees but drains each update's path as soon as it
+    is scheduled, refreshing the root per update like the eager tree.
+    """
+
+    def __init__(self, memory, geometry, mac, trusted_capacity=None, coalesce=True):
+        super().__init__(memory, geometry, mac, trusted_capacity=trusted_capacity)
+        self.coalesce = coalesce
+        # On-chip write-back cache: (level, index) -> current node bytes
+        # not yet written to memory. Authoritative over memory and over
+        # the clean trusted cache.
+        self._dirty: dict[tuple[int, int], bytes] = {}
+        # Nodes whose bytes have ever been written to memory. Everything
+        # else is definitionally the zero block (level >= 2) or awaits
+        # adoption (level 1). Persisted across hibernation.
+        self._materialized: set[tuple[int, int]] = set()
+        # Statistics.
+        self.scheduled_updates = 0
+        self.coalesced_updates = 0  # updates absorbed into an already-dirty node
+        self.drained_nodes = 0  # node blocks written back by drains
+        self.drains = 0  # drain batches that wrote at least one node
+        self.adoptions = 0  # level-1 nodes materialized on first touch
+
+    # -- construction ----------------------------------------------------------
+
+    def build(self) -> None:
+        """Anchor the root over the zero image — O(1), nothing materialized.
+
+        Covered memory and the node region start zero-filled (the
+        :class:`~repro.mem.dram.BlockMemory` is sparse), so the root over
+        the all-zero top node is consistent with what memory holds;
+        subtrees earn real content on first touch.
+        """
+        self._dirty.clear()
+        self._materialized.clear()
+        self._trusted.clear()
+        self._root_mac_memo = None
+        self.root.store(self._mac_top(bytes(BLOCK_SIZE)))
+
+    # -- node resolution -------------------------------------------------------
+
+    def _node_address(self, level: int, index: int) -> int:
+        return self.geometry.level_bases[level - 1] + index * BLOCK_SIZE
+
+    def _adopt(self, index: int) -> bytes:
+        """Materialize level-1 node ``index`` from current leaf memory.
+
+        This is the lazy-measurement step: the subtree's covered blocks
+        are measured now, exactly as an eager ``build()`` would have
+        measured them at boot. The fresh node enters the dirty set (its
+        bytes are on-chip only until the next drain)."""
+        geometry = self.geometry
+        mac_bytes = self.mac.mac_bytes
+        first, count = geometry.node_child_range(1, index)
+        node = bytearray(BLOCK_SIZE)
+        for slot in range(count):
+            child = first + slot
+            leaf = self.memory.read_block(geometry.covered_start + child * BLOCK_SIZE)
+            node[slot * mac_bytes : (slot + 1) * mac_bytes] = self._mac_child(leaf, 0, child)
+        node_bytes = bytes(node)
+        self.adoptions += 1
+        self._set_dirty(1, index, node_bytes)
+        return node_bytes
+
+    def _set_dirty(self, level: int, index: int, node_bytes: bytes) -> None:
+        """Install a node's current bytes in the on-chip dirty set.
+
+        Any clean trusted copy of the same node is stale and dropped —
+        the dirty bytes are now the node's only truth."""
+        self._dirty[(level, index)] = node_bytes
+        self._trusted.pop(self._node_address(level, index), None)
+
+    def _trusted_node(self, level: int, index: int) -> bytes:
+        """Current *effective* bytes of node (level, index), trusted.
+
+        Resolution order: dirty set (on-chip, trusted outright) → clean
+        trusted cache → unmaterialized (zero block at level >= 2, adopt
+        at level 1) → memory fetch verified against the parent's
+        effective bytes (or the root register at the top)."""
+        key = (level, index)
+        dirty = self._dirty.get(key)
+        if dirty is not None:
+            self.trusted_hits += 1
+            return dirty
+        address = self._node_address(level, index)
+        cached = self._trusted.get(address)
+        if cached is not None:
+            self.trusted_hits += 1
+            self._trusted.move_to_end(address)
+            return cached
+        if key not in self._materialized:
+            if level == 1:
+                return self._adopt(index)
+            # Unbuilt subtree: the deterministic zero block, vouched for
+            # by the on-chip materialization set — no memory read.
+            return bytes(BLOCK_SIZE)
+        raw = self.memory.read_block(address)
+        self.node_fetches += 1
+        if level == self.geometry.levels:
+            if self.root.value is None:
+                raise IntegrityError("tree has no root; call build() first", kind="root")
+            if self._mac_top(raw) != self.root.value:
+                raise IntegrityError(
+                    f"Merkle root mismatch for top node at {address:#x}",
+                    address=address,
+                    kind="root",
+                )
+        else:
+            parent = self._trusted_node(level + 1, index // self.geometry.arity)
+            slot = index % self.geometry.arity
+            mac_bytes = self.mac.mac_bytes
+            stored = parent[slot * mac_bytes : (slot + 1) * mac_bytes]
+            if self._mac_child(raw, level, index) != stored:
+                raise IntegrityError(
+                    f"Merkle node mismatch at level {level}, index {index}",
+                    address=address,
+                    kind="node",
+                )
+        self._trust(address, raw)
+        return raw
+
+    # -- verification ----------------------------------------------------------
+
+    def verify(self, address: int, data: bytes | None = None) -> None:
+        """Verify the covered block at ``address`` against the effective tree.
+
+        The parent resolves through the dirty set first, so verification
+        is sound at any point mid-amortization — queued updates count."""
+        self.verifications += 1
+        geometry = self.geometry
+        index = geometry.child_index(address)
+        raw = data if data is not None else self.memory.read_block(block_address(address))
+        parent = self._trusted_node(1, index // geometry.arity)
+        slot = index % geometry.arity
+        mac_bytes = self.mac.mac_bytes
+        stored = parent[slot * mac_bytes : (slot + 1) * mac_bytes]
+        if self._mac_child(raw, 0, index) != stored:
+            raise IntegrityError(
+                f"Merkle leaf mismatch for block at {address:#x}",
+                address=address,
+                kind="leaf",
+            )
+
+    # -- update scheduling -----------------------------------------------------
+
+    def update(self, address: int, new_data: bytes) -> None:
+        """Schedule re-anchoring of the covered block at ``address``.
+
+        ``new_data`` must already be the block's bytes in memory. Only
+        the leaf's parent is touched: its slot is patched in the dirty
+        set; re-hashing the levels above waits for the next drain. In
+        non-coalescing mode the path drains immediately."""
+        geometry = self.geometry
+        index = geometry.child_index(address)
+        parent_index = index // geometry.arity
+        # Dirty-by-a-previous-update is what coalescing absorbs; resolving
+        # the parent below may adopt it (dirtying it as a side effect), so
+        # snapshot first.
+        was_dirty = (1, parent_index) in self._dirty
+        parent = bytearray(self._trusted_node(1, parent_index))
+        slot = index % geometry.arity
+        mac_bytes = self.mac.mac_bytes
+        parent[slot * mac_bytes : (slot + 1) * mac_bytes] = self._mac_child(new_data, 0, index)
+        self.scheduled_updates += 1
+        if was_dirty:
+            self.coalesced_updates += 1
+        self._set_dirty(1, parent_index, bytes(parent))
+        if not self.coalesce:
+            self.flush_pending(block_address(address), BLOCK_SIZE)
+
+    # -- draining --------------------------------------------------------------
+
+    def _drain_dirty(self, targets: set[tuple[int, int]] | None, budget: int | None) -> int:
+        """Write back dirty nodes bottom-up, optionally limited to
+        ``targets`` and/or a node ``budget``. Returns nodes written.
+
+        Bottom-up order makes a budget cut sound: a written child's MAC
+        lands in its (still dirty, on-chip) parent before anything above
+        is considered, so the invariant — clean children match their
+        parent's effective slot — holds at every prefix."""
+        geometry = self.geometry
+        arity = geometry.arity
+        mac_bytes = self.mac.mac_bytes
+        levels = geometry.levels
+        written = 0
+        for level in range(1, levels + 1):
+            keys = sorted(key for key in self._dirty if key[0] == level)
+            if targets is not None:
+                keys = [key for key in keys if key in targets]
+            for key in keys:
+                if budget is not None and written >= budget:
+                    if written:
+                        self.drains += 1
+                    return written
+                node_bytes = self._dirty.pop(key)
+                _, index = key
+                self.memory.write_block(self._node_address(level, index), node_bytes)
+                self._materialized.add(key)
+                self._trust(self._node_address(level, index), node_bytes)
+                written += 1
+                self.drained_nodes += 1
+                if level == levels:
+                    # One root refresh per batch: the single top node.
+                    self.root.store(self._mac_top(node_bytes))
+                    self._root_mac_memo = None
+                else:
+                    parent_index = index // arity
+                    parent = bytearray(self._trusted_node(level + 1, parent_index))
+                    slot = index % arity
+                    parent[slot * mac_bytes : (slot + 1) * mac_bytes] = self._mac_child(
+                        node_bytes, level, index
+                    )
+                    self._set_dirty(level + 1, parent_index, bytes(parent))
+        if written:
+            self.drains += 1
+        return written
+
+    def drain(self, budget: int | None = None, full: bool = False) -> int:
+        """Apply up to ``budget`` pending node writes (all, if None).
+
+        ``full=True`` first adopts every level-1 node, then drains
+        everything (``budget`` is ignored): the finished tree is
+        node-for-node identical to an eager build over the same memory.
+        """
+        if full:
+            for index in range(self.geometry.level_counts[0]):
+                key = (1, index)
+                if key not in self._materialized and key not in self._dirty:
+                    self._adopt(index)
+            budget = None
+        return self._drain_dirty(None, budget)
+
+    def flush_pending(self, start: int | None = None, length: int | None = None) -> int:
+        """Drain the dirty nodes on the paths covering [start, start+length).
+
+        Ancestors of the range's leaves are included up to the root, so
+        the root register covers the flushed region afterwards. With no
+        arguments, drains everything."""
+        if start is None:
+            return self._drain_dirty(None, None)
+        geometry = self.geometry
+        span = BLOCK_SIZE if length is None else length
+        targets: set[tuple[int, int]] = set()
+        for addr in range(block_address(start), start + span, BLOCK_SIZE):
+            if not geometry.covers(addr):
+                continue
+            for ref in geometry.walk(addr):
+                targets.add((ref.level, ref.index))
+        if not targets:
+            return 0
+        return self._drain_dirty(targets, None)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def clear_volatile(self) -> None:
+        """Flush the write-back queue, then drop the clean trusted copies.
+
+        The dirty set is volatile on-chip state holding bytes memory does
+        not: a power event must write it back (like any dirty cache)
+        before the trusted copies can drop. The root register and the
+        materialization set persist, as for the eager tree's root."""
+        self._drain_dirty(None, None)
+        super().clear_volatile()
+
+    def persist_state(self):
+        """Non-volatile state for hibernation: the materialization set.
+
+        Without it a resumed tree would re-adopt already-measured leaves,
+        silently blessing any tampering done while powered down — the
+        hibernation attack the paper's design detects. The machine calls
+        :meth:`flush_pending` first, so the dirty set is empty here."""
+        return {"materialized": sorted(self._materialized)}
+
+    def restore_state(self, state) -> None:
+        if state:
+            self._materialized = {(level, index) for level, index in state["materialized"]}
+
+    # -- gauges ----------------------------------------------------------------
+
+    def pending_updates(self) -> int:
+        """Dirty node blocks queued on-chip, not yet written to memory."""
+        return len(self._dirty)
+
+    def materialized_fraction(self) -> float:
+        """Fraction of the tree's node blocks materialized in memory."""
+        total = sum(self.geometry.level_counts)
+        return len(self._materialized) / total if total else 1.0
+
+    def coalesce_ratio(self) -> float:
+        """Scheduled updates absorbed into an already-dirty node / total."""
+        if not self.scheduled_updates:
+            return 0.0
+        return self.coalesced_updates / self.scheduled_updates

@@ -1,4 +1,4 @@
-"""Functional Merkle tree over a region of (attackable) physical memory.
+"""Functional Merkle trees over a region of (attackable) physical memory.
 
 This is the real thing, not a timing abstraction: node blocks live in the
 :class:`~repro.mem.dram.BlockMemory` where an adversary can flip them, the
@@ -6,9 +6,24 @@ root MAC lives in an on-chip register, and every read of a covered block
 verifies a MAC chain up to the first *trusted on-chip copy* of a node (the
 caching optimization of [Gassend et al. HPCA'03] that the paper builds on).
 
-Trusted copies are write-through: updates recompute the MAC chain, store
-new node bytes both on-chip and in memory, and finally refresh the root
-register. Evicting a trusted copy is therefore always safe.
+Two implementations share the :class:`MerkleTreeBase` interface:
+
+* :class:`MerkleTree` (this module) — the eager tree: ``build()``
+  materializes every node up front and each ``update()`` walks to the
+  root synchronously, write-through.
+* :class:`~repro.integrity.incremental.IncrementalMerkleTree` — lazy
+  subtree instantiation plus a scheduler that queues dirty paths and
+  coalesces them into batched root refreshes (the Freij et al. style of
+  deferred tree maintenance; see that module's docstring).
+
+Trusted copies are write-through here: updates recompute the MAC chain,
+store new node bytes both on-chip and in memory, and finally refresh the
+root register. Evicting a trusted copy is therefore always safe.
+
+Node blocks are mutated only through the tree's own update/scheduler API
+— the SCH002 lint rule holds the rest of the repository to that (no
+direct node-store writes outside ``repro.integrity``), so every path
+that can move the root is auditable in this package.
 """
 
 from __future__ import annotations
@@ -34,8 +49,17 @@ class RootRegister:
         self.updates += 1
 
 
-class MerkleTree:
-    """A Merkle tree with on-chip node caching over one covered range."""
+class MerkleTreeBase:
+    """The tree interface: shared MAC helpers, trusted-copy cache, root.
+
+    Subclasses implement :meth:`build`, :meth:`verify`, :meth:`update`
+    and :meth:`_trusted_node`. The deferred-update surface
+    (:meth:`flush_pending`, :meth:`drain`, :meth:`pending_updates`, the
+    materialization/coalescing statistics, and the hibernation state
+    hooks) defaults to the eager tree's trivial answers, so callers —
+    the machine, the swap path, the obs adapters — can treat every tree
+    uniformly without knowing which implementation they hold.
+    """
 
     def __init__(
         self,
@@ -50,6 +74,10 @@ class MerkleTree:
         self.root = RootRegister()
         self._trusted: OrderedDict[int, bytes] = OrderedDict()
         self._trusted_capacity = trusted_capacity
+        # verify_root() memo: (top-node raw bytes, MAC over them). Keyed
+        # on the bytes themselves, so a stale entry is impossible — any
+        # change to the top node misses and recomputes.
+        self._root_mac_memo: tuple[bytes, bytes] | None = None
         # Statistics.
         self.verifications = 0
         self.node_fetches = 0  # node blocks read from memory (not on-chip)
@@ -94,6 +122,9 @@ class MerkleTree:
 
         Used when a page is swapped out: future accesses to the reused
         frame must re-verify through memory (paper section 5.1, step 3).
+        Only the clean on-chip copies are dropped — a deferred tree's
+        pending (dirty, authoritative) state is owned by its scheduler
+        and survives until drained.
         """
         geometry = self.geometry
         dropped = set()
@@ -114,6 +145,114 @@ class MerkleTree:
         for address in dropped:
             self._trusted.pop(address, None)
         return len(dropped)
+
+    # -- spot checks -----------------------------------------------------------
+
+    def verify_root(self) -> None:
+        """Check the top node in memory still matches the root register.
+
+        One block read plus (at most) one MAC — cheap enough for the
+        runtime sanitizer to call periodically. Reads via ``raw_read`` so
+        the check itself neither consumes pending bus intercepts nor
+        shows up in the access log (it models on-chip logic, not a bus
+        transaction). The MAC over the top node is memoized on the raw
+        bytes themselves: repeated spot checks between updates cost no
+        MAC computation, and any change to the node (an update's rewrite
+        or an adversary's flip) misses the memo and recomputes.
+        """
+        if self.root.value is None:
+            raise IntegrityError("tree has no root; call build() first", kind="root")
+        top_address = self.geometry.level_bases[-1]
+        raw = self.memory.raw_read(top_address)
+        memo = self._root_mac_memo
+        if memo is not None and memo[0] == raw:
+            mac = memo[1]
+        else:
+            mac = self._mac_top(raw)
+            self._root_mac_memo = (raw, mac)
+        if mac != self.root.value:
+            raise IntegrityError(
+                f"root register does not match top node at {top_address:#x}",
+                address=top_address,
+                kind="root",
+            )
+
+    # -- the tree contract -----------------------------------------------------
+
+    def build(self) -> None:
+        """(Re)establish the root over current memory (secure boot)."""
+        raise NotImplementedError
+
+    def verify(self, address: int, data: bytes | None = None) -> None:
+        """Verify the covered block at ``address``; raises IntegrityError."""
+        raise NotImplementedError
+
+    def update(self, address: int, new_data: bytes) -> None:
+        """Re-anchor the tree after the covered block at ``address`` changed."""
+        raise NotImplementedError
+
+    def _trusted_node(self, level: int, index: int) -> bytes:
+        """Return verified bytes of node (level, index)."""
+        raise NotImplementedError
+
+    # -- deferred-update surface (trivial for the eager tree) ------------------
+
+    def pending_updates(self) -> int:
+        """Scheduled node updates not yet applied to memory (eager: none)."""
+        return 0
+
+    def flush_pending(self, start: int | None = None, length: int | None = None) -> int:
+        """Apply pending updates for [start, start+length) — or all of
+        them — to memory, refreshing the root. Returns nodes written.
+
+        The swap path calls this when a page's counter run is installed
+        (its fresh metadata must be anchored before the image's page root
+        can ever verify against it) and the machine calls the no-argument
+        form before hibernating (the pending queue is volatile; the
+        persisted root must cover what memory holds).
+        """
+        return 0
+
+    def drain(self, budget: int | None = None, full: bool = False) -> int:
+        """Apply up to ``budget`` scheduled node updates (all, if None).
+
+        ``full=True`` additionally materializes every lazy subtree first,
+        making the finished tree node-for-node identical to an eager
+        build over the same memory — the eager-vs-incremental root
+        equality invariant the property tests pin.
+        """
+        return 0
+
+    def materialized_fraction(self) -> float:
+        """Fraction of tree nodes materialized in memory (eager: all)."""
+        return 1.0
+
+    def coalesce_ratio(self) -> float:
+        """Scheduled updates absorbed by coalescing / total scheduled."""
+        return 0.0
+
+    def persist_state(self):
+        """Small non-volatile tree state for hibernation (eager: none)."""
+        return None
+
+    def restore_state(self, state) -> None:
+        """Restore :meth:`persist_state` output after resume."""
+        return None
+
+    def restore_root(self, mac: bytes) -> None:
+        """Reload the sealed root register after hibernation resume.
+
+        The one sanctioned root write from outside the tree: the value
+        comes from the machine's NVRAM capsule, not from a recompute, so
+        it goes through this method rather than ``root.store`` directly
+        (the SCH002 lint rule holds callers to that).
+        """
+        self.root.store(mac)
+        self._root_mac_memo = None
+
+
+class MerkleTree(MerkleTreeBase):
+    """The eager tree: every node materialized, write-through updates."""
 
     # -- construction ----------------------------------------------------------
 
@@ -146,27 +285,7 @@ class MerkleTree:
             child_reader = lambda i, blocks=next_reader_blocks: blocks[i]
         self.root.store(self._mac_top(child_reader(0)))
         self._trusted.clear()
-
-    # -- spot checks -----------------------------------------------------------
-
-    def verify_root(self) -> None:
-        """Check the top node in memory still matches the root register.
-
-        One block read plus one MAC — cheap enough for the runtime
-        sanitizer to call periodically. Reads via ``raw_read`` so the
-        check itself neither consumes pending bus intercepts nor shows up
-        in the access log (it models on-chip logic, not a bus transaction).
-        """
-        if self.root.value is None:
-            raise IntegrityError("tree has no root; call build() first", kind="root")
-        top_address = self.geometry.level_bases[-1]
-        raw = self.memory.raw_read(top_address)
-        if self._mac_top(raw) != self.root.value:
-            raise IntegrityError(
-                f"root register does not match top node at {top_address:#x}",
-                address=top_address,
-                kind="root",
-            )
+        self._root_mac_memo = None
 
     # -- verification ------------------------------------------------------------
 

@@ -64,6 +64,13 @@ def register_simulator(registry, sim):
     scope.bind("exposed_decrypt_cycles", lambda: sim.exposed_cycles)
     scope.bind("counter_accesses", lambda: sim.counter_accesses)
     scope.bind("counter_misses", lambda: sim.counter_misses)
+    if sim._deferred_updates:
+        # Deferred-maintenance gauges only when the scheme's policy
+        # actually defers — eager schemes keep their snapshot shape.
+        scope.bind("tree_deferred_walks", lambda: sim.tree_deferred)
+        scope.bind("tree_drains", lambda: sim.tree_drains)
+        scope.bind("tree_coalesced_walks", lambda: sim.tree_coalesced)
+        scope.bind("tree_pending_walks", lambda: len(sim._pending_walks))
     registry.histogram("sim.miss_latency", MISS_LATENCY_EDGES)
     register_cache(registry, sim.l2, "l2")
     register_cache(registry, sim.counter_cache, "counter_cache")
@@ -159,6 +166,8 @@ def register_machine(registry, machine, prefix: str = "machine"):
     if hasattr(machine.integrity, "verifications"):
         scope.bind("verifications", lambda: machine.integrity.verifications)
     for name, getter in machine.enc_scheme.engine_stats(machine.encryption).items():
+        scope.bind(name, getter)
+    for name, getter in machine.integ_scheme.engine_stats(machine.integrity).items():
         scope.bind(name, getter)
     if getattr(machine.encryption, "pad_cache", None) is not None:
         register_pad_cache(registry, machine.encryption, f"{prefix}.pad_cache")

@@ -13,6 +13,7 @@ invalidates stale on-disk results — see ``repro.evalx.parallel``).
 
 from __future__ import annotations
 
+import importlib
 import inspect
 import os
 
@@ -103,6 +104,13 @@ def scheme_source_files() -> tuple[str, ...]:
             source = None
         if source:
             files.add(os.path.abspath(source))
+        # Tree-engine sources too: a scheme's results depend on which
+        # functional tree its machines run, so cached cells from one tree
+        # implementation must never be served after the other changes.
+        for module_name in getattr(scheme, "tree_modules", tuple)():
+            module = importlib.import_module(module_name)
+            if getattr(module, "__file__", None):
+                files.add(os.path.abspath(module.__file__))
     return tuple(sorted(files))
 
 
@@ -110,10 +118,11 @@ def scheme_source_files() -> tuple[str, ...]:
 # the descriptor modules import the classes above through this package).
 from .encryption import BUILTIN_ENCRYPTION_SCHEMES  # noqa: E402
 from .integrity import BUILTIN_INTEGRITY_SCHEMES  # noqa: E402
+from .bmt_lazy import BUILTIN_LAZY_SCHEMES  # noqa: E402
 
 for _scheme in BUILTIN_ENCRYPTION_SCHEMES:
     register_encryption(_scheme)
-for _scheme in BUILTIN_INTEGRITY_SCHEMES:
+for _scheme in BUILTIN_INTEGRITY_SCHEMES + BUILTIN_LAZY_SCHEMES:
     register_integrity(_scheme)
 del _scheme
 

@@ -20,8 +20,26 @@ these bases in one module and registering the instance; see
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from ..integrity.geometry import TreeGeometry
 from ..mem.layout import BLOCK_SIZE, BLOCKS_PER_PAGE, round_to_blocks
+
+
+@dataclass(frozen=True)
+class UpdatePolicy:
+    """How an integrity scheme's tree applies updates, timing-side.
+
+    ``deferred=False`` (every eager scheme) walks the tree synchronously
+    on each counter writeback. ``deferred=True`` queues the walk and
+    drains the queue once it reaches ``batch`` entries (and at end of
+    run); ``coalesce=True`` merges queued walks that share a counter
+    block before draining, so overlapping dirty paths cost one walk.
+    """
+
+    deferred: bool = False
+    batch: int = 8
+    coalesce: bool = True
 
 
 class EncryptionScheme:
@@ -81,6 +99,16 @@ class EncryptionScheme:
         """Drop on-chip per-page state for a vacated frame (section 5.1)."""
         return None
 
+    def counter_run_range(self, machine, frame_index: int) -> tuple[int, int] | None:
+        """(start, length) of the page's counter run in physical memory.
+
+        The swap path flushes a deferred tree's pending updates over this
+        range after :meth:`install_counter_run` — the freshly installed
+        metadata must be anchored before the page image can verify.
+        None when the scheme keeps no counters.
+        """
+        return None
+
     def engine_stats(self, engine) -> dict:
         """Pull-model stat bindings for :func:`repro.obs.adapters.register_machine`:
         {name: zero-arg callable} over the live engine."""
@@ -114,6 +142,10 @@ class PagedCounterScheme(EncryptionScheme):
 
     def drop_page_state(self, machine, frame_index: int) -> None:
         machine.encryption.drop_cached_counters(frame_index)
+
+    def counter_run_range(self, machine, frame_index: int) -> tuple[int, int] | None:
+        page_start = frame_index * BLOCKS_PER_PAGE * BLOCK_SIZE
+        return machine.encryption.counter_block_address(page_start), BLOCK_SIZE
 
 
 class FlatCounterScheme(EncryptionScheme):
@@ -159,6 +191,10 @@ class FlatCounterScheme(EncryptionScheme):
             machine.memory.write_block(address, block)
             machine.integrity.update_metadata(address, block)
 
+    def counter_run_range(self, machine, frame_index: int) -> tuple[int, int] | None:
+        base = self.page_counter_base(machine, frame_index)
+        return base, self.counter_blocks_per_page * BLOCK_SIZE
+
 
 class IntegrityScheme:
     """Everything scheme-specific about one integrity organization."""
@@ -181,6 +217,9 @@ class IntegrityScheme:
     verifies = True
     #: The scheme is meaningless without counter storage (the BMT).
     requires_counters = False
+    #: How the tree applies updates (the timing model's deferral knobs).
+    #: Eager schemes keep the default synchronous policy.
+    update_policy = UpdatePolicy()
 
     def plan_tree(
         self,
@@ -201,6 +240,30 @@ class IntegrityScheme:
     def build_engine(self, machine, geometry: TreeGeometry | None):
         """Construct the functional integrity engine for a machine."""
         raise NotImplementedError
+
+    def build_tree(self, machine, geometry: TreeGeometry):
+        """Construct the functional tree engine over planned geometry.
+
+        The hook a tree-swapping scheme overrides in one line; engines
+        and the machine only ever see the
+        :class:`~repro.integrity.merkle.MerkleTreeBase` interface.
+        """
+        from ..integrity.merkle import MerkleTree
+
+        return MerkleTree(machine.memory, geometry, machine.mac_fn)
+
+    def tree_modules(self) -> tuple[str, ...]:
+        """Module names of the tree implementation this scheme's machines
+        run — folded into the sweep cache fingerprint so cached cells are
+        never served across tree-engine changes."""
+        if self.uses_tree:
+            return ("repro.integrity.merkle",)
+        return ()
+
+    def engine_stats(self, engine) -> dict:
+        """Pull-model stat bindings for :func:`repro.obs.adapters.register_machine`:
+        {name: zero-arg callable} over the live integrity engine."""
+        return {}
 
     def __repr__(self):
         return f"<{type(self).__name__} {self.key!r}>"

@@ -1,0 +1,53 @@
+"""The ``bmt_lazy`` descriptor: the paper's BMT on the incremental tree.
+
+The worked "add a tree engine in one file" example from
+``docs/architecture.md``: everything that differs from the eager
+:class:`~repro.schemes.integrity.BonsaiMerkleScheme` — tree construction,
+the deferred update policy the timing model follows, the fingerprint
+modules, and the scheduler gauges — lives here. The machine, simulator,
+kernel, and swap path are untouched; they only see the descriptor hooks.
+"""
+
+from __future__ import annotations
+
+from ..core.config import INT_BMT_LAZY
+from .base import UpdatePolicy
+from .integrity import BonsaiMerkleScheme
+
+
+class LazyBonsaiMerkleScheme(BonsaiMerkleScheme):
+    """BMT over counters + PRD, maintained by the incremental engine.
+
+    Same geometry, same MAC regions, same Table 2 storage as ``bonsai``
+    — but the tree materializes subtrees on first touch and queues dirty
+    paths, and the timing model defers counter-writeback walks per
+    :attr:`update_policy`, coalescing overlapping paths per batch.
+    """
+
+    key = INT_BMT_LAZY
+    update_policy = UpdatePolicy(deferred=True, batch=8, coalesce=True)
+
+    def build_tree(self, machine, geometry):
+        from ..integrity.incremental import IncrementalMerkleTree
+
+        return IncrementalMerkleTree(
+            machine.memory, geometry, machine.mac_fn, coalesce=self.update_policy.coalesce
+        )
+
+    def tree_modules(self):
+        # The lazy engine subclasses the eager module's base, so both
+        # sources shape this scheme's results.
+        return ("repro.integrity.merkle", "repro.integrity.incremental")
+
+    def engine_stats(self, engine):
+        tree = engine.tree
+        return {
+            "tree_pending_updates": tree.pending_updates,
+            "tree_materialized_fraction": tree.materialized_fraction,
+            "tree_coalesce_ratio": tree.coalesce_ratio,
+            "tree_drained_nodes": lambda: tree.drained_nodes,
+            "tree_adoptions": lambda: tree.adoptions,
+        }
+
+
+BUILTIN_LAZY_SCHEMES = (LazyBonsaiMerkleScheme(),)

@@ -68,10 +68,8 @@ class StandardMerkleScheme(IntegrityScheme):
 
     def build_engine(self, machine, geometry):
         from ..integrity.bonsai import StandardMerkleIntegrity
-        from ..integrity.merkle import MerkleTree
 
-        tree = MerkleTree(machine.memory, geometry, machine.mac_fn)
-        return StandardMerkleIntegrity(machine.memory, tree)
+        return StandardMerkleIntegrity(machine.memory, self.build_tree(machine, geometry))
 
 
 class BonsaiMerkleScheme(IntegrityScheme):
@@ -101,9 +99,8 @@ class BonsaiMerkleScheme(IntegrityScheme):
     def build_engine(self, machine, geometry):
         from ..integrity.bonsai import BonsaiMerkleIntegrity
         from ..integrity.macs import MacStore
-        from ..integrity.merkle import MerkleTree
 
-        tree = MerkleTree(machine.memory, geometry, machine.mac_fn)
+        tree = self.build_tree(machine, geometry)
         store = MacStore(
             machine.memory,
             machine.layout.mac_base,

@@ -77,6 +77,13 @@ class TimingSimulator:
         "_mac_base",
         "_mac_bytes",
         "_cache_data_macs",
+        "_deferred_updates",
+        "_update_batch",
+        "_update_coalesce",
+        "_pending_walks",
+        "tree_deferred",
+        "tree_drains",
+        "tree_coalesced",
         "l2",
         "counter_cache",
         "node_cache",
@@ -133,6 +140,19 @@ class TimingSimulator:
         self._mac_base = layout.mac_base
         self._mac_bytes = config.mac_bytes
         self._cache_data_macs = config.caches_data_macs
+
+        # Deferred tree maintenance, from the descriptor's update policy:
+        # counter writebacks queue their tree walks; the queue drains once
+        # it reaches the batch size (and at end of run), with overlapping
+        # walks to the same counter block coalesced into one.
+        policy = integ_scheme.update_policy
+        self._deferred_updates = policy.deferred and self._walks_tree
+        self._update_batch = policy.batch
+        self._update_coalesce = policy.coalesce
+        self._pending_walks: list[int] = []
+        self.tree_deferred = 0
+        self.tree_drains = 0
+        self.tree_coalesced = 0
 
         # Hardware structures.
         l2cfg = config.l2
@@ -275,8 +295,44 @@ class TimingSimulator:
 
     def _writeback_counter_block(self, cb_addr: int, now: float) -> None:
         self.bus.request(now, "counter_wb")
-        if self._walks_tree:
+        if not self._walks_tree:
+            return
+        if self._deferred_updates:
+            self._defer_walk(cb_addr, now)
+        else:
             self._tree_walk(cb_addr, now, make_dirty=True)
+
+    def _defer_walk(self, cb_addr: int, now: float) -> None:
+        """Queue a dirty-path walk instead of performing it (bmt_lazy)."""
+        self._pending_walks.append(cb_addr)
+        self.tree_deferred += 1
+        if len(self._pending_walks) >= self._update_batch:
+            self._drain_pending_walks(now)
+
+    def _drain_pending_walks(self, now: float) -> None:
+        """Drain the pending-update queue onto the bus.
+
+        Writeback walks are off the critical path, so draining costs
+        bandwidth (and node-cache churn), never stall — the deferral
+        moves and merges that traffic rather than hiding it. Coalescing
+        collapses queued walks that share a counter block into one.
+        """
+        pending = self._pending_walks
+        if not pending:
+            return
+        self._pending_walks = []
+        self.tree_drains += 1
+        if self._update_coalesce:
+            seen = set()
+            for cb_addr in pending:
+                if cb_addr in seen:
+                    self.tree_coalesced += 1
+                    continue
+                seen.add(cb_addr)
+                self._tree_walk(cb_addr, now, make_dirty=True)
+        else:
+            for cb_addr in pending:
+                self._tree_walk(cb_addr, now, make_dirty=True)
 
     # -- writebacks ---------------------------------------------------------------------
 
@@ -346,6 +402,11 @@ class TimingSimulator:
         self.exposed_cycles = 0.0
         self.counter_accesses = 0
         self.counter_misses = 0
+        # Counters zero; the pending-walk queue survives — it is model
+        # *state* (walks still owed to the bus), not a statistic.
+        self.tree_deferred = 0
+        self.tree_drains = 0
+        self.tree_coalesced = 0
         self.registry.reset()
 
     def run(self, trace: Trace, label: str | None = None, warmup: float = 0.25,
@@ -387,6 +448,13 @@ class TimingSimulator:
             now, measured_from, measured_instructions = self._run_reference(
                 trace, warmup, session
             )
+
+        # End-of-run drain: a deferred tree owes the bus its queued walks
+        # before the run's traffic accounting closes. Shared by every
+        # engine — all three fall through to the reference helpers for
+        # deferred schemes, so results stay byte-identical.
+        if self._deferred_updates:
+            self._drain_pending_walks(now)
 
         measured_cycles = now - measured_from
         snapshot = self.registry.snapshot()

@@ -146,6 +146,40 @@ class TestSch001SchemeConstantDispatch:
         assert not triggers("SCH001", src, "schemes/encryption.py")
 
 
+class TestSch002TreeNodeMutation:
+    def test_flags_subscript_write_into_dirty_cache(self):
+        src = "machine.tree._dirty[(1, 0)] = raw\n"
+        assert triggers("SCH002", src, "core/machine.py")
+
+    def test_flags_mutating_call_on_materialized_set(self):
+        src = "self.tree._materialized.add((1, 4))\n"
+        assert triggers("SCH002", src, "osmodel/kernel.py")
+
+    def test_flags_trusted_cache_pop_through_tree(self):
+        src = "sim.tree._trusted.pop(addr, None)\n"
+        assert triggers("SCH002", src, "sim/simulator.py")
+
+    def test_flags_direct_root_store(self):
+        src = "machine.tree.root.store(mac)\n"
+        assert triggers("SCH002", src, "core/machine.py")
+
+    def test_tree_home_package_is_exempt(self):
+        src = "self._dirty[key] = effective\nself.root.store(self._mac_top(raw))\n"
+        assert not triggers("SCH002", src, "integrity/incremental.py")
+
+    def test_scheduler_api_calls_are_fine(self):
+        src = "machine.tree.flush_pending(run[0], run[1])\nmachine.tree.drain(full=True)\n"
+        assert not triggers("SCH002", src, "core/machine.py")
+
+    def test_restore_root_api_is_fine(self):
+        src = "machine.tree.restore_root(nonvolatile['root'])\n"
+        assert not triggers("SCH002", src, "core/machine.py")
+
+    def test_unrelated_containers_are_fine(self):
+        src = "self._trusted.pop(addr, None)\nregistry.nodes[0] = n\n"
+        assert not triggers("SCH002", src, "obs/registry.py")
+
+
 class TestDet001Determinism:
     def test_flags_wall_clock(self):
         src = "import time\nstamp = time.time()\n"

@@ -1,0 +1,126 @@
+"""End-to-end coverage of the loghash and page-root integrity paths.
+
+``integrity/loghash.py`` and ``integrity/pageroot.py`` have unit tests
+of their own; these tests exercise them the way the stack actually does
+— through the scheme descriptors, the machine layout, and the kernel's
+swap path — mirroring the geometry-parity structure used for the
+counter schemes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import IntegrityError, MachineConfig
+from repro.core.machine import plan_layout
+from repro.mem.layout import PAGE_SIZE
+from repro.schemes import integrity_keys, integrity_scheme
+from tests.conftest import TINY, make_machine
+
+TREE_SCHEMES = [k for k in integrity_keys() if integrity_scheme(k).uses_tree]
+
+
+def _config(integ: str, data_bytes: int = TINY, **overrides) -> MachineConfig:
+    enc = "aise" if integrity_scheme(integ).requires_counters else "none"
+    return MachineConfig(encryption=enc, integrity=integ,
+                         physical_bytes=data_bytes, **overrides)
+
+
+class TestPageRootGeometryParity:
+    """The PRD region: carved by the layout iff the scheme has a tree."""
+
+    @pytest.mark.parametrize("integ", TREE_SCHEMES)
+    def test_tree_schemes_carve_a_prd_sized_for_the_swap_space(self, integ):
+        config = _config(integ, swap_bytes=64 * PAGE_SIZE)
+        layout, _ = plan_layout(config)
+        assert layout.prd_bytes > 0
+        machine = make_machine(encryption=config.encryption, integrity=integ,
+                               data_bytes=TINY, swap_bytes=64 * PAGE_SIZE)
+        assert machine.page_roots is not None
+        assert machine.page_roots.region_bytes <= layout.prd_bytes
+        assert layout.region_of(layout.prd_base) == "page_root"
+
+    @pytest.mark.parametrize("integ", ["none", "mac_only", "loghash"])
+    def test_treeless_schemes_carve_no_prd(self, integ):
+        layout, _ = plan_layout(_config(integ))
+        assert layout.prd_bytes == 0
+        machine = make_machine(encryption=_config(integ).encryption,
+                               integrity=integ, data_bytes=TINY)
+        assert machine.page_roots is None
+
+    @pytest.mark.parametrize("integ", TREE_SCHEMES)
+    def test_prd_blocks_are_tree_covered(self, integ):
+        """The directory's own blocks verify through the tree: its reads
+        and writes flow through the machine's verified-metadata hooks."""
+        machine = make_machine(encryption=_config(integ).encryption,
+                               integrity=integ, data_bytes=TINY,
+                               swap_bytes=64 * PAGE_SIZE)
+        assert machine.tree is not None
+        assert machine.tree.geometry.covers(machine.layout.prd_base)
+
+
+class TestPageRootSwapPath:
+    def _pressured_kernel(self, kernel_factory, integ: str):
+        k = kernel_factory(integrity=integ, frames=16, swap_slots=64)
+        p = k.create_process()
+        pages = 40
+        k.mmap(p.pid, 0, pages * PAGE_SIZE)
+        for page in range(pages):
+            k.write(p.pid, page * PAGE_SIZE, bytes([page + 1]) * 64)
+        return k, p, pages
+
+    @pytest.mark.parametrize("integ", ["bonsai", "bmt_lazy"])
+    def test_swap_roundtrip_installs_and_verifies_roots(self, kernel_factory, integ):
+        k, p, pages = self._pressured_kernel(kernel_factory, integ)
+        assert k.stats.swap_outs > 0
+        assert k.machine.page_roots.installs == k.stats.swap_outs
+        for page in range(pages):
+            assert k.read(p.pid, page * PAGE_SIZE, 64) == bytes([page + 1]) * 64
+        assert k.machine.page_roots.lookups >= k.stats.swap_ins
+
+    @pytest.mark.parametrize("integ", ["bonsai", "bmt_lazy"])
+    def test_tampered_swap_image_detected_at_fault_in(self, kernel_factory, integ):
+        k, p, pages = self._pressured_kernel(kernel_factory, integ)
+        victim = next(
+            (vpage, pte) for vpage, pte in
+            ((e.vpage, e) for e in k.processes[p.pid].page_table.entries())
+            if pte.swap_slot is not None
+        )
+        vpage, pte = victim
+        k.swap.storage.corrupt(pte.swap_slot * k.swap.slot_bytes)
+        with pytest.raises(IntegrityError) as err:
+            k.read(p.pid, vpage * PAGE_SIZE, 64)
+        assert err.value.kind == "swap"
+
+
+class TestLogHashPath:
+    """The loghash baseline through the machine: deferred detection."""
+
+    def test_machine_roundtrip_and_epoch_check(self):
+        machine = make_machine(encryption="aise", integrity="loghash",
+                               data_bytes=TINY)
+        machine.write_bytes(0, b"\x5c" * 64)
+        assert machine.read_bytes(0, 64) == b"\x5c" * 64
+        machine.integrity.check()  # clean epoch passes
+
+    def test_tamper_is_invisible_at_use_caught_at_check(self):
+        machine = make_machine(encryption="aise", integrity="loghash",
+                               data_bytes=TINY)
+        machine.write_bytes(0, b"\x01" * 64)
+        machine.memory.corrupt(0)
+        machine.read_bytes(0, 64)  # the scheme's weakness: no raise here
+        with pytest.raises(IntegrityError):
+            machine.integrity.check()
+
+    def test_swap_roundtrip_without_page_roots(self, kernel_factory):
+        """Loghash has no PRD; the swap path must still round-trip."""
+        k = kernel_factory(integrity="loghash", frames=16, swap_slots=64)
+        assert k.machine.page_roots is None
+        p = k.create_process()
+        pages = 40
+        k.mmap(p.pid, 0, pages * PAGE_SIZE)
+        for page in range(pages):
+            k.write(p.pid, page * PAGE_SIZE, bytes([page + 3]) * 64)
+        assert k.stats.swap_outs > 0
+        for page in range(pages):
+            assert k.read(p.pid, page * PAGE_SIZE, 64) == bytes([page + 3]) * 64
