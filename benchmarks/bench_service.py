@@ -1,0 +1,199 @@
+#!/usr/bin/env python3
+"""Load-generator benchmark for the sweep service: latency tiers.
+
+Prices one cell request at the service's temperatures against the
+cold-process floor:
+
+* ``cold_process`` — a fresh ``python -m repro simulate --json``
+  subprocess: interpreter boot, imports, trace decode, machine
+  construction, simulation. What dispatching a cell costs without a
+  resident service.
+* ``cold_service`` — the first-ever request on a fresh server: the
+  socket round trip plus building the trace and the machine (filling
+  every tier on the way out).
+* ``warm_service`` — same machine fingerprint, new result key (the
+  warmup knob is perturbed per request so no cache tier can answer):
+  the pooled cold-reset machine and the shared pre-lowered trace serve
+  it, so only the simulation itself is paid.
+* ``lru_hit`` — a byte-identical repeat request, served from the
+  in-memory LRU tier at memory speed.
+
+The ratios (``cold_process`` over ``warm_service`` / ``lru_hit``) are
+the service's reason to exist and the committed regression surface:
+``--check`` fails if a ratio regressed more than ``--tolerance``
+against the committed ``BENCH_service.json``, or if either ratio falls
+below the 5x acceptance floor. Absolute latencies are machine-specific;
+the ratios are comparable anywhere.
+
+Run:  PYTHONPATH=src python benchmarks/bench_service.py [--events N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import statistics
+import subprocess
+import sys
+import time
+
+from repro.api import schema
+from repro.service import serve_background
+
+WORKLOAD = "stream"
+CONFIG = "aise+bmt"
+ACCEPTANCE_FLOOR = 5.0
+
+DEFAULT_OUT = os.path.join(os.path.dirname(__file__), os.pardir,
+                           "BENCH_service.json")
+
+
+def _median_ms(samples: list[float]) -> float:
+    return round(statistics.median(samples) * 1000.0, 3)
+
+
+def _cold_process_ms(events: int, repeats: int) -> float:
+    """One cell via a fresh interpreter — the no-service dispatch cost."""
+    root = os.path.join(os.path.dirname(__file__), os.pardir)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(root, "src")
+    command = [sys.executable, "-m", "repro", "simulate",
+               "--benchmark", WORKLOAD, "--events", str(events), "--json"]
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        proc = subprocess.run(command, env=env, cwd=root,
+                              capture_output=True, text=True)
+        samples.append(time.perf_counter() - start)
+        if proc.returncode != 0:
+            raise RuntimeError(f"cold-process run failed: {proc.stderr}")
+    return _median_ms(samples)
+
+
+def _request_ms(client, request) -> float:
+    start = time.perf_counter()
+    client.request(request)
+    return time.perf_counter() - start
+
+
+def run_benchmark(events: int, repeats: int) -> dict:
+    cold_process = _cold_process_ms(events, max(2, repeats // 2))
+
+    with serve_background() as handle:
+        with handle.client(tenant="loadgen") as client:
+            base = dict(workload=WORKLOAD, config=CONFIG, events=events)
+            cold_service = _median_ms(
+                [_request_ms(client, schema.SimulateRequest(**base))])
+            # Perturbed warmup: a fresh result key every time, so the
+            # pooled machine + shared trace do real simulation work.
+            warm = _median_ms([
+                _request_ms(client, schema.SimulateRequest(
+                    **base, warmup=0.25 + (i + 1) * 1e-3))
+                for i in range(repeats)
+            ])
+            lru = _median_ms([
+                _request_ms(client, schema.SimulateRequest(**base))
+                for i in range(repeats)
+            ])
+            status = client.status()
+
+    assert status["served"]["lru"] >= repeats, \
+        "repeat requests were not LRU hits — tier attribution broke"
+    return {
+        "meta": {
+            "events": events,
+            "workload": WORKLOAD,
+            "config": CONFIG,
+            "repeats": repeats,
+            "python": platform.python_version(),
+            "note": "latencies are machine-specific; the ratios "
+                    "(cold-process dispatch vs resident-service tiers) "
+                    "are comparable across machines",
+        },
+        "latency_ms": {
+            "cold_process": cold_process,
+            "cold_service": cold_service,
+            "warm_service": warm,
+            "lru_hit": lru,
+        },
+        "ratios": {
+            "cold_process_over_warm": round(cold_process / warm, 2),
+            "cold_process_over_lru": round(cold_process / lru, 2),
+            "warm_over_lru": round(warm / lru, 2),
+        },
+    }
+
+
+def check_regression(current: dict, baseline: dict, tolerance: float) -> list[str]:
+    """Ratios below the acceptance floor or the committed baseline."""
+    failures = []
+    for name in ("cold_process_over_warm", "cold_process_over_lru"):
+        now = current["ratios"][name]
+        if now < ACCEPTANCE_FLOOR:
+            failures.append(
+                f"{name}: {now:.1f}x is below the {ACCEPTANCE_FLOOR:.0f}x "
+                "acceptance floor")
+        committed = baseline.get("ratios", {}).get(name)
+        if committed is None:
+            failures.append(f"{name}: missing from baseline")
+            continue
+        floor = committed * (1.0 - tolerance)
+        if now < floor:
+            failures.append(
+                f"{name}: {now:.1f}x < {floor:.1f}x "
+                f"({committed:.1f}x committed, -{tolerance:.0%} tolerance)")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--events", type=int, default=4_000,
+                        help="trace length per request (default: 4000)")
+    parser.add_argument("--repeats", type=int, default=6,
+                        help="requests per tier (median is kept)")
+    parser.add_argument("--out", default=DEFAULT_OUT,
+                        help="report path (default: BENCH_service.json)")
+    parser.add_argument("--check", action="store_true",
+                        help="also compare ratios against --baseline; "
+                             "exit 1 on regression or below the 5x floor")
+    parser.add_argument("--baseline", default=DEFAULT_OUT,
+                        help="committed report to --check against "
+                             "(default: BENCH_service.json)")
+    parser.add_argument("--tolerance", type=float, default=0.50,
+                        help="allowed ratio regression for --check "
+                             "(subprocess timing is noisy; default 50%%)")
+    args = parser.parse_args(argv)
+
+    report = run_benchmark(args.events, args.repeats)
+    for tier, latency in report["latency_ms"].items():
+        print(f"{tier:14} {latency:>10.2f} ms")
+    for name, ratio in report["ratios"].items():
+        print(f"{name:22} {ratio:.1f}x")
+
+    # Never clobber the baseline with a smoke run's numbers.
+    if not (args.check and os.path.abspath(args.out) == os.path.abspath(args.baseline)):
+        with open(args.out, "w") as f:
+            json.dump(report, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"report written to {args.out}")
+
+    if args.check:
+        try:
+            with open(args.baseline) as f:
+                baseline = json.load(f)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read baseline {args.baseline}: {exc}")
+            return 1
+        failures = check_regression(report, baseline, args.tolerance)
+        for failure in failures:
+            print(f"REGRESSION: {failure}")
+        if failures:
+            return 1
+        print(f"check passed against {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

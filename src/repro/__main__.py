@@ -13,9 +13,23 @@ Commands:
 * ``metrics``  — export a metric snapshot (a ``sweep --fleet`` report, a
   ``trace --snapshots`` file, or a bare snapshot) as Prometheus text
   format or JSON.
+* ``precompile`` — lower a workload's trace to the compiled fastpath
+  program ahead of time and report the pattern mix.
+* ``serve``    — run the simulation service: an asyncio job server that
+  answers simulate/sweep/trace/precompile requests from many concurrent
+  clients over newline-delimited JSON (see docs/service.md).
+* ``submit``   — submit one request to a running service and print the
+  versioned response envelope.
 * ``attacks``  — print the attack-detection matrix for a configuration.
 * ``storage``  — print the analytic storage breakdown (Table 2 model).
 * ``analyze``  — run the security-invariant linter (see docs/static-analysis.md).
+
+The simulation knobs are spelled the same everywhere: ``--events``,
+``--workers``, ``--cache-dir``, ``--metrics`` on the CLI are
+``events=``, ``workers=``, ``cache_dir=``, ``metrics=`` on the
+:mod:`repro.api` facade and in the service protocol (the API002 lint
+rule keeps them in sync). ``--json`` on simulate/sweep/trace prints the
+versioned :mod:`repro.api.schema` envelope instead of the legacy text.
 
 Global flags: ``--log-level {debug,info,warning,error}`` (or ``-v`` for
 debug) tune the stderr diagnostics every command routes through
@@ -38,8 +52,8 @@ def _cmd_report(args) -> int:
         forwarded += ["--out", args.out]
     if args.data_dir:
         forwarded += ["--data-dir", args.data_dir]
-    if args.cache:
-        forwarded += ["--cache", args.cache]
+    if args.cache_dir:
+        forwarded += ["--cache", args.cache_dir]
     return report_main(forwarded)
 
 
@@ -69,7 +83,7 @@ def _cmd_sweep(args) -> int:
             events=args.events,
             mac_bits=tuple(args.mac_bits) if args.mac_bits else (None,),
             workers=args.workers,
-            cache_dir=args.cache,
+            cache_dir=args.cache_dir,
             metrics=args.metrics,
             fleet=want_fleet,
             live_sinks=sinks or None,
@@ -84,6 +98,11 @@ def _cmd_sweep(args) -> int:
         with open(args.out, "w") as f:
             f.write(text + "\n")
         log.info("%d cells written to %s", len(run.grid), args.out)
+    elif args.json:
+        from .api import schema
+
+        envelope = schema.sweep_envelope(run.to_payload())
+        print(json.dumps(envelope.to_wire(), indent=2, sort_keys=True))
     else:
         print(text)
     if args.live_jsonl:
@@ -136,7 +155,17 @@ def _cmd_simulate(args) -> int:
     except (ValueError, ConfigurationError) as exc:
         log.error("%s", exc)
         return 2
-    result = api.simulate(trace, config)
+    result = api.simulate(trace, config, metrics=args.metrics)
+    if args.json:
+        import json
+
+        from .api import schema
+
+        envelope = schema.result_envelope(
+            result.to_dict(), workload=args.benchmark,
+            config=f"{args.encryption}+{args.integrity}")
+        print(json.dumps(envelope.to_wire(), indent=2, sort_keys=True))
+        return 0
     base = api.simulate(trace, "base")
     print(f"benchmark        : {args.benchmark} ({args.events} L2 accesses)")
     print(f"configuration    : {args.encryption}+{args.integrity}, {args.mac_bits}-bit MACs")
@@ -198,11 +227,135 @@ def _cmd_trace(args) -> int:
                  len(run.samples), args.snapshots)
     if args.jsonl:
         log.info("%d events streamed to %s", len(run.events), args.jsonl)
+    if args.json:
+        from .api import schema
+
+        envelope = schema.trace_envelope(run.to_payload())
+        print(json.dumps(envelope.to_wire(), indent=2, sort_keys=True))
+        return 0
     print(f"workload      : {run.workload} ({args.events} L2 accesses)")
     print(f"configuration : {run.config_label}")
     print(f"cycles        : {run.result.cycles:,.0f} (IPC {run.result.ipc:.2f})")
     print(f"trace         : {args.out} ({len(run.chrome['traceEvents'])} records, "
           f"{len(run.events)} events, {len(run.samples)} samples)")
+    return 0
+
+
+def _cmd_precompile(args) -> int:
+    import json
+
+    from . import api
+    from .core.config import ConfigurationError
+    from .obs.log import get_logger
+
+    log = get_logger("cli")
+    try:
+        summary = api.precompile(args.workload, args.config,
+                                 events=args.events)
+    except (ValueError, ConfigurationError) as exc:
+        log.error("%s", exc)
+        return 2
+    # The summary's "trace" is the live Trace object (the memo host);
+    # report the workload name on the wire, same as the service does.
+    wire = {"workload": args.workload, "config": args.config,
+            "events": summary["events"], "misses": summary["misses"],
+            "patterns": summary["patterns"], "cached": summary["cached"]}
+    if args.json:
+        from .api import schema
+
+        envelope = schema.ok_envelope(op="precompile", **wire)
+        print(json.dumps(envelope.to_wire(), indent=2, sort_keys=True))
+        return 0
+    print(f"workload : {args.workload} ({wire['events']} events, "
+          f"{wire['misses']} misses)")
+    print(f"config   : {args.config}")
+    print(f"patterns : {wire['patterns']}")
+    print(f"cached   : {wire['cached']}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .obs.log import get_logger
+    from .service.server import SweepService
+
+    log = get_logger("cli")
+    service = SweepService(
+        cache_dir=args.cache_dir,
+        lru_capacity=args.lru_capacity,
+        pool_capacity=args.pool_capacity,
+        trace_capacity=args.trace_capacity,
+        sim_slots=args.sim_slots,
+        sweep_jobs=args.sweep_jobs,
+    )
+
+    async def run() -> None:
+        await service.start(args.host, args.port)
+        log.info("sweep service listening on %s:%d (cache_dir=%s)",
+                 args.host, service.port, args.cache_dir or "none")
+        print(f"listening on {args.host}:{service.port}", flush=True)
+        await service.serve_until_stopped()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        log.info("interrupted; shutting down")
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    import json
+
+    from .api import schema
+    from .obs.log import get_logger
+    from .service.client import ServiceClient, ServiceError
+
+    log = get_logger("cli")
+    mac_bits = tuple(args.mac_bits) if args.mac_bits else (None,)
+    requests = {
+        "simulate": lambda: schema.SimulateRequest(
+            workload=args.workload, config=args.config, events=args.events,
+            overlap=args.overlap, warmup=args.warmup, metrics=args.metrics),
+        "sweep": lambda: schema.SweepRequest(
+            configs=args.configs or None, benchmarks=args.benchmarks or None,
+            events=args.events, mac_bits=mac_bits, workers=args.workers,
+            metrics=args.metrics, overlap=args.overlap, warmup=args.warmup),
+        "trace": lambda: schema.TraceRequest(
+            workload=args.workload, config=args.config, events=args.events,
+            interval=args.interval, warmup=args.warmup),
+        "precompile": lambda: schema.PrecompileRequest(
+            workload=args.workload, config=args.config, events=args.events),
+        "presets": lambda: schema.PresetsRequest(full=args.full),
+        "status": lambda: schema.StatusRequest(),
+        "shutdown": lambda: schema.ShutdownRequest(),
+    }
+    try:
+        with ServiceClient(args.host, args.port, tenant=args.tenant) as client:
+            if args.subscribe:
+                client.subscribe()
+            envelope = client.request(requests[args.op]())
+            if args.op == "sweep" and args.out:
+                # Legacy bytes: the body IS SweepRun.to_payload(), so this
+                # file diffs byte-equal against `repro sweep --out`.
+                with open(args.out, "w") as f:
+                    f.write(json.dumps(envelope.body, indent=2,
+                                       sort_keys=True) + "\n")
+                log.info("%d cells written to %s",
+                         len(envelope.body["cells"]), args.out)
+            else:
+                print(json.dumps(envelope.to_wire(), indent=2,
+                                 sort_keys=True))
+            if args.subscribe:
+                for event in client.events:
+                    print(json.dumps(event, sort_keys=True), file=sys.stderr)
+    except (ConnectionError, OSError) as exc:
+        log.error("cannot reach service at %s:%d: %s",
+                  args.host, args.port, exc)
+        return 2
+    except ServiceError as exc:
+        log.error("service error: %s", exc)
+        return 1
     return 0
 
 
@@ -299,21 +452,26 @@ def main(argv: list[str] | None = None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("report", help="regenerate the paper's tables and figures")
-    p.add_argument("--events", type=int, default=120_000)
+    # The paper's figures are measured at 120k events; the report command
+    # keeps that fidelity default rather than the interactive knob grammar.
+    p.add_argument("--events", type=int, default=120_000)  # repro: allow(API002)
     p.add_argument("--figures", nargs="*", default=None)
     p.add_argument("--out", default=None)
     p.add_argument("--data-dir", default=None)
     p.add_argument("--workers", type=int, default=1)
-    p.add_argument("--cache", default=None, metavar="DIR")
+    p.add_argument("--cache-dir", "--cache", dest="cache_dir", default=None,
+                   metavar="DIR")
     p.set_defaults(func=_cmd_report)
 
     p = sub.add_parser("sweep", help="simulate the benchmark x configuration grid")
     p.add_argument("--workers", type=int, default=1,
                    help="process-pool width (1 = serial, 0 = one per core)")
-    p.add_argument("--cache", default=None, metavar="DIR",
+    p.add_argument("--cache-dir", "--cache", dest="cache_dir", default=None,
+                   metavar="DIR",
                    help="persistent result-cache directory "
-                        "(e.g. benchmarks/results/cache)")
-    p.add_argument("--events", type=int, default=120_000)
+                        "(e.g. benchmarks/results/cache); --cache is the "
+                        "deprecated spelling")
+    p.add_argument("--events", type=int, default=60_000)
     p.add_argument("--benchmarks", nargs="*", default=None,
                    help="subset of benchmarks (default: all 21)")
     p.add_argument("--configs", nargs="*", default=None,
@@ -321,6 +479,9 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--mac-bits", type=int, nargs="*", default=None,
                    help="MAC-size overrides (default: each config's own)")
     p.add_argument("--out", default=None, help="write per-cell JSON here")
+    p.add_argument("--json", action="store_true",
+                   help="print the versioned response envelope to stdout "
+                        "instead of the bare payload (ignored with --out)")
     p.add_argument("--summary", action="store_true",
                    help="also print a measured-averages table (stderr)")
     p.add_argument("--metrics", action="store_true",
@@ -346,6 +507,12 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--integrity", default="bonsai")
     p.add_argument("--mac-bits", type=int, default=128)
     p.add_argument("--events", type=int, default=60_000)
+    p.add_argument("--metrics", action="store_true",
+                   help="attach the end-of-run metrics-registry snapshot "
+                        "to the result")
+    p.add_argument("--json", action="store_true",
+                   help="print the versioned result envelope instead of "
+                        "the human summary")
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser("trace", help="run one workload under full observability")
@@ -363,7 +530,83 @@ def main(argv: list[str] | None = None) -> int:
                    help="also stream raw events as JSON Lines")
     p.add_argument("--snapshots", default=None, metavar="FILE",
                    help="also write interval snapshots + final result JSON")
+    p.add_argument("--json", action="store_true",
+                   help="print the versioned trace envelope instead of "
+                        "the human summary")
     p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser("precompile",
+                       help="lower a workload's trace to the compiled "
+                            "fastpath program ahead of time")
+    p.add_argument("workload",
+                   help="a SPEC benchmark name, or stream/chase/resident")
+    p.add_argument("--config", default="aise+bmt",
+                   help="registry configuration label (default: aise+bmt)")
+    p.add_argument("--events", type=int, default=60_000)
+    p.add_argument("--json", action="store_true",
+                   help="print the versioned response envelope")
+    p.set_defaults(func=_cmd_precompile)
+
+    p = sub.add_parser("serve",
+                       help="run the simulation service (see docs/service.md)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8737,
+                   help="listen port (0 = ephemeral; default: 8737)")
+    p.add_argument("--cache-dir", "--cache", dest="cache_dir", default=None,
+                   metavar="DIR",
+                   help="persistent result-cache directory shared by all "
+                        "tenants; --cache is the deprecated spelling")
+    p.add_argument("--lru-capacity", type=int, default=4096,
+                   help="in-memory result-tier capacity (cells)")
+    p.add_argument("--pool-capacity", type=int, default=8,
+                   help="warm machine pool capacity")
+    p.add_argument("--trace-capacity", type=int, default=8,
+                   help="decoded-trace store capacity")
+    p.add_argument("--sim-slots", type=int, default=None,
+                   help="max concurrent in-process simulations "
+                        "(default: cores - 1)")
+    p.add_argument("--sweep-jobs", type=int, default=1,
+                   help="max concurrent process-pool sweep jobs")
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("submit",
+                       help="submit one request to a running service")
+    p.add_argument("op", choices=["simulate", "sweep", "trace", "precompile",
+                                  "presets", "status", "shutdown"])
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8737)
+    p.add_argument("--tenant", default="anon",
+                   help="tenant name reported to the service")
+    p.add_argument("--workload", default="stream",
+                   help="(simulate/trace/precompile) workload name")
+    p.add_argument("--config", default="aise+bmt",
+                   help="(simulate/trace/precompile) configuration label")
+    p.add_argument("--configs", nargs="*", default=None,
+                   help="(sweep) subset of registry configs (default: all)")
+    p.add_argument("--benchmarks", nargs="*", default=None,
+                   help="(sweep) subset of benchmarks (default: all 21)")
+    p.add_argument("--mac-bits", type=int, nargs="*", default=None,
+                   help="(sweep) MAC-size overrides")
+    p.add_argument("--events", type=int, default=60_000)
+    p.add_argument("--workers", type=int, default=1,
+                   help="(sweep) 1 = warm single-machine path, >1 or 0 = "
+                        "server-side process pool")
+    p.add_argument("--metrics", action="store_true",
+                   help="attach per-cell metrics-registry snapshots")
+    p.add_argument("--overlap", type=float, default=0.7)
+    p.add_argument("--warmup", type=float, default=0.25)
+    p.add_argument("--interval", type=int, default=1024,
+                   help="(trace) measured events between metric snapshots")
+    p.add_argument("--subscribe", action="store_true",
+                   help="receive fleet progress events (echoed to stderr "
+                        "as JSON lines)")
+    p.add_argument("--out", default=None, metavar="FILE",
+                   help="(sweep) write the bare per-cell payload here — "
+                        "byte-identical to `repro sweep --out`")
+    p.add_argument("--full", action="store_true",
+                   help="(presets) include registry-valid non-canonical "
+                        "combinations")
+    p.set_defaults(func=_cmd_submit)
 
     p = sub.add_parser("attacks", help="run the attack-detection matrix")
     p.add_argument("--encryption", default="aise")

@@ -37,16 +37,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from .attacks import run_all as run_attacks
-from .core import CounterPredictor, IntegrityError
-from .core.config import ConfigurationError, MachineConfig
-from .core.machine import SecureMemorySystem
-from .core.storage import StorageBreakdown, breakdown_for_config, storage_breakdown
-from .osmodel import Kernel
-from .sim import AccessRecorder
-from .sim.results import SimResult
-from .sim.simulator import TimingSimulator
-from .sim.trace import Trace
+from ..attacks import run_all as run_attacks
+from ..core import CounterPredictor, IntegrityError
+from ..core.config import ConfigurationError, MachineConfig
+from ..core.machine import SecureMemorySystem
+from ..core.storage import StorageBreakdown, breakdown_for_config, storage_breakdown
+from ..osmodel import Kernel
+from ..sim import AccessRecorder
+from ..sim.results import SimResult
+from ..sim.simulator import TimingSimulator
+from ..sim.trace import Trace
 
 __all__ = [
     "build_machine",
@@ -76,9 +76,47 @@ __all__ = [
 ]
 
 
-def preset_names() -> tuple[str, ...]:
-    """The canonical configuration labels (Figure 6's set, in order)."""
-    return MachineConfig.preset_names()
+def preset_names(*, full: bool = False) -> tuple[str, ...]:
+    """The configuration labels a client may pass as ``config``.
+
+    By default this is the canonical set (Figure 6's labels, in
+    presentation order) — the grid ``sweep`` runs when no configs are
+    named, and the labels the committed golden pins. ``full=True``
+    additionally surfaces every *registry-valid* ``encryption[+integrity]``
+    combination (e.g. ``aise+bmt_lazy``) the way :meth:`MachineConfig.preset`
+    already resolves them, so service clients can discover every legal
+    preset: canonical labels first, then the extras in registry order,
+    spelled with the canonical shorthands (``base``, ``mt``, ``bmt``).
+    """
+    canonical = MachineConfig.preset_names()
+    if not full:
+        return canonical
+    from ..schemes import encryption_keys, integrity_keys
+
+    # Prefer the canonical shorthand spellings for the label text; the
+    # resolved (encryption, integrity) pair is the dedup key, so a pair a
+    # canonical label already covers never reappears under a raw key.
+    enc_alias = {"none": "base"}
+    int_alias = {"merkle": "mt", "bonsai": "bmt"}
+    labels = list(canonical)
+    seen = set()
+    for label in canonical:
+        config = MachineConfig.preset(label)
+        seen.add((config.encryption, config.integrity))
+    for enc in encryption_keys():
+        for integ in integrity_keys():
+            enc_label = enc_alias.get(enc, enc)
+            label = enc_label if integ == "none" else f"{enc_label}+{int_alias.get(integ, integ)}"
+            try:
+                config = MachineConfig.preset(label)
+            except ConfigurationError:
+                continue
+            pair = (config.encryption, config.integrity)
+            if pair in seen:
+                continue
+            seen.add(pair)
+            labels.append(label)
+    return tuple(labels)
 
 
 def _resolve_config(config) -> tuple[MachineConfig, str | None]:
@@ -97,8 +135,8 @@ def load_trace(workload, events: int = 60_000) -> Trace:
     """
     if isinstance(workload, Trace):
         return workload
-    from .workloads import synthetic
-    from .workloads.spec2k import SPEC2K_BENCHMARKS, spec_trace
+    from ..workloads import synthetic
+    from ..workloads.spec2k import SPEC2K_BENCHMARKS, spec_trace
 
     if workload in SPEC2K_BENCHMARKS:
         return spec_trace(workload, events)
@@ -144,19 +182,34 @@ def simulate(
     overlap: float = 0.7,
     warmup: float = 0.25,
     label: str | None = None,
-    collect_metrics: bool = False,
+    metrics: bool = False,
+    collect_metrics: bool | None = None,
 ) -> SimResult:
     """Run one workload through the timing model.
 
     ``workload`` and ``config`` resolve via :func:`load_trace` and the
     preset grammar; ``events`` only applies when the workload is named
-    (a ready Trace is simulated as-is). Equivalent to building the
+    (a ready Trace is simulated as-is). ``metrics=True`` attaches the
+    end-of-run registry snapshot to ``SimResult.metrics`` (the same
+    knob, same spelling, as :func:`sweep`). Equivalent to building the
     :class:`TimingSimulator` by hand — same defaults, same result.
+
+    ``collect_metrics`` is the deprecated pre-service spelling of
+    ``metrics``; it is honored for one release and will be removed.
     """
+    if collect_metrics is not None:
+        import warnings
+
+        warnings.warn(
+            "simulate(collect_metrics=...) is deprecated; use metrics=...",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        metrics = collect_metrics
     resolved, preset = _resolve_config(config)
     trace_ = load_trace(workload, events)
     return TimingSimulator(resolved, overlap=overlap).run(
-        trace_, label=label or preset, warmup=warmup, collect_metrics=collect_metrics
+        trace_, label=label or preset, warmup=warmup, collect_metrics=metrics
     )
 
 
@@ -180,8 +233,8 @@ def precompile(workload, config="aise+bmt", *, events: int = 60_000) -> dict:
     :func:`simulate` calls — a workload *name* resolves to a fresh,
     identical Trace each time and would re-lower.
     """
-    from .fastpath.compiled import classification_key, compiled_for
-    from .sim.simulator import _OCCUPANCY_SAMPLE_PERIOD
+    from ..fastpath.compiled import classification_key, compiled_for
+    from ..sim.simulator import _OCCUPANCY_SAMPLE_PERIOD
 
     resolved, _ = _resolve_config(config)
     trace_ = load_trace(workload, events)
@@ -234,7 +287,7 @@ def sweep(
     configs=None,
     benchmarks=None,
     *,
-    events: int = 120_000,
+    events: int = 60_000,
     mac_bits=(None,),
     workers: int = 1,
     cache_dir: str | None = None,
@@ -262,9 +315,9 @@ def sweep(
     grid, its payload, and every cache record are byte-identical with
     them on or off.
     """
-    from .evalx.runner import CONFIGS, Runner
-    from .obs.fleet import FleetCollector, ProgressStream
-    from .workloads.spec2k import SPEC2K_BENCHMARKS
+    from ..evalx.runner import CONFIGS, Runner
+    from ..obs.fleet import FleetCollector, ProgressStream
+    from ..workloads.spec2k import SPEC2K_BENCHMARKS
 
     labels = tuple(configs) if configs else tuple(CONFIGS)
     # Canonical labels pass as-is; anything else must be a registry-valid
@@ -324,6 +377,23 @@ class TraceRun:
     samples: list  # interval metric snapshots
     phases: dict  # phase-profiler cycle attribution
 
+    def to_payload(self) -> dict:
+        """The deterministic JSON payload of a traced run.
+
+        The service ``trace`` op and the CLI ``--json`` envelope carry
+        exactly this body (events serialized through their typed
+        ``to_dict``, same bytes as the JSONL sink writes them).
+        """
+        return {
+            "workload": self.workload,
+            "config": self.config_label,
+            "result": self.result.to_dict(),
+            "chrome": self.chrome,
+            "events": [event.to_dict() for event in self.events],
+            "samples": self.samples,
+            "phases": self.phases,
+        }
+
 
 def trace(
     workload,
@@ -342,9 +412,9 @@ def trace(
     is an optional writable text file that additionally receives each
     raw event as a JSON line while the run progresses.
     """
-    from . import obs
-    from .obs import chrome as chrome_mod
-    from .obs.tracer import EventTracer, JsonlSink, ListSink, TeeSink
+    from .. import obs
+    from ..obs import chrome as chrome_mod
+    from ..obs.tracer import EventTracer, JsonlSink, ListSink, TeeSink
 
     resolved, preset = _resolve_config(config)
     trace_ = load_trace(workload, events)

@@ -365,8 +365,12 @@ class ResultCache:
                     continue
                 self.stale_tmp += 1
 
-    def key_for(self, trace_digest: str, config: MachineConfig,
+    @staticmethod
+    def key_for(trace_digest: str, config: MachineConfig,
                 overlap: float, warmup: float, metrics: bool = False) -> str:
+        # A pure function of its arguments (static so the service's LRU
+        # tier can key records identically without opening a directory):
+        # everything a result depends on, nothing about where it lands.
         payload = {
             "trace": trace_digest,
             "config": config_to_dict(config),

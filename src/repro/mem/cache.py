@@ -285,6 +285,23 @@ class SetAssociativeCache:
         self._class_lines.clear()
         return dirty
 
+    def clear(self) -> None:
+        """Return the cache to its just-constructed (cold) state.
+
+        Unlike :meth:`flush`, this models no memory traffic: contents,
+        LRU order, class tallies, and statistics all vanish without a
+        single writeback being charged. It exists for sanctioned warm
+        machine reuse (:meth:`repro.sim.simulator.TimingSimulator.reset_cold`),
+        where a pooled simulator must be indistinguishable from a fresh
+        one — byte-identical results are the contract, so nothing the
+        timing model reads may survive.
+        """
+        for cache_set in self._sets:
+            cache_set.clear()
+        self._class_lines.clear()
+        self._inserts_since_recount = 0
+        self.stats = CacheStats()
+
     # -- occupancy accounting -------------------------------------------------
 
     def lines_of_class(self, line_class: str) -> int:

@@ -463,6 +463,23 @@ class JsonlProgressSink:
             self.stream.close()
 
 
+class CallbackProgressSink:
+    """Invokes one callable per record — the adapter a server wraps
+    around its event loop (:mod:`repro.service` hands it a
+    ``call_soon_threadsafe`` bridge, so records emitted from sweep
+    worker threads land on subscriber queues without the stream ever
+    knowing about asyncio)."""
+
+    def __init__(self, fn):
+        self.fn = fn
+
+    def emit(self, record: dict) -> None:
+        self.fn(record)
+
+    def close(self) -> None:
+        pass
+
+
 class TtyProgressSink:
     """Single-line live renderer for ``repro sweep --live`` (stderr).
 

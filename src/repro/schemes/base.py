@@ -220,6 +220,28 @@ class IntegrityScheme:
     #: How the tree applies updates (the timing model's deferral knobs).
     #: Eager schemes keep the default synchronous policy.
     update_policy = UpdatePolicy()
+    #: Warm machine reuse is sound for this scheme: after
+    #: :meth:`reset_timing_state` a pooled simulator produces results
+    #: byte-identical to a freshly constructed one. A scheme keeping
+    #: timing state the hook cannot discard must set this False — the
+    #: service warm pool (:mod:`repro.service`) then refuses to pool its
+    #: machines and builds fresh ones instead.
+    warm_reuse_sound = True
+
+    def reset_timing_state(self, sim) -> None:
+        """Discard scheme-owned timing-model state ahead of warm reuse.
+
+        Called from :meth:`repro.sim.simulator.TimingSimulator.reset_cold`
+        between tenants. The base policy-driven behavior covers the
+        builtin schemes: a deferred-update scheme drops its pending walk
+        queue — walks the *previous* run still owed the bus must not be
+        billed to the next tenant (they are drained, not leaked, before
+        a pooled machine is released; this clear is the backstop that
+        makes the cold-state contract unconditional). Schemes holding
+        other timing state override (and call up to) this hook.
+        """
+        if self.update_policy.deferred:
+            sim._pending_walks.clear()
 
     def plan_tree(
         self,

@@ -1,0 +1,120 @@
+"""The service's memory result tier: LRU records + single-flight.
+
+Two small structures in front of the disk
+:class:`~repro.evalx.parallel.ResultCache`:
+
+* :class:`LruResultTier` — wire-ready result dicts keyed by the *same*
+  cache key string the disk cache uses, so the two tiers can never
+  disagree about identity. Repeat cells are served without touching the
+  filesystem (the memory-speed path ``BENCH_service.json`` measures).
+* :class:`SingleFlight` — collapses concurrent requests for one key
+  into one computation. Many tenants asking for the same cold cell get
+  exactly one simulation; everyone awaits the same future. This is the
+  exactly-once property tests/service/test_cache_concurrency.py hammers.
+
+Both live on the event loop: no locks, no thread-safety hedging —
+mutation happens only between awaits. (The blocking work they guard is
+pushed to threads by the server; these structures themselves are not
+thread-safe and must not be shared across loops.)
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import OrderedDict
+
+
+class LruResultTier:
+    """Bounded mapping of cache key -> wire-ready result dict, LRU-evicted.
+
+    Counters mirror the disk cache's vocabulary (``hits``/``misses``)
+    plus the tier's own movement (``inserts``/``evictions``), so a fleet
+    summary can sum the tiers without translation.
+    """
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._records: OrderedDict[str, dict] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.inserts = 0
+        self.evictions = 0
+
+    def get(self, key: str) -> dict | None:
+        record = self._records.get(key)
+        if record is None:
+            self.misses += 1
+            return None
+        self._records.move_to_end(key)
+        self.hits += 1
+        return record
+
+    def put(self, key: str, record: dict) -> None:
+        existing = self._records.get(key)
+        if existing is not None:
+            # Records are immutable facts of (trace, config, model) — a
+            # re-put is the same bytes; just refresh recency.
+            self._records.move_to_end(key)
+            return
+        while len(self._records) >= self.capacity:
+            self._records.popitem(last=False)
+            self.evictions += 1
+        self._records[key] = record
+        self.inserts += 1
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def counts(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "inserts": self.inserts,
+            "evictions": self.evictions,
+            "size": len(self._records),
+            "capacity": self.capacity,
+        }
+
+
+class SingleFlight:
+    """Per-key computation collapsing for coroutines on one event loop.
+
+    ``run(key, thunk)`` executes ``thunk()`` if no computation for
+    ``key`` is in flight, and otherwise awaits the in-flight one's
+    future — so N concurrent callers cost one computation. A failed
+    computation propagates its exception to every waiter and clears the
+    key (the next caller retries fresh).
+    """
+
+    def __init__(self):
+        self._inflight: dict[str, asyncio.Future] = {}
+        self.coalesced = 0
+        self.led = 0
+
+    async def run(self, key: str, thunk):
+        future = self._inflight.get(key)
+        if future is not None:
+            self.coalesced += 1
+            return await asyncio.shield(future)
+        self.led += 1
+        future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = future
+        try:
+            value = await thunk()
+        except BaseException as exc:  # waiters get the leader's failure
+            if not future.cancelled():
+                future.set_exception(exc)
+                future.exception()  # mark retrieved even with no waiters
+            raise
+        else:
+            if not future.cancelled():
+                future.set_result(value)
+            return value
+        finally:
+            del self._inflight[key]
+
+    def counts(self) -> dict:
+        return {"led": self.led, "coalesced": self.coalesced,
+                "inflight": len(self._inflight)}

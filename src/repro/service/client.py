@@ -1,0 +1,175 @@
+"""Blocking client for the sweep service (and a background-server helper).
+
+:class:`ServiceClient` is deliberately synchronous — a plain socket and
+a line reader — because the callers are scripts, tests, the ``repro
+submit`` CLI, and the load-generator benchmark, none of which want an
+event loop of their own. One client = one connection = one tenant;
+requests are answered in order, and ``event`` envelopes (fleet progress
+from subscribed jobs) are collected into :attr:`events` as they arrive
+interleaved with responses.
+
+:func:`serve_background` boots a :class:`~repro.service.server.
+SweepService` on its own thread-hosted event loop and returns a handle
+with the bound port — the shape tests and benchmarks use to get a real
+socket server without managing asyncio themselves.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import threading
+
+from ..api import schema
+
+
+class ServiceError(RuntimeError):
+    """The server answered with an ``error`` envelope."""
+
+
+class ServiceClient:
+    """One tenant's connection to a running sweep service."""
+
+    def __init__(self, host: str, port: int, tenant: str = "anon",
+                 timeout: float | None = 60.0):
+        self.sock = socket.create_connection((host, port), timeout=timeout)
+        self.reader = self.sock.makefile("r", encoding="utf-8")
+        self.tenant = tenant
+        self.events: list[dict] = []
+        self.hello(tenant)
+
+    # -- wire plumbing -------------------------------------------------------
+
+    def _send(self, envelope: schema.Envelope) -> None:
+        self.sock.sendall(schema.wire_encode(envelope).encode() + b"\n")
+
+    def _recv(self) -> schema.Envelope:
+        line = self.reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return schema.wire_decode(line)
+
+    def request(self, request: schema.Request) -> schema.Envelope:
+        """Send one typed request; return its response envelope.
+
+        ``event`` envelopes arriving before the response are appended to
+        :attr:`events` (their bodies: ``{"job", "tenant", "record"}``).
+        An ``error`` envelope raises :class:`ServiceError`.
+        """
+        self._send(request.to_wire())
+        while True:
+            envelope = self._recv()
+            if envelope.kind == "event":
+                self.events.append(envelope.body)
+                continue
+            if envelope.kind == "error":
+                raise ServiceError(envelope.body["error"])
+            return envelope
+
+    # -- typed conveniences (each returns the response body) -----------------
+
+    def hello(self, tenant: str) -> dict:
+        return self.request(schema.HelloRequest(tenant=tenant)).body
+
+    def simulate(self, **knobs) -> dict:
+        return self.request(schema.SimulateRequest(**knobs)).body
+
+    def sweep(self, **knobs) -> dict:
+        """A grid sweep; the body is exactly ``SweepRun.to_payload()`` —
+        dump it with ``indent=2, sort_keys=True`` and you have the same
+        bytes ``repro sweep --out`` writes (the golden-diff contract)."""
+        return self.request(schema.SweepRequest(**knobs)).body
+
+    def trace(self, **knobs) -> dict:
+        return self.request(schema.TraceRequest(**knobs)).body
+
+    def precompile(self, **knobs) -> dict:
+        return self.request(schema.PrecompileRequest(**knobs)).body
+
+    def presets(self, full: bool = False) -> list:
+        return self.request(schema.PresetsRequest(full=full)).body["presets"]
+
+    def status(self) -> dict:
+        return self.request(schema.StatusRequest()).body
+
+    def subscribe(self, progress: bool = True) -> dict:
+        return self.request(schema.SubscribeRequest(progress=progress)).body
+
+    def shutdown(self) -> dict:
+        return self.request(schema.ShutdownRequest()).body
+
+    def progress_records(self, job: int) -> list[dict]:
+        """The fleet progress records received for one job, in order —
+        the per-job stream :func:`repro.obs.fleet.validate_progress_records`
+        validates (seq numbers are per-job)."""
+        return [event["record"] for event in self.events
+                if event["job"] == job]
+
+    def close(self) -> None:
+        try:
+            self.reader.close()
+        finally:
+            self.sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class ServiceHandle:
+    """A service running on a background thread's event loop."""
+
+    def __init__(self, service, thread: threading.Thread, loop, port: int):
+        self.service = service
+        self.thread = thread
+        self.loop = loop
+        self.port = port
+
+    def client(self, tenant: str = "anon", **kwargs) -> ServiceClient:
+        return ServiceClient("127.0.0.1", self.port, tenant=tenant, **kwargs)
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Stop the server and join its thread (idempotent)."""
+        if self.thread.is_alive():
+            self.loop.call_soon_threadsafe(self.service.stop)
+        self.thread.join(timeout=timeout)
+
+    def __enter__(self) -> "ServiceHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def serve_background(service=None, host: str = "127.0.0.1", port: int = 0,
+                     **service_kwargs) -> ServiceHandle:
+    """Boot a sweep service on a daemon thread; returns its handle.
+
+    Builds a :class:`~repro.service.server.SweepService` from
+    ``service_kwargs`` when none is passed. The handle's ``port`` is the
+    bound (ephemeral by default) port; ``stop()`` shuts the loop down.
+    """
+    from .server import SweepService
+
+    if service is None:
+        service = SweepService(**service_kwargs)
+    started = threading.Event()
+    boot: dict = {}
+
+    def run() -> None:
+        async def main() -> None:
+            await service.start(host, port)
+            boot["loop"] = asyncio.get_running_loop()
+            boot["port"] = service.port
+            started.set()
+            await service.serve_until_stopped()
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=run, name="repro-service", daemon=True)
+    thread.start()
+    if not started.wait(timeout=60.0):
+        raise RuntimeError("service failed to start within 60s")
+    return ServiceHandle(service, thread, boot["loop"], boot["port"])

@@ -1,0 +1,148 @@
+"""Warm machines and shared traces for the sweep service.
+
+The expensive parts of serving a cell cold are (1) generating and
+decoding the workload trace, (2) lowering it for the compiled replay
+engine, and (3) constructing the :class:`~repro.sim.simulator.
+TimingSimulator` with its caches and layout plan. None of those costs
+depends on *results*, so a long-lived server amortizes all three:
+
+* :class:`TraceStore` keeps one :class:`~repro.sim.trace.Trace` per
+  (workload, events) and hands the same instance to every tenant — the
+  compiled lowerings :mod:`repro.fastpath.compiled` memoizes on a Trace
+  are therefore shared across sessions (tenant B replays the lowering
+  tenant A paid for).
+* :class:`WarmMachinePool` keeps constructed simulators keyed by
+  machine fingerprint and *cold-resets* them between tenants
+  (:meth:`~repro.sim.simulator.TimingSimulator.reset_cold`: caches
+  emptied, bus clock zeroed, deferred-tree pending queues discarded
+  through the scheme's own soundness hook). Reuse saves construction,
+  never changes results — warm *cache contents* are deliberately not
+  reused, because they alter miss counts (tests/sim/test_warm_reuse.py)
+  and the service's contract is byte-identity with a cold sweep.
+
+A scheme that declares ``warm_reuse_sound = False`` is never pooled:
+its simulators are built fresh per request and dropped on release.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..core.config import MachineConfig
+from ..evalx.parallel import config_fingerprint
+from ..schemes import integrity_scheme
+from ..sim.simulator import TimingSimulator
+
+
+class TraceStore:
+    """Bounded shared store of decoded traces (and their digests).
+
+    Thread-safe: the server resolves traces from worker threads. The
+    digest memo matters as much as the trace memo — the disk cache key
+    needs it on every request, and hashing a trace is not free.
+    """
+
+    def __init__(self, capacity: int = 8):
+        self.capacity = capacity
+        self._traces: dict[tuple, object] = {}
+        self._order: list[tuple] = []
+        self._digests: dict[tuple, str] = {}
+        self._lock = threading.Lock()
+        self.built = 0
+        self.shared = 0
+
+    def get(self, workload: str, events: int):
+        from ..api import load_trace
+
+        key = (workload, events)
+        with self._lock:
+            trace = self._traces.get(key)
+            if trace is not None:
+                self.shared += 1
+                return trace
+            # Build under the lock: concurrent first requests for one
+            # workload must share a single Trace instance, or the
+            # compiled-lowering memo fragments across copies.
+            trace = load_trace(workload, events)
+            while len(self._order) >= self.capacity:
+                evicted = self._order.pop(0)
+                self._traces.pop(evicted, None)
+                self._digests.pop(evicted, None)
+            self._traces[key] = trace
+            self._order.append(key)
+            self.built += 1
+            return trace
+
+    def digest(self, workload: str, events: int) -> str:
+        key = (workload, events)
+        with self._lock:
+            digest = self._digests.get(key)
+            if digest is not None:
+                return digest
+        trace = self.get(workload, events)
+        digest = trace.digest()
+        with self._lock:
+            self._digests[key] = digest
+        return digest
+
+    def counts(self) -> dict:
+        with self._lock:
+            return {"built": self.built, "shared": self.shared,
+                    "size": len(self._traces), "capacity": self.capacity}
+
+
+class WarmMachinePool:
+    """Constructed simulators keyed by machine fingerprint, reset between uses.
+
+    ``acquire`` hands out an idle pooled simulator for the exact
+    (config, overlap) pair or builds a fresh one; ``release`` returns it
+    after :meth:`~repro.sim.simulator.TimingSimulator.reset_cold` — the
+    handoff sanitation step, so the next tenant receives a machine
+    indistinguishable from new. Schemes declaring warm reuse unsound are
+    refused at release (built fresh every time, never pooled).
+
+    Event-loop-confined by design: acquire/release run between awaits on
+    the server loop (the ``run()`` itself happens in a worker thread
+    while the simulator is checked out and owned by one request).
+    """
+
+    def __init__(self, capacity: int = 8):
+        self.capacity = capacity
+        self._idle: dict[tuple, list[TimingSimulator]] = {}
+        self._size = 0
+        self.built = 0
+        self.reused = 0
+        self.released = 0
+        self.refused = 0
+        self.dropped = 0
+
+    @staticmethod
+    def _key(config: MachineConfig, overlap: float) -> tuple:
+        return (config_fingerprint(config), overlap)
+
+    def acquire(self, config: MachineConfig, overlap: float = 0.7) -> TimingSimulator:
+        stack = self._idle.get(self._key(config, overlap))
+        if stack:
+            self._size -= 1
+            self.reused += 1
+            return stack.pop()
+        self.built += 1
+        return TimingSimulator(config, overlap=overlap)
+
+    def release(self, sim: TimingSimulator) -> None:
+        self.released += 1
+        if not integrity_scheme(sim.integ).warm_reuse_sound:
+            self.refused += 1
+            return
+        sim.reset_cold()
+        if self._size >= self.capacity:
+            self.dropped += 1
+            return
+        self._idle.setdefault(self._key(sim.config, sim.overlap), []).append(sim)
+        self._size += 1
+
+    def counts(self) -> dict:
+        return {"built": self.built, "reused": self.reused,
+                "released": self.released, "refused": self.refused,
+                "dropped": self.dropped, "idle": self._size,
+                "capacity": self.capacity}

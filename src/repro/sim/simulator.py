@@ -409,6 +409,42 @@ class TimingSimulator:
         self.tree_coalesced = 0
         self.registry.reset()
 
+    def reset_cold(self) -> None:
+        """Return the simulator to its just-constructed (cold) state.
+
+        The sanctioned warm-reuse entry point (:mod:`repro.service`
+        keeps a pool of constructed simulators and calls this between
+        tenants): caches empty with no writebacks charged, bus clock and
+        statistics at zero, the integrity scheme's timing state
+        discarded through its :meth:`~repro.schemes.base.IntegrityScheme.
+        reset_timing_state` hook. After this call ``run()`` behaves
+        byte-identically to a fresh ``TimingSimulator(config)`` — in
+        particular the compiled trace replay re-engages (it bows out of
+        warm caches), and any compiled lowerings memoized on Trace
+        objects are still valid because they never depend on machine
+        state. Warm reuse *without* this call is intentionally
+        unsupported for result-serving: warm caches change miss counts
+        (see tests/sim/test_warm_reuse.py).
+
+        Engine telemetry is cumulative across resets — which engine ran
+        is execution-mode metadata, not model state, and pool operators
+        want the totals.
+        """
+        scheme = integrity_scheme(self.integ)
+        if not scheme.warm_reuse_sound:
+            raise RuntimeError(
+                f"integrity scheme {self.integ!r} declares warm reuse unsound; "
+                "build a fresh TimingSimulator instead of resetting this one"
+            )
+        self.l2.clear()
+        self.counter_cache.clear()
+        if self.node_cache is not None:
+            self.node_cache.clear()
+        self.bus.reset()
+        scheme.reset_timing_state(self)
+        self._hooks = None
+        self._reset_stats()
+
     def run(self, trace: Trace, label: str | None = None, warmup: float = 0.25,
             collect_metrics: bool = False) -> SimResult:
         """Simulate the trace; the first ``warmup`` fraction of events warms

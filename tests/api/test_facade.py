@@ -179,3 +179,54 @@ class TestPrecompile:
         warmed = api.simulate(summary["trace"], "aise+bmt")
         fresh = api.simulate("gcc", "aise+bmt", events=3000)
         assert warmed == fresh
+
+
+class TestFullPresetNames:
+    def test_canonical_names_come_first(self):
+        full = api.preset_names(full=True)
+        assert full[: len(preset_names())] == preset_names()
+
+    def test_surfaces_registry_valid_combos(self):
+        full = api.preset_names(full=True)
+        assert "aise+bmt_lazy" in full
+        assert "base+loghash" in full
+
+    def test_every_full_name_resolves(self):
+        for name in api.preset_names(full=True):
+            assert isinstance(MachineConfig.preset(name), MachineConfig)
+
+    def test_no_duplicate_resolved_configs(self):
+        resolved = [
+            (MachineConfig.preset(n).encryption, MachineConfig.preset(n).integrity)
+            for n in api.preset_names(full=True)
+        ]
+        assert len(resolved) == len(set(resolved))
+
+
+class TestKnobGrammar:
+    """One knob grammar across the facade (mirrors the API002 lint)."""
+
+    KNOB_DEFAULTS = {"events": 60_000, "workers": 1, "cache_dir": None,
+                     "metrics": False, "overlap": 0.7, "warmup": 0.25}
+
+    @pytest.mark.parametrize("fn", [api.simulate, api.sweep, api.trace,
+                                    api.precompile])
+    def test_shared_knobs_default_identically(self, fn):
+        import inspect
+
+        for name, param in inspect.signature(fn).parameters.items():
+            if name in self.KNOB_DEFAULTS:
+                assert param.default == self.KNOB_DEFAULTS[name], \
+                    f"{fn.__name__}({name}=...)"
+
+    def test_schema_requests_share_the_grammar(self):
+        import dataclasses
+
+        from repro.api import schema
+
+        for cls in (schema.SimulateRequest, schema.SweepRequest,
+                    schema.TraceRequest, schema.PrecompileRequest):
+            for field in dataclasses.fields(cls):
+                if field.name in self.KNOB_DEFAULTS:
+                    assert field.default == self.KNOB_DEFAULTS[field.name], \
+                        f"{cls.__name__}.{field.name}"

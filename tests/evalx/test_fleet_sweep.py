@@ -51,7 +51,7 @@ class TestSerialFleetSweep:
         for metric in ("bus.transfers", "l2.hits", "sim.demand_accesses"):
             expected = sum(
                 api.simulate(bench, label, events=EVENTS, label=label,
-                             collect_metrics=True).metrics[metric]
+                             metrics=True).metrics[metric]
                 for bench in BENCHES for label in CONFIGS
             )
             assert report.aggregate[metric] == expected, metric

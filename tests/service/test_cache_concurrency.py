@@ -1,0 +1,164 @@
+"""Result-cache tiers under concurrent access.
+
+The service promises exactly-once computation per cache key no matter
+how many clients ask at once (SingleFlight), an LRU tier whose counters
+stay truthful under interleaving, and a disk tier that many threads can
+hammer without corrupting a record.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.api import MachineConfig
+from repro.evalx.parallel import ResultCache
+from repro.service.cache import LruResultTier, SingleFlight
+from repro.sim.results import SimResult
+
+
+def make_result(name="art", cycles=10.0):
+    return SimResult(name=name, config_label="base", cycles=cycles,
+                     instructions=100)
+
+
+class TestSingleFlight:
+    def test_concurrent_identical_requests_compute_once(self):
+        computed = []
+
+        async def main():
+            flight = SingleFlight()
+
+            async def thunk():
+                computed.append(1)
+                await asyncio.sleep(0.01)
+                return "value"
+
+            results = await asyncio.gather(
+                *(flight.run("key", thunk) for _ in range(32)))
+            return flight.counts(), results
+
+        counts, results = asyncio.run(main())
+        assert len(computed) == 1
+        assert results == ["value"] * 32
+        assert counts["led"] == 1
+        assert counts["coalesced"] == 31
+        assert counts["inflight"] == 0
+
+    def test_distinct_keys_compute_independently(self):
+        async def main():
+            flight = SingleFlight()
+
+            async def thunk(i):
+                await asyncio.sleep(0)
+                return i
+
+            results = await asyncio.gather(
+                *(flight.run(f"k{i}", lambda i=i: thunk(i)) for i in range(8)))
+            return flight.counts(), results
+
+        counts, results = asyncio.run(main())
+        assert results == list(range(8))
+        assert counts["led"] == 8
+        assert counts["coalesced"] == 0
+
+    def test_failure_propagates_to_every_waiter_then_clears(self):
+        async def main():
+            flight = SingleFlight()
+
+            async def boom():
+                await asyncio.sleep(0.01)
+                raise ValueError("boom")
+
+            results = await asyncio.gather(
+                *(flight.run("key", boom) for _ in range(4)),
+                return_exceptions=True)
+            assert all(isinstance(r, ValueError) for r in results)
+
+            async def fine():
+                return "recovered"
+
+            # The failed flight must not poison the key.
+            return await flight.run("key", fine)
+
+        assert asyncio.run(main()) == "recovered"
+
+
+class TestLruResultTier:
+    def test_counters_sum_to_accesses(self):
+        lru = LruResultTier(capacity=4)
+        lru.put("a", {"v": 1})
+        hits = misses = 0
+        for key in ("a", "b", "a", "c", "a"):
+            if lru.get(key) is None:
+                misses += 1
+            else:
+                hits += 1
+        counts = lru.counts()
+        assert (counts["hits"], counts["misses"]) == (hits, misses) == (3, 2)
+
+    def test_eviction_is_least_recently_used(self):
+        lru = LruResultTier(capacity=2)
+        lru.put("a", {"v": 1})
+        lru.put("b", {"v": 2})
+        assert lru.get("a") is not None  # refresh a; b is now LRU
+        lru.put("c", {"v": 3})
+        assert lru.get("b") is None
+        assert lru.get("a") is not None
+        assert lru.counts()["evictions"] == 1
+
+    def test_re_put_refreshes_without_duplicating(self):
+        lru = LruResultTier(capacity=2)
+        lru.put("a", {"v": 1})
+        lru.put("b", {"v": 2})
+        lru.put("a", {"v": 1})  # same fact, recency refresh only
+        lru.put("c", {"v": 3})
+        assert lru.get("b") is None
+        assert len(lru) == 2
+        assert lru.counts()["inserts"] == 3
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            LruResultTier(capacity=0)
+
+
+class TestDiskCacheUnderThreads:
+    def test_concurrent_writers_never_corrupt_a_record(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        record = make_result()
+        key = "deadbeef" * 5
+        errors = []
+
+        def hammer():
+            try:
+                for _ in range(20):
+                    cache.put(key, record)
+                    got = cache.get(key)
+                    assert got is None or got == record
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert cache.corrupt == 0
+        assert cache.get(key) == record
+        # Every get resolved to exactly one of hit or miss.
+        assert cache.hits + cache.misses == 8 * 20 + 1
+
+    def test_lru_and_disk_share_one_key_function(self):
+        # The service fronts the disk cache with the LRU tier using the
+        # *same* key string; key_for must therefore be a pure static
+        # function of the result's inputs.
+        config = MachineConfig.preset("aise+bmt")
+        key = ResultCache.key_for("digest", config, 0.7, 0.25)
+        assert key == ResultCache.key_for("digest", config, 0.7, 0.25)
+        assert key != ResultCache.key_for("digest", config, 0.7, 0.25,
+                                          metrics=True)
+        assert key != ResultCache.key_for("other", config, 0.7, 0.25)
+        lru = LruResultTier()
+        lru.put(key, {"cycles": 1.0})
+        assert lru.get(key) == {"cycles": 1.0}

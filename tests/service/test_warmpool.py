@@ -1,0 +1,139 @@
+"""Warm-machine soundness: reuse must be observationally cold.
+
+The service's whole contract rests on ``reset_cold()``: a pooled,
+reset simulator must be indistinguishable-by-results from a freshly
+constructed one, for every scheme the pool will ever hold — including
+the deferred-update lazy tree, whose pending queues must not leak
+across tenants.
+"""
+
+import pytest
+
+from repro import api
+from repro.api import MachineConfig, TimingSimulator
+from repro.schemes import integrity_scheme
+from repro.service.warmpool import TraceStore, WarmMachinePool
+
+EVENTS = 2_000
+LABELS = ("base", "aise+bmt", "aise+bmt_lazy", "global64+mt")
+
+
+def run_once(sim, trace, label):
+    return sim.run(trace, label=label).to_dict()
+
+
+class TestResetColdByteIdentity:
+    @pytest.mark.parametrize("label", LABELS)
+    def test_reset_machine_matches_fresh_machine(self, label):
+        config = MachineConfig.preset(label)
+        dirty_trace = api.load_trace("chase", EVENTS)
+        trace = api.load_trace("stream", EVENTS)
+
+        fresh = run_once(TimingSimulator(config), trace, label)
+        reused = TimingSimulator(config)
+        run_once(reused, dirty_trace, label)  # leave real state behind
+        reused.reset_cold()
+        assert run_once(reused, trace, label) == fresh
+
+    def test_repeated_reuse_stays_identical(self):
+        config = MachineConfig.preset("aise+bmt_lazy")
+        trace = api.load_trace("stream", EVENTS)
+        sim = TimingSimulator(config)
+        first = run_once(sim, trace, "aise+bmt_lazy")
+        for _ in range(3):
+            sim.reset_cold()
+            assert run_once(sim, trace, "aise+bmt_lazy") == first
+
+    def test_unsound_scheme_refuses_reset(self, monkeypatch):
+        config = MachineConfig.preset("aise+bmt")
+        sim = TimingSimulator(config)
+        monkeypatch.setattr(integrity_scheme(sim.integ),
+                            "warm_reuse_sound", False)
+        with pytest.raises(RuntimeError):
+            sim.reset_cold()
+
+
+class TestWarmMachinePool:
+    def test_reuses_same_instance_per_fingerprint(self):
+        pool = WarmMachinePool()
+        config = MachineConfig.preset("aise+bmt")
+        sim = pool.acquire(config)
+        pool.release(sim)
+        assert pool.acquire(config) is sim
+        assert pool.counts()["built"] == 1
+        assert pool.counts()["reused"] == 1
+
+    def test_distinct_configs_never_share(self):
+        pool = WarmMachinePool()
+        sim = pool.acquire(MachineConfig.preset("aise+bmt"))
+        pool.release(sim)
+        other = pool.acquire(MachineConfig.preset("base"))
+        assert other is not sim
+        assert pool.counts()["built"] == 2
+
+    def test_overlap_is_part_of_the_key(self):
+        pool = WarmMachinePool()
+        config = MachineConfig.preset("base")
+        sim = pool.acquire(config, overlap=0.7)
+        pool.release(sim)
+        assert pool.acquire(config, overlap=0.5) is not sim
+
+    def test_capacity_bounds_idle_machines(self):
+        pool = WarmMachinePool(capacity=1)
+        config = MachineConfig.preset("base")
+        first, second = pool.acquire(config), pool.acquire(config)
+        pool.release(first)
+        pool.release(second)
+        counts = pool.counts()
+        assert counts["idle"] == 1
+        assert counts["dropped"] == 1
+
+    def test_unsound_scheme_never_pooled(self, monkeypatch):
+        pool = WarmMachinePool()
+        config = MachineConfig.preset("aise+bmt")
+        sim = pool.acquire(config)
+        monkeypatch.setattr(integrity_scheme(sim.integ),
+                            "warm_reuse_sound", False)
+        pool.release(sim)
+        counts = pool.counts()
+        assert counts["refused"] == 1
+        assert counts["idle"] == 0
+        assert pool.acquire(config) is not sim
+
+    def test_pooled_machine_serves_identical_results(self):
+        pool = WarmMachinePool()
+        config = MachineConfig.preset("aise+bmt")
+        trace = api.load_trace("stream", EVENTS)
+        warmed = pool.acquire(config)
+        run_once(warmed, api.load_trace("chase", EVENTS), "aise+bmt")
+        pool.release(warmed)
+        again = pool.acquire(config)
+        assert again is warmed
+        fresh = run_once(TimingSimulator(config), trace, "aise+bmt")
+        assert run_once(again, trace, "aise+bmt") == fresh
+
+
+class TestTraceStore:
+    def test_same_instance_shared_across_requests(self):
+        store = TraceStore()
+        first = store.get("stream", EVENTS)
+        second = store.get("stream", EVENTS)
+        assert second is first
+        assert store.counts() == {"built": 1, "shared": 1, "size": 1,
+                                  "capacity": 8}
+
+    def test_digest_matches_trace_digest(self):
+        store = TraceStore()
+        assert store.digest("stream", EVENTS) == \
+            api.load_trace("stream", EVENTS).digest()
+        # Memoized: a second call must not rebuild anything.
+        built = store.counts()["built"]
+        store.digest("stream", EVENTS)
+        assert store.counts()["built"] == built
+
+    def test_capacity_evicts_oldest(self):
+        store = TraceStore(capacity=1)
+        first = store.get("stream", EVENTS)
+        store.get("chase", EVENTS)
+        assert store.counts()["size"] == 1
+        assert store.get("stream", EVENTS) is not first  # rebuilt

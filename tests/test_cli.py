@@ -227,3 +227,81 @@ class TestTraceCommand:
 
         assert main(self.trace_args(tmp_path, "d")) == 0
         assert not obs.enabled()  # tracing is scoped to the command
+
+
+class TestPrecompileCommand:
+    def test_reports_pattern_mix(self, capsys):
+        assert main(["precompile", "stream", "--events", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "workload : stream" in out
+        assert "patterns" in out
+
+    def test_json_envelope(self, capsys):
+        import json
+
+        assert main(["precompile", "stream", "--events", "2000",
+                     "--json"]) == 0
+        wire = json.loads(capsys.readouterr().out)
+        assert wire["payload_version"] == 1
+        assert wire["kind"] == "ok"
+        assert wire["body"]["op"] == "precompile"
+
+    def test_rejects_unknown_workload(self, capsys):
+        assert main(["precompile", "nope"]) == 2
+
+
+class TestJsonEnvelopes:
+    def test_simulate_json_is_a_versioned_envelope(self, capsys):
+        import json
+
+        assert main(["simulate", "--benchmark", "gzip", "--events", "2000",
+                     "--json"]) == 0
+        wire = json.loads(capsys.readouterr().out)
+        assert wire["kind"] == "result"
+        assert wire["payload_version"] == 1
+        assert wire["body"]["result"]["cycles"] > 0
+
+    def test_sweep_json_body_is_the_payload(self, capsys):
+        import json
+
+        assert main(["sweep", "--events", "2000", "--benchmarks", "gzip",
+                     "--configs", "base", "--json"]) == 0
+        wire = json.loads(capsys.readouterr().out)
+        assert wire["kind"] == "sweep"
+        assert "gzip/base/default" in wire["body"]["cells"]
+
+    def test_cache_dir_spelling_and_alias_agree(self, tmp_path):
+        args = ["sweep", "--events", "2000", "--benchmarks", "gzip",
+                "--configs", "base"]
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main([*args, "--cache-dir", str(tmp_path / "c1"),
+                     "--out", str(a)]) == 0
+        assert main([*args, "--cache", str(tmp_path / "c2"),
+                     "--out", str(b)]) == 0
+        assert a.read_text() == b.read_text()
+
+
+class TestServeSubmitCommands:
+    def test_submit_round_trip_against_live_server(self, capsys, tmp_path):
+        import json
+
+        from repro.service import serve_background
+
+        with serve_background() as handle:
+            port = ["--port", str(handle.port)]
+            assert main(["submit", "status", *port]) == 0
+            wire = json.loads(capsys.readouterr().out)
+            assert wire["kind"] == "status"
+
+            out = tmp_path / "cells.json"
+            assert main(["submit", "sweep", *port, "--benchmarks", "gzip",
+                         "--configs", "base", "--events", "2000",
+                         "--out", str(out)]) == 0
+            assert main(["sweep", "--events", "2000", "--benchmarks", "gzip",
+                         "--configs", "base",
+                         "--out", str(tmp_path / "cold.json")]) == 0
+            # The service-written file byte-equals the cold CLI sweep.
+            assert out.read_text() == (tmp_path / "cold.json").read_text()
+
+    def test_submit_against_dead_port_fails_cleanly(self):
+        assert main(["submit", "status", "--port", "1"]) == 2
